@@ -1,0 +1,763 @@
+//! The experiments E1–E6 (see DESIGN.md §6 for the index).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use llx_scx::{Domain, FieldId, ScxRequest};
+use lockbased::{CoarseMultiset, HandOverHandMultiset};
+use multiset::Multiset;
+use mwcas::{kcas, KcasCell, KcasMultiset};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use trees::{Bst, ChromaticTree, PatriciaTrie};
+use workloads::{KeyDist, Mix, OpKind, WorkloadGen};
+
+use crate::runner::{fmt_ops, print_table, run_throughput};
+
+/// Duration of each throughput cell; short because the sweep is wide.
+const CELL: Duration = Duration::from_millis(300);
+/// Thread counts for scaling sweeps.
+const THREADS: &[usize] = &[1, 2, 4, 8];
+
+/// E1 — step complexity of uncontended SCX vs k-word CAS (paper §1/§2).
+///
+/// Paper: SCX over k records with f finalized = `k+1` CAS and `f+2`
+/// writes; best kCAS [Sundell'11] = `2k+1` CAS; our Harris-style kCAS =
+/// `3k+1` CAS.
+pub fn e1_step_complexity() {
+    let mut rows = Vec::new();
+    for k in 1..=16usize {
+        // SCX with f = 0 and f = k.
+        let scx_cost = |f: usize| {
+            let d: Domain<1, u64> = Domain::with_stats();
+            let g = crossbeam_epoch::pin();
+            let recs: Vec<_> = (0..k).map(|i| d.alloc(i as u64, [0])).collect();
+            let snaps: Vec<_> = recs
+                .iter()
+                .map(|&r| d.llx(unsafe { &*r }, &g).snapshot().unwrap())
+                .collect();
+            let before = d.stats().unwrap();
+            let mask = if f == 0 { 0 } else { (1u64 << f) - 1 };
+            assert!(d.scx(
+                ScxRequest::new(&snaps, FieldId::new(k - 1, 0), 7).finalize_mask(mask),
+                &g
+            ));
+            let cost = d.stats().unwrap().diff(&before);
+            for r in recs {
+                unsafe { d.retire(r, &g) };
+            }
+            (cost.total_cas(), cost.total_writes())
+        };
+        let (cas_f0, wr_f0) = scx_cost(0);
+        let (cas_fk, wr_fk) = scx_cost(k);
+
+        // Harris kCAS measured.
+        let cells: Vec<KcasCell> = (0..k).map(|_| KcasCell::new(0)).collect();
+        let g = crossbeam_epoch::pin();
+        let entries: Vec<_> = cells.iter().map(|c| (c, 0u64, 1u64)).collect();
+        let before = mwcas::kcas_cas_count();
+        assert!(kcas(&entries, &g));
+        let kcas_cas = mwcas::kcas_cas_count() - before;
+
+        rows.push(vec![
+            k.to_string(),
+            format!("{cas_f0}"),
+            format!("{wr_f0}"),
+            format!("{cas_fk}"),
+            format!("{wr_fk}"),
+            format!("{}", 2 * k + 1),
+            format!("{kcas_cas}"),
+            format!("{:.2}x", (2 * k + 1) as f64 / cas_f0 as f64),
+        ]);
+    }
+    print_table(
+        "E1: uncontended step complexity (CAS steps / writes per operation)",
+        &[
+            "k".into(),
+            "SCX CAS (f=0)".into(),
+            "SCX wr (f=0)".into(),
+            "SCX CAS (f=k)".into(),
+            "SCX wr (f=k)".into(),
+            "Sundell kCAS (2k+1)".into(),
+            "Harris kCAS (meas.)".into(),
+            "kCAS/SCX".into(),
+        ],
+        &rows,
+    );
+    println!("paper claim: SCX = k+1 CAS, f+2 writes; kCAS >= 2k+1 CAS (§1, §2)");
+}
+
+/// E2 — disjoint SCXs all succeed; overlapping SCXs still make progress
+/// (paper §3.2).
+pub fn e2_disjoint_success() {
+    let mut rows = Vec::new();
+    for &threads in THREADS {
+        // Disjoint: one private record per thread.
+        let domain: Arc<Domain<1, usize>> = Arc::new(Domain::new());
+        let records: Arc<Vec<usize>> = Arc::new(
+            (0..threads)
+                .map(|t| domain.alloc(t, [0]) as usize)
+                .collect(),
+        );
+        let attempts = Arc::new(AtomicU64::new(0));
+        let successes = Arc::new(AtomicU64::new(0));
+        {
+            let domain = Arc::clone(&domain);
+            let records = Arc::clone(&records);
+            let attempts = Arc::clone(&attempts);
+            let successes = Arc::clone(&successes);
+            run_throughput(threads, CELL, move |t| {
+                let r = unsafe { &*(records[t] as *const llx_scx::DataRecord<1, usize>) };
+                let g = llx_scx::pin();
+                let Some(s) = domain.llx(r, &g).snapshot() else {
+                    return 0;
+                };
+                attempts.fetch_add(1, Ordering::Relaxed);
+                if domain.scx(
+                    ScxRequest::new(&[s], FieldId::new(0, 0), s.value(0) + 1),
+                    &g,
+                ) {
+                    successes.fetch_add(1, Ordering::Relaxed);
+                }
+                1
+            });
+        }
+        let disjoint_rate =
+            successes.load(Ordering::Relaxed) as f64 / attempts.load(Ordering::Relaxed) as f64;
+
+        // Overlapping: all threads target one record.
+        let domain2: Arc<Domain<1, usize>> = Arc::new(Domain::new());
+        let shared = domain2.alloc(0, [0]) as usize;
+        let attempts2 = Arc::new(AtomicU64::new(0));
+        let successes2 = Arc::new(AtomicU64::new(0));
+        {
+            let domain2 = Arc::clone(&domain2);
+            let attempts2 = Arc::clone(&attempts2);
+            let successes2 = Arc::clone(&successes2);
+            run_throughput(threads, CELL, move |_| {
+                let r = unsafe { &*(shared as *const llx_scx::DataRecord<1, usize>) };
+                let g = llx_scx::pin();
+                let Some(s) = domain2.llx(r, &g).snapshot() else {
+                    return 0;
+                };
+                attempts2.fetch_add(1, Ordering::Relaxed);
+                if domain2.scx(
+                    ScxRequest::new(&[s], FieldId::new(0, 0), s.value(0) + 1),
+                    &g,
+                ) {
+                    successes2.fetch_add(1, Ordering::Relaxed);
+                }
+                1
+            });
+        }
+        let succ2 = successes2.load(Ordering::Relaxed);
+        let overlap_rate = succ2 as f64 / attempts2.load(Ordering::Relaxed) as f64;
+        rows.push(vec![
+            threads.to_string(),
+            format!("{:.2}%", disjoint_rate * 100.0),
+            format!("{:.2}%", overlap_rate * 100.0),
+            format!("{succ2}"),
+        ]);
+    }
+    print_table(
+        "E2: SCX success rates",
+        &[
+            "threads".into(),
+            "disjoint V-sets".into(),
+            "overlapping V-sets".into(),
+            "overlapping successes".into(),
+        ],
+        &rows,
+    );
+    println!("paper claim: disjoint SCXs all succeed (100%); overlapping SCXs still commit (non-blocking, P4)");
+}
+
+/// E3 — VLX on k records costs exactly k shared reads (paper §1).
+pub fn e3_vlx_cost() {
+    let mut rows = Vec::new();
+    for k in [1usize, 2, 4, 8, 16, 32] {
+        let d: Domain<1, u64> = Domain::with_stats();
+        let g = crossbeam_epoch::pin();
+        let recs: Vec<_> = (0..k).map(|i| d.alloc(i as u64, [0])).collect();
+        let snaps: Vec<_> = recs
+            .iter()
+            .map(|&r| d.llx(unsafe { &*r }, &g).snapshot().unwrap())
+            .collect();
+        let before = d.stats().unwrap();
+        assert!(d.vlx(&snaps));
+        let cost = d.stats().unwrap().diff(&before);
+        rows.push(vec![
+            k.to_string(),
+            cost.reads.to_string(),
+            (cost.total_cas()).to_string(),
+        ]);
+        for r in recs {
+            unsafe { d.retire(r, &g) };
+        }
+    }
+    print_table(
+        "E3: VLX cost",
+        &["k".into(), "shared reads".into(), "CAS steps".into()],
+        &rows,
+    );
+    println!("paper claim: a VLX on k Data-records only requires reading k words (§1)");
+}
+
+fn multiset_worker(
+    set: Arc<Multiset<u64>>,
+    seed: u64,
+    dist: KeyDist,
+    mix: Mix,
+) -> impl Fn(usize) -> u64 + Send + Sync {
+    move |t| {
+        // Each call performs a small batch to amortize generator setup.
+        thread_local! {
+            static GEN: std::cell::RefCell<Option<WorkloadGen>> = const { std::cell::RefCell::new(None) };
+        }
+        GEN.with(|g| {
+            let mut g = g.borrow_mut();
+            let gen =
+                g.get_or_insert_with(|| WorkloadGen::new(seed, t, dist.clone(), mix));
+            let mut n = 0;
+            for _ in 0..32 {
+                let (kind, key) = gen.next_op();
+                match kind {
+                    OpKind::Get => {
+                        let _ = set.get(key);
+                    }
+                    OpKind::Insert => set.insert(key, 1),
+                    OpKind::Remove => {
+                        let _ = set.remove(key, 1);
+                    }
+                }
+                n += 1;
+            }
+            n
+        })
+    }
+}
+
+/// E4 — multiset throughput: LLX/SCX vs kCAS-based vs locks
+/// (the paper's implicit comparison; list topologies identical).
+pub fn e4_multiset_scaling() {
+    let range = 64u64;
+    let mut rows = Vec::new();
+    for &updates in &[0u32, 20, 50, 100] {
+        let mix = Mix::with_update_percent(updates);
+        for &threads in THREADS {
+            let dist = KeyDist::uniform(range);
+
+            // LLX/SCX multiset.
+            let set = Arc::new(Multiset::<u64>::new());
+            for k in workloads::prefill_keys(range) {
+                set.insert(k, 1);
+            }
+            let scx_tp = run_throughput(
+                threads,
+                CELL,
+                multiset_worker(Arc::clone(&set), 42, dist.clone(), mix),
+            );
+
+            // kCAS multiset.
+            let kset = Arc::new(KcasMultiset::new());
+            for k in workloads::prefill_keys(range) {
+                kset.insert(k, 1);
+            }
+            let kset2 = Arc::clone(&kset);
+            let dist2 = dist.clone();
+            let kcas_tp = run_throughput(threads, CELL, move |t| {
+                let mut gen = WorkloadGen::new(42 + t as u64, t, dist2.clone(), mix);
+                let mut n = 0;
+                for _ in 0..32 {
+                    let (kind, key) = gen.next_op();
+                    match kind {
+                        OpKind::Get => {
+                            let _ = kset2.get(key);
+                        }
+                        OpKind::Insert => kset2.insert(key, 1),
+                        OpKind::Remove => {
+                            let _ = kset2.remove(key, 1);
+                        }
+                    }
+                    n += 1;
+                }
+                n
+            });
+
+            // Coarse lock.
+            let cset = Arc::new(CoarseMultiset::<u64>::new());
+            for k in workloads::prefill_keys(range) {
+                cset.insert(k, 1);
+            }
+            let cset2 = Arc::clone(&cset);
+            let dist3 = dist.clone();
+            let coarse_tp = run_throughput(threads, CELL, move |t| {
+                let mut gen = WorkloadGen::new(42 + t as u64, t, dist3.clone(), mix);
+                let mut n = 0;
+                for _ in 0..32 {
+                    let (kind, key) = gen.next_op();
+                    match kind {
+                        OpKind::Get => {
+                            let _ = cset2.get(key);
+                        }
+                        OpKind::Insert => cset2.insert(key, 1),
+                        OpKind::Remove => {
+                            let _ = cset2.remove(key, 1);
+                        }
+                    }
+                    n += 1;
+                }
+                n
+            });
+
+            // Hand-over-hand lock.
+            let hset = Arc::new(HandOverHandMultiset::<u64>::new());
+            for k in workloads::prefill_keys(range) {
+                hset.insert(k, 1);
+            }
+            let hset2 = Arc::clone(&hset);
+            let dist4 = dist.clone();
+            let hoh_tp = run_throughput(threads, CELL, move |t| {
+                let mut gen = WorkloadGen::new(42 + t as u64, t, dist4.clone(), mix);
+                let mut n = 0;
+                for _ in 0..32 {
+                    let (kind, key) = gen.next_op();
+                    match kind {
+                        OpKind::Get => {
+                            let _ = hset2.get(key);
+                        }
+                        OpKind::Insert => hset2.insert(key, 1),
+                        OpKind::Remove => {
+                            let _ = hset2.remove(key, 1);
+                        }
+                    }
+                    n += 1;
+                }
+                n
+            });
+
+            rows.push(vec![
+                format!("{updates}%"),
+                threads.to_string(),
+                fmt_ops(scx_tp),
+                fmt_ops(kcas_tp),
+                fmt_ops(coarse_tp),
+                fmt_ops(hoh_tp),
+            ]);
+        }
+    }
+    print_table(
+        &format!("E4: multiset throughput (ops/s), key range {range}"),
+        &[
+            "updates".into(),
+            "threads".into(),
+            "LLX/SCX".into(),
+            "kCAS".into(),
+            "coarse lock".into(),
+            "hand-over-hand".into(),
+        ],
+        &rows,
+    );
+    println!("expected shape: LLX/SCX >= kCAS (fewer CAS steps/op); locks degrade with threads and update rate");
+}
+
+/// E5 — tree throughput: chromatic vs unbalanced BST vs coarse lock
+/// (the §6 / PPoPP'14 evaluation shape).
+pub fn e5_tree_scaling() {
+    let mut rows = Vec::new();
+    for &range in &[1_024u64, 65_536] {
+        for &updates in &[10u32, 50] {
+            let mix = Mix::with_update_percent(updates);
+            for &threads in THREADS {
+                let dist = KeyDist::uniform(range);
+
+                let chrom = Arc::new(ChromaticTree::<u64, u64>::new());
+                for k in workloads::prefill_keys(range) {
+                    chrom.insert(k, k);
+                }
+                let c2 = Arc::clone(&chrom);
+                let d2 = dist.clone();
+                let chrom_tp = run_throughput(threads, CELL, move |t| {
+                    let mut gen = WorkloadGen::new(7 + t as u64, t, d2.clone(), mix);
+                    let mut n = 0;
+                    for _ in 0..32 {
+                        let (kind, key) = gen.next_op();
+                        match kind {
+                            OpKind::Get => {
+                                let _ = c2.get(key);
+                            }
+                            OpKind::Insert => {
+                                let _ = c2.insert(key, key);
+                            }
+                            OpKind::Remove => {
+                                let _ = c2.remove(key);
+                            }
+                        }
+                        n += 1;
+                    }
+                    n
+                });
+
+                let bst = Arc::new(Bst::<u64, u64>::new());
+                // Prefill in shuffled order so the unbalanced BST is not
+                // degenerate (random-order inserts give ~log height).
+                let mut keys: Vec<u64> = workloads::prefill_keys(range).collect();
+                let mut rng = SmallRng::seed_from_u64(99);
+                use rand::seq::SliceRandom;
+                keys.shuffle(&mut rng);
+                for k in keys {
+                    bst.insert(k, k);
+                }
+                let b2 = Arc::clone(&bst);
+                let d3 = dist.clone();
+                let bst_tp = run_throughput(threads, CELL, move |t| {
+                    let mut gen = WorkloadGen::new(7 + t as u64, t, d3.clone(), mix);
+                    let mut n = 0;
+                    for _ in 0..32 {
+                        let (kind, key) = gen.next_op();
+                        match kind {
+                            OpKind::Get => {
+                                let _ = b2.get(key);
+                            }
+                            OpKind::Insert => {
+                                let _ = b2.insert(key, key);
+                            }
+                            OpKind::Remove => {
+                                let _ = b2.remove(key);
+                            }
+                        }
+                        n += 1;
+                    }
+                    n
+                });
+
+                // Patricia trie (u64 keys; structurally bounded depth).
+                let pat = Arc::new(PatriciaTrie::<u64>::new());
+                for k in workloads::prefill_keys(range) {
+                    pat.insert(k, k);
+                }
+                let p2 = Arc::clone(&pat);
+                let d5 = dist.clone();
+                let pat_tp = run_throughput(threads, CELL, move |t| {
+                    let mut gen = WorkloadGen::new(7 + t as u64, t, d5.clone(), mix);
+                    let mut n = 0;
+                    for _ in 0..32 {
+                        let (kind, key) = gen.next_op();
+                        match kind {
+                            OpKind::Get => {
+                                let _ = p2.get(key);
+                            }
+                            OpKind::Insert => {
+                                let _ = p2.insert(key, key);
+                            }
+                            OpKind::Remove => {
+                                let _ = p2.remove(key);
+                            }
+                        }
+                        n += 1;
+                    }
+                    n
+                });
+
+                // Coarse-locked BTreeMap.
+                let locked = Arc::new(parking_lot_stand_in::LockedMap::new());
+                for k in workloads::prefill_keys(range) {
+                    locked.insert(k, k);
+                }
+                let l2 = Arc::clone(&locked);
+                let d4 = dist.clone();
+                let lock_tp = run_throughput(threads, CELL, move |t| {
+                    let mut gen = WorkloadGen::new(7 + t as u64, t, d4.clone(), mix);
+                    let mut n = 0;
+                    for _ in 0..32 {
+                        let (kind, key) = gen.next_op();
+                        match kind {
+                            OpKind::Get => {
+                                let _ = l2.get(key);
+                            }
+                            OpKind::Insert => {
+                                let _ = l2.insert(key, key);
+                            }
+                            OpKind::Remove => {
+                                let _ = l2.remove(key);
+                            }
+                        }
+                        n += 1;
+                    }
+                    n
+                });
+
+                rows.push(vec![
+                    range.to_string(),
+                    format!("{updates}%"),
+                    threads.to_string(),
+                    fmt_ops(chrom_tp),
+                    fmt_ops(bst_tp),
+                    fmt_ops(pat_tp),
+                    fmt_ops(lock_tp),
+                ]);
+            }
+        }
+    }
+    print_table(
+        "E5: tree throughput (ops/s)",
+        &[
+            "key range".into(),
+            "updates".into(),
+            "threads".into(),
+            "chromatic".into(),
+            "BST".into(),
+            "patricia".into(),
+            "locked BTreeMap".into(),
+        ],
+        &rows,
+    );
+    println!("expected shape (PPoPP'14): non-blocking trees scale with threads; the lock-based map does not");
+}
+
+/// E7 — ablation: plain-read searches vs LLX-everywhere searches
+/// (paper §3 and Proposition 2).
+///
+/// The paper permits direct reads of mutable fields precisely so that
+/// searches need not pay for snapshots: "operations that search through
+/// a data structure can use simple reads of pointers instead of the
+/// more expensive LLX operations" (§4.3). This ablation measures that
+/// design choice on the multiset: `get` implemented with the standard
+/// read-based traversal vs a variant that LLXs every node it visits.
+pub fn e7_search_ablation() {
+    let mut rows = Vec::new();
+    for &range in &[16u64, 64, 256, 1024] {
+        let set = Arc::new(Multiset::<u64>::new());
+        for k in workloads::prefill_keys(range) {
+            set.insert(k, 1);
+        }
+
+        // Read-based lookups (the paper's design).
+        let s1 = Arc::clone(&set);
+        let read_tp = run_throughput(1, CELL, move |_| {
+            let mut n = 0;
+            for k in (0..range).step_by(3) {
+                let _ = s1.get(k);
+                n += 1;
+            }
+            n
+        });
+
+        // LLX-per-node lookups: emulate by LLXing every node along the
+        // way via fold over a fresh domain traversal — approximated by
+        // issuing `get` then an LLX-heavy scan of the same prefix.
+        let s2 = Arc::clone(&set);
+        let llx_tp = run_throughput(1, CELL, move |_| {
+            // Traverse with an LLX on every visited node.
+            let guard = llx_scx::pin();
+            let mut n = 0;
+            for k in (0..range).step_by(3) {
+                let mut found = 0u64;
+                s2.fold_llx(&guard, |key, snap_count| {
+                    if key == k {
+                        found = snap_count;
+                    }
+                    key < k // keep walking while below the target
+                });
+                let _ = found;
+                n += 1;
+            }
+            n
+        });
+
+        rows.push(vec![
+            range.to_string(),
+            fmt_ops(read_tp),
+            fmt_ops(llx_tp),
+            format!("{:.2}x", read_tp / llx_tp),
+        ]);
+    }
+    print_table(
+        "E7 (ablation): search via plain reads vs LLX per node",
+        &[
+            "key range".into(),
+            "read-based get/s".into(),
+            "LLX-based get/s".into(),
+            "speedup".into(),
+        ],
+        &rows,
+    );
+    println!("paper §4.3: Proposition 2 lets searches use plain reads; this is the cost it avoids");
+}
+
+/// E8 — observability: the cooperative machinery under contention.
+///
+/// Counts the internal steps of the multiset under a write-heavy
+/// contended workload: LLX failures, SCX aborts and `Help` invocations
+/// beyond the one per own-SCX. Helping in excess of own-SCXs is the
+/// paper's cooperative technique in action (§4: processes complete each
+/// other's operations instead of waiting).
+pub fn e8_helping_stats() {
+    let mut rows = Vec::new();
+    for &threads in THREADS {
+        let set = Arc::new(Multiset::<u64>::new_with_stats());
+        // Tiny key range = maximal conflicts.
+        for k in workloads::prefill_keys(8) {
+            set.insert(k, 1);
+        }
+        let s2 = Arc::clone(&set);
+        run_throughput(threads, CELL, move |t| {
+            let mut gen = WorkloadGen::new(
+                13 + t as u64,
+                t,
+                KeyDist::uniform(8),
+                Mix::with_update_percent(100),
+            );
+            let mut n = 0;
+            for _ in 0..32 {
+                let (kind, key) = gen.next_op();
+                match kind {
+                    OpKind::Get => {
+                        let _ = s2.get(key);
+                    }
+                    OpKind::Insert => s2.insert(key, 1),
+                    OpKind::Remove => {
+                        let _ = s2.remove(key, 1);
+                    }
+                }
+                n += 1;
+            }
+            n
+        });
+        let st = set.stats().expect("stats enabled");
+        let cooperative_helps = st.helps.saturating_sub(st.scx_attempts);
+        rows.push(vec![
+            threads.to_string(),
+            st.scx_attempts.to_string(),
+            st.scx_commits.to_string(),
+            st.scx_aborts.to_string(),
+            st.llx_fails.to_string(),
+            cooperative_helps.to_string(),
+        ]);
+    }
+    print_table(
+        "E8 (observability): cooperative helping under contention (100% updates, 8 keys)",
+        &[
+            "threads".into(),
+            "SCX attempts".into(),
+            "commits".into(),
+            "aborts".into(),
+            "LLX fails".into(),
+            "helps beyond own".into(),
+        ],
+        &rows,
+    );
+    println!("helps beyond own-SCX = other processes' operations completed cooperatively (paper §4)");
+}
+
+/// Minimal coarse-locked map baseline for E5 (std Mutex; no extra deps).
+mod parking_lot_stand_in {
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    #[derive(Debug, Default)]
+    pub struct LockedMap {
+        inner: Mutex<BTreeMap<u64, u64>>,
+    }
+
+    impl LockedMap {
+        pub fn new() -> Self {
+            Self::default()
+        }
+        pub fn get(&self, k: u64) -> Option<u64> {
+            self.inner.lock().unwrap().get(&k).copied()
+        }
+        pub fn insert(&self, k: u64, v: u64) -> bool {
+            self.inner.lock().unwrap().insert(k, v).is_none()
+        }
+        pub fn remove(&self, k: u64) -> Option<u64> {
+            self.inner.lock().unwrap().remove(&k)
+        }
+    }
+}
+
+/// E6 — progress: obstruction-free KCSS vs non-blocking SCX under heavy
+/// contention (paper §2: KCSS "is guaranteed to terminate if it runs
+/// alone"; LLX/SCX satisfies the stronger non-blocking condition).
+pub fn e6_progress() {
+    let mut rows = Vec::new();
+    for &threads in &[2usize, 4, 8, 16] {
+        // KCSS: all threads increment one location while comparing a
+        // second; retries on every conflict, no helping.
+        let a = Arc::new(kcss::KcssLoc::new(0));
+        let gate = Arc::new(kcss::KcssLoc::new(1));
+        let kcss_max_retries = Arc::new(AtomicU64::new(0));
+        let kcss_ops = {
+            let a = Arc::clone(&a);
+            let gate = Arc::clone(&gate);
+            let maxr = Arc::clone(&kcss_max_retries);
+            let stopf = Arc::new(AtomicBool::new(false));
+            let _ = stopf;
+            run_throughput(threads, CELL, move |_| {
+                let mut retries = 0u64;
+                loop {
+                    let cur = a.read();
+                    if kcss::kcss(&a, cur, cur.wrapping_add(1), &[(&gate, 1)]) {
+                        break;
+                    }
+                    retries += 1;
+                    if retries > 1_000_000 {
+                        break; // starved; count as failure
+                    }
+                }
+                maxr.fetch_max(retries, Ordering::Relaxed);
+                1
+            })
+        };
+
+        // SCX on one shared record.
+        let domain: Arc<Domain<1, ()>> = Arc::new(Domain::new());
+        let rec = domain.alloc((), [0]) as usize;
+        let scx_max_retries = Arc::new(AtomicU64::new(0));
+        let scx_ops = {
+            let domain = Arc::clone(&domain);
+            let maxr = Arc::clone(&scx_max_retries);
+            run_throughput(threads, CELL, move |_| {
+                let r = unsafe { &*(rec as *const llx_scx::DataRecord<1, ()>) };
+                let mut retries = 0u64;
+                loop {
+                    let g = llx_scx::pin();
+                    let Some(s) = domain.llx(r, &g).snapshot() else {
+                        retries += 1;
+                        continue;
+                    };
+                    if domain.scx(
+                        ScxRequest::new(&[s], FieldId::new(0, 0), s.value(0) + 1),
+                        &g,
+                    ) {
+                        break;
+                    }
+                    retries += 1;
+                }
+                maxr.fetch_max(retries, Ordering::Relaxed);
+                1
+            })
+        };
+
+        rows.push(vec![
+            threads.to_string(),
+            fmt_ops(kcss_ops),
+            kcss_max_retries.load(Ordering::Relaxed).to_string(),
+            fmt_ops(scx_ops),
+            scx_max_retries.load(Ordering::Relaxed).to_string(),
+        ]);
+    }
+    print_table(
+        "E6: progress under contention (single hot location)",
+        &[
+            "threads".into(),
+            "KCSS ops/s".into(),
+            "KCSS max retries".into(),
+            "SCX ops/s".into(),
+            "SCX max retries".into(),
+        ],
+        &rows,
+    );
+    println!("expected shape: both complete on a preemptive scheduler, but KCSS worst-case retries grow much faster (obstruction freedom vs non-blocking helping)");
+}

@@ -1,0 +1,43 @@
+//! Experiment harness regenerating the paper's measurable claims.
+//!
+//! Usage: `cargo run -p bench-harness --release -- [e1|e2|e3|e4|e5|e6|e7|e8|all]`
+//!
+//! See DESIGN.md §6 for the experiment index and EXPERIMENTS.md for
+//! recorded results.
+
+mod experiments;
+mod runner;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("# LLX/SCX reproduction experiments");
+    println!("host parallelism: {available} (thread counts above this measure contention/oversubscription, not parallel speedup)");
+    match which {
+        "e1" => experiments::e1_step_complexity(),
+        "e2" => experiments::e2_disjoint_success(),
+        "e3" => experiments::e3_vlx_cost(),
+        "e4" => experiments::e4_multiset_scaling(),
+        "e5" => experiments::e5_tree_scaling(),
+        "e6" => experiments::e6_progress(),
+        "e7" => experiments::e7_search_ablation(),
+        "e8" => experiments::e8_helping_stats(),
+        "all" => {
+            experiments::e1_step_complexity();
+            experiments::e2_disjoint_success();
+            experiments::e3_vlx_cost();
+            experiments::e4_multiset_scaling();
+            experiments::e5_tree_scaling();
+            experiments::e6_progress();
+            experiments::e7_search_ablation();
+            experiments::e8_helping_stats();
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}; use e1..e8 or all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Fixed-duration throughput runner.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Run `threads` copies of `worker` for `duration`, returning total
+/// operations per second. Each worker is called repeatedly with its
+/// thread index and must perform one operation per call, returning the
+/// number of completed operations (usually 1).
+pub fn run_throughput<F>(threads: usize, duration: Duration, worker: F) -> f64
+where
+    F: Fn(usize) -> u64 + Send + Sync + 'static,
+{
+    let worker = Arc::new(worker);
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let worker = Arc::clone(&worker);
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                ops += worker(t);
+            }
+            ops
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let elapsed = start.elapsed().as_secs_f64();
+    total as f64 / elapsed
+}
+
+/// Render a table: header row plus data rows, space-aligned.
+pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(header));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Format ops/sec human-readably.
+pub fn fmt_ops(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}

@@ -1,0 +1,68 @@
+//! Baseline primitive latency: SCX vs kCAS vs KCSS at matched k — the
+//! micro-benchmark behind the paper's §2 step-count comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llx_scx::{Domain, FieldId, ScxRequest};
+use mwcas::{kcas, KcasCell};
+
+fn bench_matched_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("k_record_update");
+    for k in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("scx", k), &k, |b, &k| {
+            let domain: Domain<1, u64> = Domain::new();
+            let guard = llx_scx::pin();
+            let recs: Vec<_> = (0..k).map(|i| domain.alloc(i as u64, [0])).collect();
+            let mut next = 0u64;
+            b.iter(|| {
+                let snaps: Vec<_> = recs
+                    .iter()
+                    .map(|&r| domain.llx(unsafe { &*r }, &guard).snapshot().unwrap())
+                    .collect();
+                next += 1;
+                assert!(domain.scx(
+                    ScxRequest::new(&snaps, FieldId::new(k - 1, 0), next),
+                    &guard
+                ));
+            });
+            for r in recs {
+                unsafe { domain.retire(r, &guard) };
+            }
+        });
+        group.bench_with_input(BenchmarkId::new("kcas", k), &k, |b, &k| {
+            let cells: Vec<KcasCell> = (0..k).map(|_| KcasCell::new(0)).collect();
+            let guard = crossbeam_epoch::pin();
+            let mut next = 0u64;
+            b.iter(|| {
+                let entries: Vec<_> = cells.iter().map(|c| (c, next, next + 1)).collect();
+                next += 1;
+                assert!(kcas(&entries, &guard));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("kcss", k), &k, |b, &k| {
+            // KCSS: compare k locations, swap one. Only the target is
+            // written, so this under-approximates the others' cost.
+            let locs: Vec<kcss::KcssLoc> = (0..k).map(|_| kcss::KcssLoc::new(1)).collect();
+            let mut next = 1u32;
+            b.iter(|| {
+                let others: Vec<_> = locs[1..].iter().map(|l| (l, 1u32)).collect();
+                next += 1;
+                assert!(kcss::kcss(&locs[0], next - 1, next, &others));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_matched_k
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Single-threaded operation latency of the multiset at several sizes
+//! (the list is O(n), so size dominates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multiset::Multiset;
+use std::hint::black_box;
+
+fn bench_multiset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiset");
+    for size in [16u64, 128, 1024] {
+        group.bench_with_input(BenchmarkId::new("get", size), &size, |b, &n| {
+            let set = Multiset::new();
+            for k in 0..n {
+                set.insert(k, 1);
+            }
+            let mut k = 0;
+            b.iter(|| {
+                k = (k + 7) % n;
+                black_box(set.get(black_box(k)))
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("insert_remove", size),
+            &size,
+            |b, &n| {
+                let set = Multiset::new();
+                for k in 0..n {
+                    set.insert(k, 1);
+                }
+                let mut k = 0;
+                b.iter(|| {
+                    k = (k + 7) % n;
+                    set.insert(k, 1);
+                    assert!(set.remove(k, 1));
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("count_bump", size), &size, |b, &n| {
+            // Fig. 5(b): in-place count increase, a 1-record SCX.
+            let set = Multiset::new();
+            for k in 0..n {
+                set.insert(k, 1);
+            }
+            let mut k = 0;
+            b.iter(|| {
+                k = (k + 7) % n;
+                set.insert(k, 1)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_multiset
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Micro-benchmarks of the primitives themselves: LLX latency, SCX
+//! latency as a function of `k` (records in `V`) and `f` (finalized),
+//! VLX latency, and plain field reads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llx_scx::{Domain, FieldId, ScxRequest};
+use std::hint::black_box;
+
+fn bench_llx(c: &mut Criterion) {
+    let domain: Domain<2, u64> = Domain::new();
+    let guard = llx_scx::pin();
+    let rec = domain.alloc(7, [1, 2]);
+    let r = unsafe { &*rec };
+    c.bench_function("llx/snapshot", |b| {
+        b.iter(|| black_box(domain.llx(black_box(r), &guard).snapshot().unwrap()))
+    });
+    c.bench_function("read/field", |b| b.iter(|| black_box(r.read(0))));
+    unsafe { domain.retire(rec, &guard) };
+}
+
+fn bench_scx_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scx/k");
+    for k in [1usize, 2, 3, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let domain: Domain<1, u64> = Domain::new();
+            let guard = llx_scx::pin();
+            let recs: Vec<_> = (0..k).map(|i| domain.alloc(i as u64, [0])).collect();
+            let mut next = 1u64;
+            b.iter(|| {
+                let snaps: Vec<_> = recs
+                    .iter()
+                    .map(|&r| domain.llx(unsafe { &*r }, &guard).snapshot().unwrap())
+                    .collect();
+                // Strictly increasing values keep the no-ABA contract.
+                next += 1;
+                assert!(domain.scx(
+                    ScxRequest::new(&snaps, FieldId::new(k - 1, 0), next),
+                    &guard
+                ));
+            });
+            for r in recs {
+                unsafe { domain.retire(r, &guard) };
+            }
+        });
+    }
+    group.finish();
+}
+
+fn bench_vlx(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vlx/k");
+    for k in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let domain: Domain<1, u64> = Domain::new();
+            let guard = llx_scx::pin();
+            let recs: Vec<_> = (0..k).map(|i| domain.alloc(i as u64, [0])).collect();
+            let snaps: Vec<_> = recs
+                .iter()
+                .map(|&r| domain.llx(unsafe { &*r }, &guard).snapshot().unwrap())
+                .collect();
+            b.iter(|| assert!(domain.vlx(black_box(&snaps))));
+            for r in recs {
+                unsafe { domain.retire(r, &guard) };
+            }
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_llx, bench_scx_k, bench_vlx
+}
+criterion_main!(benches);

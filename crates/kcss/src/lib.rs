@@ -1,0 +1,222 @@
+//! k-compare-single-swap (KCSS) — the obstruction-free baseline.
+//!
+//! The paper's §2 contrasts LLX/SCX with the KCSS primitive of
+//! Luchangco, Moir and Shavit ("Nonblocking k-compare-single-swap",
+//! Theory of Computing Systems 2009): KCSS atomically tests `k` memory
+//! locations against expected values and, if all match, writes a new
+//! value into *one* of them. Two key differences the benchmarks expose:
+//!
+//! * KCSS is only **obstruction-free** — a process is guaranteed to
+//!   finish only if it runs alone; under contention KCSS operations can
+//!   starve each other forever (experiment E6), whereas SCX is
+//!   non-blocking.
+//! * KCSS cannot **finalize** locations, so pointer-based structures
+//!   with removal need additional machinery the paper's primitives get
+//!   for free.
+//!
+//! Following the original, this implementation builds LL/SC from CAS
+//! using unbounded version numbers and performs the `k−1` extra
+//! comparisons with two value collects. Versions and values are packed
+//! into one word: 32 bits of version, 32 bits of value, so values are
+//! limited to `u32`.
+//!
+//! # Example
+//!
+//! ```
+//! use kcss::KcssLoc;
+//!
+//! let a = KcssLoc::new(1);
+//! let b = KcssLoc::new(2);
+//! // Write 10 into `a` provided a == 1 and b == 2.
+//! assert!(kcss::kcss(&a, 1, 10, &[(&b, 2)]));
+//! assert_eq!(a.read(), 10);
+//! // Fails if any comparison fails.
+//! assert!(!kcss::kcss(&a, 1, 11, &[(&b, 2)]));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A shared location supporting [`kcss`] and LL/SC, holding a `u32`
+/// value.
+///
+/// Internally packs `(version << 32) | value`; the version increments on
+/// every store, implementing the unbounded-version LL/SC construction of
+/// the KCSS paper.
+#[derive(Debug)]
+pub struct KcssLoc {
+    word: AtomicU64,
+}
+
+/// A load-linked handle: the exact versioned word observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlHandle {
+    word: u64,
+}
+
+impl LlHandle {
+    /// The value observed by the LL.
+    pub fn value(&self) -> u32 {
+        self.word as u32
+    }
+}
+
+impl Default for KcssLoc {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl KcssLoc {
+    /// A location holding `initial`.
+    pub fn new(initial: u32) -> Self {
+        KcssLoc {
+            word: AtomicU64::new(initial as u64),
+        }
+    }
+
+    /// Read the current value.
+    pub fn read(&self) -> u32 {
+        self.word.load(Ordering::SeqCst) as u32
+    }
+
+    /// Load-linked: returns a handle for a later [`KcssLoc::sc`].
+    pub fn ll(&self) -> LlHandle {
+        LlHandle {
+            word: self.word.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Store-conditional: writes `new` iff the location is unchanged
+    /// (same version) since `handle`'s LL. Returns success.
+    pub fn sc(&self, handle: LlHandle, new: u32) -> bool {
+        let next = ((handle.word >> 32).wrapping_add(1) << 32) | new as u64;
+        self.word
+            .compare_exchange(handle.word, next, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// The raw versioned word; used by the double collect.
+    fn snapshot_word(&self) -> u64 {
+        self.word.load(Ordering::SeqCst)
+    }
+}
+
+/// k-compare-single-swap: store `new` into `target` iff `target` holds
+/// `expected` and every `(loc, want)` in `others` holds its expected
+/// value, atomically. Returns success.
+///
+/// Obstruction-free: concurrent modifications (even harmless ones that
+/// restore the same values) make it fail, and it never helps or blocks
+/// anyone. Retry loops around this primitive can livelock under
+/// contention — that asymmetry with SCX is measured by experiment E6.
+pub fn kcss(target: &KcssLoc, expected: u32, new: u32, others: &[(&KcssLoc, u32)]) -> bool {
+    // 1. LL the target and check its value.
+    let ll = target.ll();
+    if ll.value() != expected {
+        return false;
+    }
+    // 2. First collect of the other locations (versioned words).
+    let first: Vec<u64> = others.iter().map(|(l, _)| l.snapshot_word()).collect();
+    for ((_, want), word) in others.iter().zip(&first) {
+        if *word as u32 != *want {
+            return false;
+        }
+    }
+    // 3. Second collect must observe identical versioned words, proving
+    //    the values all held simultaneously (no ABA thanks to versions).
+    for ((l, _), word) in others.iter().zip(&first) {
+        if l.snapshot_word() != *word {
+            return false;
+        }
+    }
+    // 4. SC on the target: succeeds only if the target is unchanged
+    //    since the LL, which linearizes the whole KCSS.
+    target.sc(ll, new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn ll_sc_roundtrip() {
+        let l = KcssLoc::new(7);
+        let h = l.ll();
+        assert_eq!(h.value(), 7);
+        assert!(l.sc(h, 8));
+        assert_eq!(l.read(), 8);
+        // Stale handle fails.
+        assert!(!l.sc(h, 9));
+        assert_eq!(l.read(), 8);
+    }
+
+    #[test]
+    fn sc_fails_after_aba() {
+        // The version number defeats value ABA: 7 -> 8 -> 7 still
+        // invalidates the original LL.
+        let l = KcssLoc::new(7);
+        let h = l.ll();
+        let h2 = l.ll();
+        assert!(l.sc(h2, 8));
+        let h3 = l.ll();
+        assert!(l.sc(h3, 7));
+        assert_eq!(l.read(), 7);
+        assert!(!l.sc(h, 10), "ABA must not fool SC");
+    }
+
+    #[test]
+    fn kcss_success_and_failure() {
+        let a = KcssLoc::new(1);
+        let b = KcssLoc::new(2);
+        let c = KcssLoc::new(3);
+        assert!(kcss(&a, 1, 10, &[(&b, 2), (&c, 3)]));
+        assert_eq!((a.read(), b.read(), c.read()), (10, 2, 3));
+        // Wrong comparand anywhere fails without writing.
+        assert!(!kcss(&a, 10, 20, &[(&b, 2), (&c, 99)]));
+        assert_eq!(a.read(), 10);
+        assert!(!kcss(&a, 11, 20, &[(&b, 2)]));
+        assert_eq!(a.read(), 10);
+    }
+
+    #[test]
+    fn kcss_with_empty_others_is_cas_like() {
+        let a = KcssLoc::new(0);
+        assert!(kcss(&a, 0, 1, &[]));
+        assert!(!kcss(&a, 0, 2, &[]));
+        assert_eq!(a.read(), 1);
+    }
+
+    #[test]
+    fn concurrent_kcss_increments_are_exact() {
+        // Single-location increments through KCSS: every success is an
+        // exact +1 (linearizable), so the total matches.
+        let a = Arc::new(KcssLoc::new(0));
+        let gate = Arc::new(KcssLoc::new(1)); // compared but not changed
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let a = Arc::clone(&a);
+            let gate = Arc::clone(&gate);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut wins = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    let cur = a.read();
+                    if kcss(&a, cur, cur + 1, &[(&gate, 1)]) {
+                        wins += 1;
+                    }
+                }
+                wins
+            }));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        stop.store(true, Ordering::Relaxed);
+        let total: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(a.read(), total);
+    }
+}

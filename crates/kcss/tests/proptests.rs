@@ -1,0 +1,64 @@
+//! Property tests for KCSS / LL-SC: sequential semantics against a
+//! register-array model.
+
+use kcss::KcssLoc;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A sequential KCSS succeeds iff all comparisons match, writing
+    /// only the target on success.
+    #[test]
+    fn kcss_matches_model(
+        ops in proptest::collection::vec(
+            (0..4usize, proptest::collection::vec((0..4usize, any::<bool>()), 0..3), any::<bool>()),
+            1..80,
+        )
+    ) {
+        let locs: Vec<KcssLoc> = (0..4).map(|_| KcssLoc::new(0)).collect();
+        let mut model = [0u32; 4];
+        let mut stamp = 1u32;
+        for (target, others, target_matches) in ops {
+            stamp += 1;
+            let expected = if target_matches {
+                model[target]
+            } else {
+                stamp + 100_000 // never a real value
+            };
+            let mut should = target_matches;
+            let mut cmp = Vec::new();
+            for (idx, m) in others {
+                if idx == target || cmp.iter().any(|&(i, _)| i == idx) {
+                    continue;
+                }
+                let want = if m { model[idx] } else { stamp + 200_000 };
+                should &= m;
+                cmp.push((idx, want));
+            }
+            let cmp_refs: Vec<(&KcssLoc, u32)> =
+                cmp.iter().map(|&(i, w)| (&locs[i], w)).collect();
+            let got = kcss::kcss(&locs[target], expected, stamp, &cmp_refs);
+            prop_assert_eq!(got, should);
+            if got {
+                model[target] = stamp;
+            }
+            for (i, l) in locs.iter().enumerate() {
+                prop_assert_eq!(l.read(), model[i], "loc {}", i);
+            }
+        }
+    }
+
+    /// LL/SC: an SC succeeds exactly once per LL generation, and version
+    /// numbers defeat value ABA.
+    #[test]
+    fn ll_sc_single_success(writes in proptest::collection::vec(any::<u32>(), 1..50)) {
+        let l = KcssLoc::new(0);
+        for (i, w) in writes.iter().enumerate() {
+            let h = l.ll();
+            prop_assert!(l.sc(h, *w), "first SC after LL succeeds");
+            prop_assert!(!l.sc(h, w.wrapping_add(1)), "stale handle fails");
+            prop_assert_eq!(l.read(), *w, "write {} visible", i);
+        }
+    }
+}

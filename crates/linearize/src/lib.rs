@@ -1,0 +1,337 @@
+//! A linearizability checker for concurrent histories.
+//!
+//! The LLX/SCX data structures in this repository claim linearizability
+//! (paper Theorem 6 for the multiset; the §6 trees by the same
+//! technique). This crate provides the testing substrate to check that
+//! claim on real executions: record a [`History`] of timestamped
+//! operations, then [`check`](History::check) it against a sequential
+//! [`Spec`] using the Wing & Gong / WGL search: find a total order of
+//! the operations, consistent with real-time order, that the sequential
+//! specification accepts.
+//!
+//! The search is exponential in the worst case; it is intended for the
+//! small, highly-contended histories used in tests (up to 64 events).
+//!
+//! # Example
+//!
+//! ```
+//! use linearize::{History, Event, Spec};
+//!
+//! /// A register holding a u32, with write/read ops.
+//! struct Register;
+//! #[derive(Clone, Debug, PartialEq)]
+//! enum Op { Write(u32), Read }
+//! impl Spec for Register {
+//!     type Op = Op;
+//!     type Ret = u32;
+//!     type State = u32;
+//!     fn initial(&self) -> u32 { 0 }
+//!     fn apply(&self, s: &u32, op: &Op) -> (u32, u32) {
+//!         match op {
+//!             Op::Write(v) => (*v, 0),
+//!             Op::Read => (*s, *s),
+//!         }
+//!     }
+//! }
+//!
+//! // Two overlapping ops: a write of 7 and a read returning 7 — the
+//! // read can be linearized after the write.
+//! let mut h = History::new();
+//! h.push(Event { thread: 0, invoked: 0, returned: 10, op: Op::Write(7), ret: 0 });
+//! h.push(Event { thread: 1, invoked: 5, returned: 15, op: Op::Read, ret: 7 });
+//! assert!(h.check(&Register));
+//!
+//! // A read returning 7 that *finished before* the write began is not
+//! // linearizable.
+//! let mut h = History::new();
+//! h.push(Event { thread: 1, invoked: 0, returned: 1, op: Op::Read, ret: 7 });
+//! h.push(Event { thread: 0, invoked: 2, returned: 3, op: Op::Write(7), ret: 0 });
+//! assert!(!h.check(&Register));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::HashSet;
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A sequential specification: deterministic state machine with return
+/// values.
+pub trait Spec {
+    /// Operation descriptions (e.g. `Insert(k, c)`).
+    type Op: Clone + Debug;
+    /// Return values.
+    type Ret: PartialEq + Clone + Debug;
+    /// Abstract state; hashed for search memoization.
+    type State: Clone + Hash + Eq;
+    /// The initial abstract state.
+    fn initial(&self) -> Self::State;
+    /// Apply `op` to `state`, yielding the new state and the return
+    /// value the sequential object would produce.
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> (Self::State, Self::Ret);
+}
+
+/// One completed operation in a history.
+#[derive(Debug, Clone)]
+pub struct Event<O, R> {
+    /// The executing thread (informational).
+    pub thread: usize,
+    /// Timestamp at invocation (from [`Clock`] or any monotone source).
+    pub invoked: u64,
+    /// Timestamp at response; must be `> invoked`.
+    pub returned: u64,
+    /// The operation performed.
+    pub op: O,
+    /// The value it returned.
+    pub ret: R,
+}
+
+/// A monotone logical clock for timestamping events across threads.
+///
+/// `tick()` is an atomic increment, so two events A, B with
+/// `A.returned < B.invoked` are guaranteed to have happened in that real
+/// time order.
+#[derive(Debug, Default)]
+pub struct Clock {
+    counter: AtomicU64,
+}
+
+impl Clock {
+    /// A clock starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The next timestamp.
+    pub fn tick(&self) -> u64 {
+        self.counter.fetch_add(1, Ordering::SeqCst)
+    }
+}
+
+/// A recorded concurrent history of up to 64 events.
+#[derive(Debug, Clone, Default)]
+pub struct History<O, R> {
+    events: Vec<Event<O, R>>,
+}
+
+impl<O: Clone + Debug, R: PartialEq + Clone + Debug> History<O, R> {
+    /// An empty history.
+    pub fn new() -> Self {
+        History { events: Vec::new() }
+    }
+
+    /// Append a completed event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the history already holds 64 events, or if
+    /// `returned <= invoked`.
+    pub fn push(&mut self, e: Event<O, R>) {
+        assert!(self.events.len() < 64, "histories are limited to 64 events");
+        assert!(e.returned > e.invoked, "response must follow invocation");
+        self.events.push(e);
+    }
+
+    /// Merge per-thread event logs into one history.
+    pub fn from_threads(logs: Vec<Vec<Event<O, R>>>) -> Self {
+        let mut h = History::new();
+        for log in logs {
+            for e in log {
+                h.push(e);
+            }
+        }
+        h
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Is this history linearizable with respect to `spec`?
+    ///
+    /// WGL search: repeatedly choose a *minimal* pending operation (one
+    /// whose invocation precedes the earliest response among pending
+    /// operations), apply it to the abstract state, and check the
+    /// recorded return value; backtrack on mismatch. Memoizes visited
+    /// `(pending-set, state)` pairs.
+    pub fn check<S>(&self, spec: &S) -> bool
+    where
+        S: Spec<Op = O, Ret = R>,
+        S::State: Clone + Hash + Eq,
+    {
+        let n = self.events.len();
+        if n == 0 {
+            return true;
+        }
+        let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let mut memo: HashSet<(u64, S::State)> = HashSet::new();
+        self.dfs(spec, full, spec.initial(), &mut memo)
+    }
+
+    fn dfs<S>(&self, spec: &S, pending: u64, state: S::State, memo: &mut HashSet<(u64, S::State)>) -> bool
+    where
+        S: Spec<Op = O, Ret = R>,
+        S::State: Clone + Hash + Eq,
+    {
+        if pending == 0 {
+            return true;
+        }
+        if !memo.insert((pending, state.clone())) {
+            return false;
+        }
+        // Earliest response among pending events bounds which events may
+        // linearize first.
+        let min_return = self
+            .events
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| pending & (1 << i) != 0)
+            .map(|(_, e)| e.returned)
+            .min()
+            .expect("pending non-empty");
+        for (i, e) in self.events.iter().enumerate() {
+            if pending & (1 << i) == 0 || e.invoked > min_return {
+                continue;
+            }
+            let (next, ret) = spec.apply(&state, &e.op);
+            if ret == e.ret && self.dfs(spec, pending & !(1 << i), next, memo) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Sequential specification of the paper's multiset (§5): `Get`,
+/// `Insert`, `Delete` over key/count pairs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MultisetSpec;
+
+/// Operations of [`MultisetSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultisetOp {
+    /// Number of occurrences of the key.
+    Get(u8),
+    /// Add `count` occurrences.
+    Insert(u8, u64),
+    /// Remove `count` occurrences if present.
+    Delete(u8, u64),
+}
+
+/// Return values of [`MultisetSpec`]: counts for `Get`, 0/1 booleans for
+/// updates.
+pub type MultisetRet = u64;
+
+impl Spec for MultisetSpec {
+    type Op = MultisetOp;
+    type Ret = MultisetRet;
+    type State = std::collections::BTreeMap<u8, u64>;
+
+    fn initial(&self) -> Self::State {
+        Default::default()
+    }
+
+    fn apply(&self, s: &Self::State, op: &Self::Op) -> (Self::State, Self::Ret) {
+        match op {
+            MultisetOp::Get(k) => (s.clone(), s.get(k).copied().unwrap_or(0)),
+            MultisetOp::Insert(k, c) => {
+                let mut t = s.clone();
+                *t.entry(*k).or_insert(0) += c;
+                (t, 1)
+            }
+            MultisetOp::Delete(k, c) => {
+                let mut t = s.clone();
+                match t.get_mut(k) {
+                    Some(cur) if *cur > *c => {
+                        *cur -= c;
+                        (t, 1)
+                    }
+                    Some(cur) if *cur == *c => {
+                        t.remove(k);
+                        (t, 1)
+                    }
+                    _ => (s.clone(), 0),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let c = Clock::new();
+        let a = c.tick();
+        let b = c.tick();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        let h: History<MultisetOp, u64> = History::new();
+        assert!(h.check(&MultisetSpec));
+    }
+
+    #[test]
+    fn sequential_multiset_history_checks() {
+        let mut h = History::new();
+        h.push(Event { thread: 0, invoked: 0, returned: 1, op: MultisetOp::Insert(1, 2), ret: 1 });
+        h.push(Event { thread: 0, invoked: 2, returned: 3, op: MultisetOp::Get(1), ret: 2 });
+        h.push(Event { thread: 0, invoked: 4, returned: 5, op: MultisetOp::Delete(1, 2), ret: 1 });
+        h.push(Event { thread: 0, invoked: 6, returned: 7, op: MultisetOp::Get(1), ret: 0 });
+        assert!(h.check(&MultisetSpec));
+    }
+
+    #[test]
+    fn wrong_sequential_value_rejected() {
+        let mut h = History::new();
+        h.push(Event { thread: 0, invoked: 0, returned: 1, op: MultisetOp::Insert(1, 2), ret: 1 });
+        h.push(Event { thread: 0, invoked: 2, returned: 3, op: MultisetOp::Get(1), ret: 3 });
+        assert!(!h.check(&MultisetSpec));
+    }
+
+    #[test]
+    fn overlapping_ops_use_flexible_order() {
+        // Get overlaps Insert: may see 0 or 2.
+        for seen in [0u64, 2] {
+            let mut h = History::new();
+            h.push(Event { thread: 0, invoked: 0, returned: 10, op: MultisetOp::Insert(1, 2), ret: 1 });
+            h.push(Event { thread: 1, invoked: 5, returned: 6, op: MultisetOp::Get(1), ret: seen });
+            assert!(h.check(&MultisetSpec), "seen = {seen}");
+        }
+        // But 1 is impossible.
+        let mut h = History::new();
+        h.push(Event { thread: 0, invoked: 0, returned: 10, op: MultisetOp::Insert(1, 2), ret: 1 });
+        h.push(Event { thread: 1, invoked: 5, returned: 6, op: MultisetOp::Get(1), ret: 1 });
+        assert!(!h.check(&MultisetSpec));
+    }
+
+    #[test]
+    fn real_time_order_is_enforced() {
+        // Get(1) = 2 strictly before the only Insert: not linearizable.
+        let mut h = History::new();
+        h.push(Event { thread: 1, invoked: 0, returned: 1, op: MultisetOp::Get(1), ret: 2 });
+        h.push(Event { thread: 0, invoked: 2, returned: 3, op: MultisetOp::Insert(1, 2), ret: 1 });
+        assert!(!h.check(&MultisetSpec));
+    }
+
+    #[test]
+    fn failed_delete_requires_insufficient_count() {
+        let mut h = History::new();
+        h.push(Event { thread: 0, invoked: 0, returned: 1, op: MultisetOp::Insert(1, 1), ret: 1 });
+        h.push(Event { thread: 0, invoked: 2, returned: 3, op: MultisetOp::Delete(1, 2), ret: 0 });
+        h.push(Event { thread: 0, invoked: 4, returned: 5, op: MultisetOp::Delete(1, 1), ret: 1 });
+        assert!(h.check(&MultisetSpec));
+    }
+}

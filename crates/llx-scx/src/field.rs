@@ -1,0 +1,57 @@
+//! Packing helpers for mutable field values.
+//!
+//! Every mutable field of a Data-record is a single machine word
+//! (paper §3: "each fitting into a single word"). Fields may hold plain
+//! integers or pointers to other Data-records; these helpers perform the
+//! conversions.
+
+/// The null pointer / zero value for a mutable field.
+pub const NULL: u64 = 0;
+
+/// Pack a record pointer into a mutable-field word.
+///
+/// ```
+/// let x = 5u32;
+/// let w = llx_scx::pack_ptr(&x as *const u32);
+/// assert_ne!(w, llx_scx::NULL);
+/// ```
+#[inline]
+pub fn pack_ptr<T>(ptr: *const T) -> u64 {
+    ptr as usize as u64
+}
+
+/// Unpack a mutable-field word into a record pointer.
+///
+/// Returns a possibly-null raw pointer; callers must only dereference it
+/// under an epoch guard pinned since before the word was read.
+///
+/// # Safety
+///
+/// The word must have been produced by [`pack_ptr`] for a `T` (or be
+/// [`NULL`]), and the pointee must still be protected by the caller's
+/// epoch guard.
+#[inline]
+pub unsafe fn unpack_ptr<T>(word: u64) -> *const T {
+    word as usize as *const T
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_pointer() {
+        let v = 42u64;
+        let p = &v as *const u64;
+        let w = pack_ptr(p);
+        let q: *const u64 = unsafe { unpack_ptr(w) };
+        assert_eq!(p, q);
+        assert_eq!(unsafe { *q }, 42);
+    }
+
+    #[test]
+    fn null_roundtrip() {
+        let q: *const u8 = unsafe { unpack_ptr(NULL) };
+        assert!(q.is_null());
+    }
+}

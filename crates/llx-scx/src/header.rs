@@ -1,0 +1,193 @@
+//! The non-generic prefix of an SCX-record.
+//!
+//! A Data-record's `info` field (paper Fig. 1) must point at "an
+//! SCX-record", but `ScxRecord<M, I>` is generic. We therefore lay SCX
+//! records out `#[repr(C)]` with this non-generic [`ScxHeader`] first, and
+//! `info` fields store `*const ScxHeader`. The header carries everything
+//! LLX/VLX ever inspect (`state`, `allFrozen`, the dummy flag) plus the
+//! reclamation reference count; only `help` upcasts to the full record
+//! type, and `help` runs only on records created by the same
+//! [`Domain`](crate::Domain), so the cast is sound.
+//!
+//! The *dummy SCX-record* of the paper (always `Aborted`, never helped —
+//! Lemma 11) is a single `static` header shared by every domain.
+
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+
+/// The state of an SCX-record (paper Fig. 1 and Fig. 7).
+///
+/// Transitions are `InProgress -> Committed` (commit step) and
+/// `InProgress -> Aborted` (abort step) only; Corollary 23 of the paper
+/// proves no other transition occurs, and `ScxHeader::set_state`
+/// asserts it in debug builds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+#[repr(u8)]
+pub enum ScxState {
+    /// The SCX is running; records frozen for it are locked on its behalf.
+    InProgress = 0,
+    /// The SCX succeeded; records in its `R` sequence are finalized.
+    Committed = 1,
+    /// The SCX failed; records frozen for it are unfrozen.
+    Aborted = 2,
+}
+
+impl ScxState {
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => ScxState::InProgress,
+            1 => ScxState::Committed,
+            2 => ScxState::Aborted,
+            _ => unreachable!("invalid SCX state {v}"),
+        }
+    }
+}
+
+/// Non-generic prefix of every SCX-record; the pointee type of all `info`
+/// fields.
+#[repr(C)]
+#[derive(Debug)]
+pub(crate) struct ScxHeader {
+    /// `state` field of the paper's SCX-record.
+    state: AtomicU8,
+    /// `allFrozen` bit of the paper's SCX-record.
+    all_frozen: AtomicBool,
+    /// True only for [`DUMMY`]. The dummy is `static`, participates in no
+    /// helping (Lemma 11) and is exempt from reference counting.
+    dummy: bool,
+    /// Number of outstanding references: one for the creating SCX
+    /// invocation until it returns, plus one per Data-record whose `info`
+    /// field currently points here (see `reclaim`).
+    pub(crate) refs: AtomicUsize,
+    /// Set once by whichever thread claims responsibility for destroying
+    /// the record; makes the destroy decision idempotent.
+    pub(crate) claimed: AtomicBool,
+}
+
+/// The dummy SCX-record every fresh Data-record's `info` field points to.
+pub(crate) static DUMMY: ScxHeader = ScxHeader {
+    state: AtomicU8::new(ScxState::Aborted as u8),
+    all_frozen: AtomicBool::new(false),
+    dummy: true,
+    refs: AtomicUsize::new(0),
+    claimed: AtomicBool::new(true),
+};
+
+impl ScxHeader {
+    /// A header for a fresh SCX-record: `InProgress`, not all-frozen, one
+    /// reference held by the creating SCX invocation.
+    pub(crate) fn new_in_progress() -> Self {
+        ScxHeader {
+            state: AtomicU8::new(ScxState::InProgress as u8),
+            all_frozen: AtomicBool::new(false),
+            dummy: false,
+            refs: AtomicUsize::new(1),
+            claimed: AtomicBool::new(false),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn state(&self) -> ScxState {
+        ScxState::from_u8(self.state.load(Ordering::SeqCst))
+    }
+
+    /// Perform a commit step or abort step (paper Fig. 4 lines 34, 41).
+    ///
+    /// Debug builds assert the Fig. 7 transition diagram: the state may
+    /// move away from `InProgress` once, and repeated stores by helpers
+    /// must agree with the first (Lemma 21: never both a commit and an
+    /// abort step for the same SCX-record).
+    #[inline]
+    pub(crate) fn set_state(&self, new: ScxState) {
+        debug_assert_ne!(new, ScxState::InProgress, "no step writes InProgress");
+        #[cfg(debug_assertions)]
+        {
+            let old = self.state();
+            debug_assert!(
+                old == ScxState::InProgress || old == new,
+                "illegal SCX state transition {old:?} -> {new:?} (paper Fig. 7)"
+            );
+        }
+        self.state.store(new as u8, Ordering::SeqCst);
+    }
+
+    #[inline]
+    pub(crate) fn all_frozen(&self) -> bool {
+        self.all_frozen.load(Ordering::SeqCst)
+    }
+
+    /// The frozen step (paper Fig. 4 line 37).
+    #[inline]
+    pub(crate) fn set_all_frozen(&self) {
+        self.all_frozen.store(true, Ordering::SeqCst);
+    }
+
+    #[inline]
+    pub(crate) fn is_dummy(&self) -> bool {
+        self.dummy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dummy_is_aborted_and_never_frozen() {
+        assert_eq!(DUMMY.state(), ScxState::Aborted);
+        assert!(!DUMMY.all_frozen());
+        assert!(DUMMY.is_dummy());
+    }
+
+    #[test]
+    fn fresh_header_is_in_progress() {
+        let h = ScxHeader::new_in_progress();
+        assert_eq!(h.state(), ScxState::InProgress);
+        assert!(!h.all_frozen());
+        assert!(!h.is_dummy());
+        assert_eq!(h.refs.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn state_transitions_follow_fig7() {
+        let h = ScxHeader::new_in_progress();
+        h.set_state(ScxState::Committed);
+        assert_eq!(h.state(), ScxState::Committed);
+        // Repeated commit steps by helpers are allowed.
+        h.set_state(ScxState::Committed);
+        assert_eq!(h.state(), ScxState::Committed);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal SCX state transition")]
+    #[cfg(debug_assertions)]
+    fn commit_then_abort_is_illegal() {
+        let h = ScxHeader::new_in_progress();
+        h.set_state(ScxState::Committed);
+        h.set_state(ScxState::Aborted);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal SCX state transition")]
+    #[cfg(debug_assertions)]
+    fn abort_then_commit_is_illegal() {
+        let h = ScxHeader::new_in_progress();
+        h.set_state(ScxState::Aborted);
+        h.set_state(ScxState::Committed);
+    }
+
+    #[test]
+    fn frozen_step_is_sticky() {
+        let h = ScxHeader::new_in_progress();
+        h.set_all_frozen();
+        assert!(h.all_frozen());
+        h.set_all_frozen();
+        assert!(h.all_frozen());
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        for s in [ScxState::InProgress, ScxState::Committed, ScxState::Aborted] {
+            assert_eq!(ScxState::from_u8(s as u8), s);
+        }
+    }
+}

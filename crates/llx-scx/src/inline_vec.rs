@@ -1,0 +1,147 @@
+//! A fixed-capacity, inline vector for SCX-record payloads.
+//!
+//! Every SCX allocates an SCX-record; with `Vec` payloads that is three
+//! heap allocations per operation (`V`, `infoFields`, plus the record).
+//! Real deployments of LLX/SCX (Brown's C++/Java implementations) keep
+//! descriptor payloads inline. `InlineVec<T, N>` stores up to `N`
+//! elements in place — every data structure in this repository uses
+//! `|V| <= 5`, so `N = 8` removes the per-SCX `Vec` allocations
+//! entirely while the API keeps accepting any `|V| <= 64` (larger
+//! sequences spill to the heap).
+
+use std::fmt;
+use std::mem::MaybeUninit;
+
+/// A vector with inline capacity `N` that spills to the heap beyond it.
+pub(crate) struct InlineVec<T, const N: usize> {
+    len: usize,
+    inline: [MaybeUninit<T>; N],
+    spill: Vec<T>,
+}
+
+impl<T: Copy, const N: usize> InlineVec<T, N> {
+    /// An empty vector.
+    pub(crate) fn new() -> Self {
+        InlineVec {
+            len: 0,
+            // SAFETY: an array of MaybeUninit needs no initialization.
+            inline: unsafe { MaybeUninit::uninit().assume_init() },
+            spill: Vec::new(),
+        }
+    }
+
+    /// Construct from an iterator.
+    pub(crate) fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = Self::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+
+    /// Append an element.
+    pub(crate) fn push(&mut self, value: T) {
+        if self.len < N {
+            self.inline[self.len].write(value);
+        } else {
+            self.spill.push(value);
+        }
+        self.len += 1;
+    }
+
+    /// Number of elements.
+    #[allow(dead_code)] // kept for API completeness; used by tests
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> T {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        if i < N {
+            // SAFETY: indices < len and < N were written by `push`.
+            unsafe { self.inline[i].assume_init() }
+        } else {
+            self.spill[i - N]
+        }
+    }
+
+    /// Iterate over the elements.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+// T: Copy means no Drop obligations for the inline region.
+
+impl<T: Copy + fmt::Debug, const N: usize> fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        let v: InlineVec<u64, 4> = InlineVec::new();
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.iter().count(), 0);
+    }
+
+    #[test]
+    fn inline_only() {
+        let v: InlineVec<u64, 4> = InlineVec::from_iter([1, 2, 3]);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.get(0), 1);
+        assert_eq!(v.get(2), 3);
+        assert_eq!(v.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_beyond_capacity() {
+        let v: InlineVec<u64, 4> = InlineVec::from_iter(0..10);
+        assert_eq!(v.len(), 10);
+        for i in 0..10 {
+            assert_eq!(v.get(i), i as u64);
+        }
+        assert_eq!(v.iter().sum::<u64>(), 45);
+    }
+
+    #[test]
+    fn boundary_exactly_n() {
+        let v: InlineVec<u32, 4> = InlineVec::from_iter([7, 8, 9, 10]);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.get(3), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let v: InlineVec<u32, 4> = InlineVec::from_iter([1]);
+        let _ = v.get(1);
+    }
+
+    #[test]
+    fn debug_formatting() {
+        let v: InlineVec<u32, 2> = InlineVec::from_iter([1, 2, 3]);
+        assert_eq!(format!("{v:?}"), "[1, 2, 3]");
+    }
+
+    #[test]
+    fn pointer_payloads() {
+        let a = 1u64;
+        let b = 2u64;
+        let v: InlineVec<*const u64, 8> = InlineVec::from_iter([&a as *const _, &b as *const _]);
+        assert_eq!(unsafe { *v.get(0) }, 1);
+        assert_eq!(unsafe { *v.get(1) }, 2);
+    }
+}

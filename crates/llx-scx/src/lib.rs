@@ -1,0 +1,110 @@
+//! LLX, SCX and VLX: pragmatic primitives for non-blocking data structures.
+//!
+//! This crate is a from-scratch Rust implementation of the primitives
+//! introduced by Brown, Ellen and Ruppert in *"Pragmatic Primitives for
+//! Non-blocking Data Structures"* (PODC 2013). The primitives generalize
+//! load-link / store-conditional to multi-field *Data-records*:
+//!
+//! * [`Domain::llx`] takes an atomic snapshot of one record's mutable
+//!   fields (or reports that the record is [`finalized`](LlxResult::Finalized)).
+//! * [`Domain::scx`] atomically verifies that a set of records is
+//!   unchanged since the caller's *linked* LLXs, writes one word into one
+//!   mutable field, and *finalizes* a subset of the records so they can
+//!   never change again.
+//! * [`Domain::vlx`] validates that a set of records is unchanged, using
+//!   only `|V|` reads.
+//!
+//! The implementation follows the paper's Figure 4 pseudocode line by
+//! line (each algorithm step named by the proofs — freezing CAS, frozen
+//! step, mark step, update CAS, commit/abort step — is an identifiable
+//! site in [`ops`]). The paper assumes a safe garbage collector; here
+//! that substrate is provided by `crossbeam-epoch` plus a reference count
+//! on SCX-records (see the `reclaim` module's source for the protocol).
+//!
+//! # Example
+//!
+//! Build a two-node chain and atomically swing a pointer while
+//! finalizing the removed node:
+//!
+//! ```
+//! use llx_scx::{Domain, LlxResult, ScxRequest, FieldId};
+//!
+//! // Records with 1 mutable field (a pointer) and a `&str` immutable payload.
+//! let domain: Domain<1, &str> = Domain::new();
+//! let guard = llx_scx::pin();
+//!
+//! let b = domain.alloc("b", [llx_scx::NULL]);
+//! let a = domain.alloc("a", [llx_scx::pack_ptr(b)]);
+//! let a_ref = unsafe { &*a };
+//!
+//! // Snapshot `a`, then atomically clear its pointer.
+//! let snap = match domain.llx(a_ref, &guard) {
+//!     LlxResult::Snapshot(s) => s,
+//!     _ => unreachable!("no contention in this example"),
+//! };
+//! assert_eq!(snap.value(0), llx_scx::pack_ptr(b));
+//!
+//! let ok = domain.scx(
+//!     ScxRequest::new(&[snap], FieldId::new(0, 0), 777).finalize_none(),
+//!     &guard,
+//! );
+//! assert!(ok);
+//! assert_eq!(a_ref.read(0), 777);
+//!
+//! // Single-threaded teardown: reclaim both records immediately.
+//! unsafe {
+//!     domain.retire(a, &guard);
+//!     domain.retire(b, &guard);
+//! }
+//! ```
+//!
+//! # Usage contract (paper §4.1)
+//!
+//! The implementation is correct only when two constraints hold; both are
+//! the data structure designer's responsibility and are documented on
+//! [`Domain::scx`]:
+//!
+//! 1. **No ABA on mutable fields**: an SCX must not store a value that
+//!    the target field held before the linked LLX. Storing pointers to
+//!    freshly allocated records (as all data structures in this
+//!    repository do) satisfies this for free.
+//! 2. **Consistent freezing order**: once the structure stops changing,
+//!    the `V` sequences of subsequent SCXs must be consistent with a
+//!    total order on records (e.g. traversal order in a list or tree).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod field;
+mod handle;
+mod header;
+mod inline_vec;
+pub mod ops;
+mod reclaim;
+mod record;
+mod scx_record;
+pub mod stats;
+mod tx;
+
+pub use field::{pack_ptr, unpack_ptr, NULL};
+pub use handle::{FieldId, Llx, LlxResult, ScxRequest};
+pub use header::ScxState;
+pub use ops::Domain;
+pub use record::DataRecord;
+pub use scx_record::live_scx_records;
+pub use stats::StatsSnapshot;
+pub use tx::{Commit, Tx};
+
+/// Re-export of [`crossbeam_epoch::Guard`]; all traversals and operations
+/// happen under a pinned guard.
+pub type Guard = crossbeam_epoch::Guard;
+
+/// Pin the current thread's epoch. Convenience re-export of
+/// [`crossbeam_epoch::pin`].
+///
+/// Every call to [`Domain::llx`], [`Domain::scx`], [`Domain::vlx`] and
+/// every traversal of record pointers must happen while a guard returned
+/// from this function is alive.
+pub fn pin() -> Guard {
+    crossbeam_epoch::pin()
+}

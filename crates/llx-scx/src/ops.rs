@@ -1,0 +1,552 @@
+//! The LLX / SCX / VLX algorithm (paper Fig. 4), hosted by a [`Domain`].
+//!
+//! Code comments cite the pseudocode line numbers of Fig. 4 so the
+//! implementation can be audited against the paper side by side. The
+//! proof-named steps map to these sites:
+//!
+//! | paper step        | site                                   |
+//! |-------------------|----------------------------------------|
+//! | freezing CAS      | `help`, the `compare_exchange` on `r.info` (line 26) |
+//! | frozen check step | `help`, the `all_frozen()` load (line 29) |
+//! | abort step        | `help`, `set_state(Aborted)` (line 34)  |
+//! | frozen step       | `help`, `set_all_frozen()` (line 37)    |
+//! | mark step         | `help`, `marked.store(true)` (line 38)  |
+//! | update CAS        | `help`, `compare_exchange` on `fld` (line 39) |
+//! | commit step       | `help`, `set_state(Committed)` (line 41)|
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::Ordering;
+
+use crossbeam_epoch::Guard;
+
+use crate::handle::{Llx, LlxResult, ScxRequest};
+use crate::header::{ScxHeader, ScxState};
+use crate::reclaim;
+use crate::record::DataRecord;
+use crate::scx_record::ScxRecord;
+use crate::stats::{bump, Stats, StatsSnapshot};
+
+/// A domain hosting Data-records with `M` mutable fields and immutable
+/// payload `I`, and providing the LLX/SCX/VLX operations on them.
+///
+/// A domain is the unit of type-consistency: every `info` pointer inside
+/// its records refers to an SCX-record of the same `(M, I)` shape, which
+/// is what makes helping sound. One data structure instance owns one
+/// domain (see the `multiset` and `trees` crates for worked examples).
+///
+/// Domains are cheap; the only shared state is the optional stats block.
+pub struct Domain<const M: usize, I> {
+    pub(crate) stats: Option<Box<Stats>>,
+    _marker: PhantomData<fn(I)>,
+}
+
+impl<const M: usize, I> Default for Domain<M, I> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const M: usize, I> fmt::Debug for Domain<M, I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Domain")
+            .field("mutable_fields", &M)
+            .field("stats_enabled", &self.stats.is_some())
+            .finish()
+    }
+}
+
+impl<const M: usize, I> Domain<M, I> {
+    /// A new domain with step counting disabled.
+    pub fn new() -> Self {
+        Domain {
+            stats: None,
+            _marker: PhantomData,
+        }
+    }
+
+    /// A new domain that counts algorithm steps; see [`Domain::stats`].
+    pub fn with_stats() -> Self {
+        Domain {
+            stats: Some(Box::default()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// A snapshot of the step counters, or `None` if this domain was not
+    /// created with [`Domain::with_stats`].
+    pub fn stats(&self) -> Option<StatsSnapshot> {
+        self.stats.as_deref().map(Stats::snapshot)
+    }
+
+    /// Allocate a new Data-record with the given immutable payload and
+    /// initial mutable field values. The record's `info` field points at
+    /// the dummy SCX-record and its `marked` bit is false (paper Fig. 1).
+    ///
+    /// The returned pointer is owned by the caller's data structure;
+    /// reclaim it with [`Domain::retire`] after unlinking (or
+    /// [`Domain::dealloc`] if it was never published).
+    pub fn alloc(&self, immutable: I, init: [u64; M]) -> *const DataRecord<M, I> {
+        Box::into_raw(Box::new(DataRecord::new(immutable, init)))
+    }
+
+    /// Reclaim a record once the data structure has unlinked it, deferred
+    /// past the current epoch.
+    ///
+    /// # Safety
+    ///
+    /// `record` must have been produced by [`Domain::alloc`] on this
+    /// domain, must be unreachable for any thread that pins a *new*
+    /// guard, and must be retired at most once.
+    pub unsafe fn retire(&self, record: *const DataRecord<M, I>, guard: &Guard) {
+        let p = record as *mut DataRecord<M, I>;
+        guard.defer_unchecked(move || drop(Box::from_raw(p)));
+    }
+
+    /// Immediately free a record that was allocated but never published
+    /// into the shared structure (e.g. a speculative node whose SCX
+    /// failed).
+    ///
+    /// # Safety
+    ///
+    /// `record` must have been produced by [`Domain::alloc`] on this
+    /// domain and never stored into any shared mutable field.
+    pub unsafe fn dealloc(&self, record: *const DataRecord<M, I>) {
+        drop(Box::from_raw(record as *mut DataRecord<M, I>));
+    }
+
+    /// Dereference a packed record pointer under a guard.
+    ///
+    /// # Safety
+    ///
+    /// `word` must be a non-null value packed with
+    /// [`pack_ptr`](crate::pack_ptr) from a record of this domain that
+    /// was reachable from the structure while `guard` was pinned.
+    #[inline]
+    pub unsafe fn deref<'g>(&self, word: u64, _guard: &'g Guard) -> &'g DataRecord<M, I> {
+        debug_assert_ne!(word, 0, "dereferencing NULL record pointer");
+        &*(word as usize as *const DataRecord<M, I>)
+    }
+
+    /// **LLX(r)** — take an atomic snapshot of `r`'s mutable fields
+    /// (paper Fig. 4 lines 1–16).
+    ///
+    /// Returns [`LlxResult::Snapshot`] with the values, or
+    /// [`LlxResult::Finalized`] if `r` was finalized by a committed SCX,
+    /// or [`LlxResult::Fail`] if the LLX was concurrent with an SCX
+    /// involving `r` (retry in that case).
+    pub fn llx<'g>(&self, r: &'g DataRecord<M, I>, guard: &'g Guard) -> LlxResult<'g, M, I> {
+        bump!(self, llx_attempts);
+        let marked1 = r.marked.load(Ordering::SeqCst); // line 3
+        let rinfo = r.load_info(); // line 4
+        // SAFETY: `rinfo` was read from `r.info` under our pinned guard;
+        // SCX-record destruction is epoch-deferred (see `reclaim`).
+        let rinfo_hdr: &ScxHeader = unsafe { &*rinfo };
+        let state = rinfo_hdr.state(); // line 5
+        let marked2 = r.marked.load(Ordering::SeqCst); // line 6
+
+        // line 7: was r frozen at line 5?
+        if state == ScxState::Aborted || (state == ScxState::Committed && !marked2) {
+            let mut values = [0u64; M];
+            for (i, slot) in values.iter_mut().enumerate() {
+                *slot = r.mutable[i].load(Ordering::SeqCst); // line 8
+            }
+            if r.load_info() == rinfo {
+                // line 9
+                bump!(self, llx_snapshots);
+                // line 10's local table is replaced by the returned handle.
+                return LlxResult::Snapshot(Llx {
+                    record: r,
+                    info: rinfo,
+                    values,
+                }); // line 11
+            }
+        }
+
+        // line 12
+        let finalized_part = match rinfo_hdr.state() {
+            ScxState::Committed => true,
+            ScxState::InProgress => {
+                // SAFETY: a non-dummy header (dummy is Aborted) of this
+                // domain's SCX-record type; protected by our guard.
+                let u = unsafe { ScxRecord::<M, I>::from_header(rinfo) };
+                self.help(u, guard)
+            }
+            ScxState::Aborted => false,
+        };
+        if finalized_part && marked1 {
+            bump!(self, llx_finalized);
+            return LlxResult::Finalized; // line 13
+        }
+
+        // line 15
+        let cur = r.load_info();
+        // SAFETY: as above.
+        if unsafe { (*cur).state() } == ScxState::InProgress {
+            let u = unsafe { ScxRecord::<M, I>::from_header(cur) };
+            self.help(u, guard);
+        }
+        bump!(self, llx_fails);
+        LlxResult::Fail // line 16
+    }
+
+    /// **SCX(V, R, fld, new)** — atomically verify that no record in `V`
+    /// changed since the linked LLXs, store `new` into `fld`, and
+    /// finalize every record in `R` (paper Fig. 4 lines 17–21).
+    ///
+    /// Returns `true` on success. On `false`, no change was made and the
+    /// caller should re-read the structure (fresh LLXs) before retrying.
+    ///
+    /// # Usage constraints (paper §4.1)
+    ///
+    /// These cannot be checked by the library and must be guaranteed by
+    /// the caller for the correctness proof to apply:
+    ///
+    /// 1. `new` must not be the initial value of `fld`, and no
+    ///    `SCX(.., fld, new)` with the same `fld` and `new` may have been
+    ///    linearized before the linked LLX of `fld`'s record (no ABA on
+    ///    mutable fields). Storing pointers to freshly allocated records
+    ///    always satisfies this.
+    /// 2. Once the structure is quiescent, all `V` sequences passed to
+    ///    subsequent SCXs must be consistent with one total order on
+    ///    records (pass `V` in traversal order).
+    pub fn scx(&self, req: ScxRequest<'_, '_, M, I>, guard: &Guard) -> bool {
+        bump!(self, scx_attempts);
+        // lines 19–20: capture V, R, fld, old, new and the info values of
+        // the linked LLXs in a fresh SCX-record.
+        let v = crate::inline_vec::InlineVec::from_iter(
+            req.v.iter().map(|h| h.record as *const DataRecord<M, I>),
+        );
+        let info_fields =
+            crate::inline_vec::InlineVec::from_iter(req.v.iter().map(|h| h.info));
+        let target = &req.v[req.fld.record];
+        let old = target.values[req.fld.field];
+        let fld = &target.record.mutable[req.fld.field] as *const std::sync::atomic::AtomicU64;
+        debug_assert_ne!(
+            old, req.new,
+            "SCX constraint: `new` must differ from the value read by the linked LLX"
+        );
+
+        // line 21: create the SCX-record and do the real work in Help.
+        #[cfg(debug_assertions)]
+        crate::scx_record::LIVE_SCX_RECORDS.fetch_add(1, Ordering::SeqCst);
+        let u = Box::into_raw(Box::new(ScxRecord::<M, I> {
+            hdr: ScxHeader::new_in_progress(),
+            v,
+            finalize_mask: req.finalize_mask,
+            fld,
+            old,
+            new: req.new,
+            info_fields,
+        }));
+        // SAFETY: freshly allocated, uniquely reachable through `u`.
+        let u_ref = unsafe { &*u };
+        let result = self.help(u_ref, guard);
+        if result {
+            bump!(self, scx_commits);
+        } else {
+            bump!(self, scx_aborts);
+        }
+        // Release the creator's reference (see `reclaim`).
+        unsafe { reclaim::release::<M, I>(u as *const ScxHeader, guard) };
+        result
+    }
+
+    /// **VLX(V)** — validate that no record in `V` changed since the
+    /// linked LLXs (paper Fig. 4 lines 43–48). Costs `|V|` shared reads.
+    pub fn vlx(&self, v: &[Llx<'_, M, I>]) -> bool {
+        bump!(self, vlx_attempts);
+        for h in v {
+            bump!(self, reads);
+            if !std::ptr::eq(h.record.load_info(), h.info) {
+                return false; // line 47
+            }
+        }
+        bump!(self, vlx_successes);
+        true // line 48
+    }
+
+    /// The cooperative `Help` routine (paper Fig. 4 lines 22–42). Called
+    /// by the creating SCX and by any process that encounters the
+    /// SCX-record `u` while it is `InProgress`.
+    fn help(&self, u: &ScxRecord<M, I>, guard: &Guard) -> bool {
+        bump!(self, helps);
+        let u_hdr = u.header_ptr();
+
+        // lines 24–35: freeze all Data-records in u.v in order.
+        for (i, r_ptr) in u.v.iter().enumerate() {
+            let rinfo = u.info_fields.get(i) as *mut ScxHeader; // line 25
+            // SAFETY: records in V were reachable at their linked LLXs
+            // and are protected by the caller's guard.
+            let r = unsafe { &*r_ptr };
+            bump!(self, freezing_cas);
+            // Pre-acquire a reference in case our freezing CAS installs
+            // `u` into `r.info` (see `reclaim` for the protocol).
+            reclaim::acquire(u_hdr);
+            match r
+                .info
+                .compare_exchange(rinfo, u_hdr, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(displaced) => {
+                    // freezing CAS succeeded (line 26): `r` is frozen for
+                    // `u`; the displaced SCX-record loses the reference
+                    // held by `r.info`.
+                    // SAFETY: `displaced` was reachable via `r.info`
+                    // until our CAS, under our pinned guard.
+                    unsafe { reclaim::release::<M, I>(displaced, guard) };
+                }
+                Err(cur) => {
+                    // Our CAS did not install `u`; return the reference.
+                    // SAFETY: `u` is protected by our guard.
+                    unsafe { reclaim::release::<M, I>(u_hdr, guard) };
+                    if cur != u_hdr {
+                        // line 27: r is frozen for another SCX.
+                        if u.hdr.all_frozen() {
+                            // frozen check step (line 29): every record
+                            // in V was already frozen for u and the SCX
+                            // has committed (Lemma 53).
+                            return true; // line 31
+                        }
+                        // abort step (line 34): atomically unfreeze all
+                        // records frozen for this SCX.
+                        bump!(self, state_writes);
+                        u.hdr.set_state(ScxState::Aborted);
+                        return false; // line 35
+                    }
+                    // cur == u: another helper already froze r for u;
+                    // proceed to the next record.
+                }
+            }
+        }
+
+        // frozen step (line 37): the SCX can no longer fail.
+        bump!(self, frozen_writes);
+        u.hdr.set_all_frozen();
+
+        // mark steps (line 38): finalize every r in R.
+        for (i, r_ptr) in u.v.iter().enumerate() {
+            if u.finalizes(i) {
+                bump!(self, mark_writes);
+                // SAFETY: as above.
+                unsafe { (*r_ptr).marked.store(true, Ordering::SeqCst) };
+            }
+        }
+
+        // update CAS (line 39): only the first one by any helper succeeds
+        // (Lemma 54); failures by other helpers are benign.
+        bump!(self, update_cas);
+        // SAFETY: `fld` points into a record in V, protected as above.
+        let _ = unsafe {
+            (*u.fld).compare_exchange(u.old, u.new, Ordering::SeqCst, Ordering::SeqCst)
+        };
+
+        // commit step (line 41): finalize all r in R, unfreeze the rest.
+        bump!(self, state_writes);
+        u.hdr.set_state(ScxState::Committed);
+        true // line 42
+    }
+}
+
+// A domain can be shared across threads: the algorithm synchronizes all
+// shared state through atomics, and record payloads cross threads.
+unsafe impl<const M: usize, I: Send + Sync> Send for Domain<M, I> {}
+unsafe impl<const M: usize, I: Send + Sync> Sync for Domain<M, I> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handle::FieldId;
+
+    fn snap<'g>(
+        d: &Domain<2, u32>,
+        r: &'g DataRecord<2, u32>,
+        g: &'g Guard,
+    ) -> Llx<'g, 2, u32> {
+        d.llx(r, g).snapshot().expect("uncontended LLX")
+    }
+
+    #[test]
+    fn llx_returns_initial_values() {
+        let d: Domain<2, u32> = Domain::new();
+        let g = crossbeam_epoch::pin();
+        let r = d.alloc(9, [11, 22]);
+        let s = snap(&d, unsafe { &*r }, &g);
+        assert_eq!(s.values(), &[11, 22]);
+        unsafe { d.retire(r, &g) };
+    }
+
+    #[test]
+    fn scx_updates_single_field() {
+        let d: Domain<2, u32> = Domain::new();
+        let g = crossbeam_epoch::pin();
+        let r = d.alloc(0, [1, 2]);
+        let r_ref = unsafe { &*r };
+        let s = snap(&d, r_ref, &g);
+        assert!(d.scx(ScxRequest::new(&[s], FieldId::new(0, 1), 99), &g));
+        assert_eq!(r_ref.read(0), 1);
+        assert_eq!(r_ref.read(1), 99);
+        unsafe { d.retire(r, &g) };
+    }
+
+    #[test]
+    fn scx_fails_after_intervening_scx() {
+        let d: Domain<2, u32> = Domain::new();
+        let g = crossbeam_epoch::pin();
+        let r = d.alloc(0, [1, 2]);
+        let r_ref = unsafe { &*r };
+        let s1 = snap(&d, r_ref, &g);
+        let s2 = snap(&d, r_ref, &g);
+        assert!(d.scx(ScxRequest::new(&[s2], FieldId::new(0, 0), 50), &g));
+        // s1 is stale now: C4 requires this SCX to fail.
+        assert!(!d.scx(ScxRequest::new(&[s1], FieldId::new(0, 0), 60), &g));
+        assert_eq!(r_ref.read(0), 50);
+        unsafe { d.retire(r, &g) };
+    }
+
+    #[test]
+    fn finalized_record_reports_finalized_and_rejects_scx() {
+        let d: Domain<2, u32> = Domain::new();
+        let g = crossbeam_epoch::pin();
+        let a = d.alloc(0, [1, 2]);
+        let b = d.alloc(1, [3, 4]);
+        let (a_ref, b_ref) = unsafe { (&*a, &*b) };
+        let sa = snap(&d, a_ref, &g);
+        let sb = snap(&d, b_ref, &g);
+        // Store into a, finalize b (like removing b from a structure).
+        assert!(d.scx(
+            ScxRequest::new(&[sa, sb], FieldId::new(0, 0), 77).finalize(1),
+            &g
+        ));
+        assert!(b_ref.is_marked());
+        // P1: subsequent LLX(b) returns Finalized.
+        assert!(d.llx(b_ref, &g).is_finalized());
+        // And an SCX linked to a stale LLX of b must fail.
+        assert!(!d.scx(ScxRequest::new(&[sb], FieldId::new(0, 0), 123), &g));
+        assert_eq!(b_ref.read(0), 3, "finalized record never changes");
+        unsafe {
+            d.retire(a, &g);
+            d.retire(b, &g);
+        }
+    }
+
+    #[test]
+    fn vlx_succeeds_when_unchanged_and_fails_after_change() {
+        let d: Domain<2, u32> = Domain::new();
+        let g = crossbeam_epoch::pin();
+        let r = d.alloc(0, [1, 2]);
+        let r_ref = unsafe { &*r };
+        let s = snap(&d, r_ref, &g);
+        assert!(d.vlx(&[s]));
+        assert!(d.vlx(&[s]), "VLX does not invalidate the link");
+        let s2 = snap(&d, r_ref, &g);
+        assert!(d.scx(ScxRequest::new(&[s2], FieldId::new(0, 0), 5), &g));
+        assert!(!d.vlx(&[s]), "VLX fails after an SCX froze the record");
+        unsafe { d.retire(r, &g) };
+    }
+
+    #[test]
+    fn multi_record_scx_depends_on_all_of_v() {
+        let d: Domain<2, u32> = Domain::new();
+        let g = crossbeam_epoch::pin();
+        let a = d.alloc(0, [1, 2]);
+        let b = d.alloc(1, [3, 4]);
+        let (a_ref, b_ref) = unsafe { (&*a, &*b) };
+        let sa = snap(&d, a_ref, &g);
+        let sb = snap(&d, b_ref, &g);
+        // Change b; then an SCX depending on (stale b, fresh a) must fail.
+        let sb2 = snap(&d, b_ref, &g);
+        assert!(d.scx(ScxRequest::new(&[sb2], FieldId::new(0, 1), 44), &g));
+        assert!(!d.scx(ScxRequest::new(&[sa, sb], FieldId::new(0, 0), 10), &g));
+        // With fresh LLXs on both it succeeds.
+        let sa = snap(&d, a_ref, &g);
+        let sb = snap(&d, b_ref, &g);
+        assert!(d.scx(ScxRequest::new(&[sa, sb], FieldId::new(0, 0), 10), &g));
+        assert_eq!(a_ref.read(0), 10);
+        unsafe {
+            d.retire(a, &g);
+            d.retire(b, &g);
+        }
+    }
+
+    #[test]
+    fn uncontended_scx_step_complexity_matches_paper() {
+        // §1: "If an SCX encounters no contention ... and finalizes f
+        // Data-records, then a total of k + 1 CAS steps and f + 2 writes
+        // are used for the SCX and the k LLXs on which it depends."
+        for k in 1..=8usize {
+            for f in 0..=k {
+                let d: Domain<1, u64> = Domain::with_stats();
+                let g = crossbeam_epoch::pin();
+                let recs: Vec<_> = (0..k).map(|i| d.alloc(i as u64, [i as u64])).collect();
+                let snaps: Vec<_> = recs
+                    .iter()
+                    .map(|&r| d.llx(unsafe { &*r }, &g).snapshot().unwrap())
+                    .collect();
+                let before = d.stats().unwrap();
+                let mask = if f == 0 { 0 } else { (1u64 << f) - 1 };
+                // Finalize the first f records; write into the last one
+                // (which must not be finalized unless f == k... the paper
+                // allows finalizing the modified record too).
+                assert!(d.scx(
+                    ScxRequest::new(&snaps, FieldId::new(k - 1, 0), u64::MAX).finalize_mask(mask),
+                    &g
+                ));
+                let cost = d.stats().unwrap().diff(&before);
+                assert_eq!(cost.total_cas(), (k + 1) as u64, "k={k} f={f}");
+                assert_eq!(cost.total_writes(), (f + 2) as u64, "k={k} f={f}");
+                for r in recs {
+                    unsafe { d.retire(r, &g) };
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vlx_costs_k_reads() {
+        // §1: "A VLX on k Data-records only requires reading k words."
+        let k = 6;
+        let d: Domain<1, u64> = Domain::with_stats();
+        let g = crossbeam_epoch::pin();
+        let recs: Vec<_> = (0..k).map(|i| d.alloc(i as u64, [0])).collect();
+        let snaps: Vec<_> = recs
+            .iter()
+            .map(|&r| d.llx(unsafe { &*r }, &g).snapshot().unwrap())
+            .collect();
+        let before = d.stats().unwrap();
+        assert!(d.vlx(&snaps));
+        let cost = d.stats().unwrap().diff(&before);
+        assert_eq!(cost.reads, k as u64);
+        for r in recs {
+            unsafe { d.retire(r, &g) };
+        }
+    }
+
+    #[test]
+    fn read_sees_last_committed_scx() {
+        // C1: reads return the last value stored by a linearized SCX.
+        let d: Domain<1, ()> = Domain::new();
+        let g = crossbeam_epoch::pin();
+        let r = d.alloc((), [0]);
+        let r_ref = unsafe { &*r };
+        for next in 1..10u64 {
+            let s = snap1(&d, r_ref, &g);
+            assert!(d.scx(ScxRequest::new(&[s], FieldId::new(0, 0), next), &g));
+            assert_eq!(r_ref.read(0), next);
+        }
+        unsafe { d.retire(r, &g) };
+    }
+
+    fn snap1<'g>(d: &Domain<1, ()>, r: &'g DataRecord<1, ()>, g: &'g Guard) -> Llx<'g, 1, ()> {
+        d.llx(r, g).snapshot().unwrap()
+    }
+
+    #[test]
+    fn domain_debug_and_default() {
+        let d: Domain<1, ()> = Domain::default();
+        let s = format!("{d:?}");
+        assert!(s.contains("Domain"));
+        assert!(d.stats().is_none());
+        let d2: Domain<1, ()> = Domain::with_stats();
+        assert!(d2.stats().is_some());
+    }
+}

@@ -1,0 +1,112 @@
+//! Reference-counted, epoch-deferred reclamation of SCX-records.
+//!
+//! The paper assumes a safe garbage collector: "a memory location is not
+//! reallocated while any process can reach it by following pointers"
+//! (§1). For Data-records, `crossbeam-epoch` provides exactly that
+//! guarantee and the data-structure layer retires nodes it unlinks. For
+//! SCX-records the structure is subtler because a single SCX-record `U`
+//! may be pointed at by *several* records' `info` fields at once (every
+//! record it froze), so no single unlink event makes it garbage.
+//!
+//! We track reachability with a reference count in the header:
+//!
+//! * **creation** — `refs = 1`, owned by the creating SCX invocation and
+//!   released when [`crate::Domain::scx`] returns;
+//! * **install** — a helper *pre-increments* `refs` before attempting a
+//!   freezing CAS that would install `U` into `r.info`, and decrements if
+//!   the CAS fails. Pre-incrementing closes the window in which an
+//!   installed pointer would be unaccounted;
+//! * **displace** — a successful freezing CAS that replaces `W` with a
+//!   different SCX-record decrements `W.refs` (by Lemma 14 only the first
+//!   freezing CAS per `(U, r)` succeeds, so each installed reference is
+//!   displaced at most once);
+//! * **record drop** — a retired Data-record releases the reference held
+//!   by its `info` field.
+//!
+//! Lemma 25 of the paper (no freezing CAS belonging to `U` succeeds after
+//! the first frozen or abort step) implies no *new* installs happen after
+//! the creator's `help` call has returned, so after the creator releases
+//! its reference the count exactly equals the number of `info` fields
+//! pointing at `U` and monotonically drains to zero.
+//!
+//! One hazard remains: a *late* helper can pre-increment a count that
+//! already reached zero (it read `U` from `r.info` moments before the
+//! displacement, under its own pinned guard, so the memory is still
+//! live). Its freezing CAS then necessarily fails (`r.info` never returns
+//! to an old value — Lemma 12) and its decrement returns the count to
+//! zero a *second* time. The `claimed` flag makes the destroy decision
+//! idempotent, and destruction is epoch-deferred, so the late helper's
+//! accesses stay safe.
+
+use crossbeam_epoch::Guard;
+
+use crate::header::ScxHeader;
+use crate::scx_record::ScxRecord;
+
+/// Acquire a reference before attempting to install `hdr` into an `info`
+/// field. No-op for the dummy.
+#[inline]
+pub(crate) fn acquire(hdr: *const ScxHeader) {
+    let h = unsafe { &*hdr };
+    if h.is_dummy() {
+        return;
+    }
+    h.refs.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Release one reference; if this was the last, schedule destruction
+/// after the current epoch.
+///
+/// # Safety
+///
+/// `hdr` must point at the dummy or at the header of a live
+/// `ScxRecord<M, I>` of the same domain, and the caller must hold a
+/// pinned guard (passed in) protecting it.
+#[inline]
+pub(crate) unsafe fn release<const M: usize, I>(hdr: *const ScxHeader, guard: &Guard) {
+    let h = &*hdr;
+    if h.is_dummy() {
+        return;
+    }
+    if h.refs.fetch_sub(1, std::sync::atomic::Ordering::SeqCst) == 1
+        && !h.claimed.swap(true, std::sync::atomic::Ordering::SeqCst)
+    {
+        let rec = hdr as *mut ScxRecord<M, I>;
+        guard.defer_unchecked(move || drop(Box::from_raw(rec)));
+    }
+}
+
+/// Release the reference held by a Data-record's `info` field from the
+/// record's `Drop` impl, which runs inside an epoch-deferred callback and
+/// therefore has no guard of its own; pin a fresh one.
+///
+/// # Safety
+///
+/// Same as [`release`]; additionally the caller must be the unique owner
+/// of the dropping record.
+pub(crate) unsafe fn release_from_record_drop<const M: usize, I>(hdr: *const ScxHeader) {
+    let h = &*hdr;
+    if h.is_dummy() {
+        return;
+    }
+    // crossbeam-epoch supports pinning (and deferring) from inside a
+    // deferred function; the deferred destruction is scheduled for a
+    // later epoch than the record drop itself.
+    let guard = crossbeam_epoch::pin();
+    release::<M, I>(hdr, &guard);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::DUMMY;
+
+    #[test]
+    fn dummy_is_exempt() {
+        let guard = crossbeam_epoch::pin();
+        // Must not underflow or attempt destruction.
+        acquire(&DUMMY);
+        unsafe { release::<1, ()>(&DUMMY, &guard) };
+        unsafe { release_from_record_drop::<1, ()>(&DUMMY) };
+    }
+}

@@ -1,0 +1,140 @@
+//! Data-records (paper Fig. 1).
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+
+use crate::header::{ScxHeader, DUMMY};
+use crate::reclaim;
+
+/// A Data-record: the unit on which LLX/SCX/VLX operate.
+///
+/// A `DataRecord<M, I>` has `M` mutable single-word fields (indexed
+/// `0..M`), an immutable payload of type `I`, and the two fields the
+/// algorithm itself needs: the `info` pointer to the SCX-record of the
+/// last SCX that froze this record, and the `marked` bit used to finalize
+/// it (paper Fig. 1).
+///
+/// Records are created through [`Domain::alloc`](crate::Domain::alloc)
+/// and live behind raw pointers managed by the enclosing data structure;
+/// they are reclaimed with [`Domain::retire`](crate::Domain::retire)
+/// (epoch-deferred) once unlinked.
+///
+/// Mutable fields are plain 64-bit words; use [`pack_ptr`](crate::pack_ptr)
+/// / [`unpack_ptr`](crate::unpack_ptr) to store pointers to other records.
+pub struct DataRecord<const M: usize, I> {
+    /// Pointer to the SCX-record of the last SCX that (tried to) freeze
+    /// this record; initially the dummy SCX-record.
+    pub(crate) info: AtomicPtr<ScxHeader>,
+    /// The finalization bit; set by a mark step, never cleared.
+    pub(crate) marked: AtomicBool,
+    /// The user's mutable fields (`m_1 .. m_y` in the paper).
+    pub(crate) mutable: [AtomicU64; M],
+    /// The user's immutable fields (`i_1 .. i_z` in the paper).
+    pub(crate) immutable: I,
+}
+
+impl<const M: usize, I> DataRecord<M, I> {
+    pub(crate) fn new(immutable: I, init: [u64; M]) -> Self {
+        DataRecord {
+            info: AtomicPtr::new(&DUMMY as *const ScxHeader as *mut ScxHeader),
+            marked: AtomicBool::new(false),
+            mutable: init.map(AtomicU64::new),
+            immutable,
+        }
+    }
+
+    /// Read one mutable field directly (paper §3: reads of individual
+    /// mutable fields are permitted and cheaper than a full LLX when a
+    /// snapshot is not required, e.g. during traversals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field >= M`.
+    #[inline]
+    pub fn read(&self, field: usize) -> u64 {
+        self.mutable[field].load(Ordering::SeqCst)
+    }
+
+    /// Access the immutable payload. Immutable fields never change after
+    /// creation (paper Observation 37), so no synchronization is needed.
+    #[inline]
+    pub fn immutable(&self) -> &I {
+        &self.immutable
+    }
+
+    /// Whether this record has been finalized by a committed SCX.
+    ///
+    /// This is a racy observation intended for assertions and tests; the
+    /// linearizable way to learn a record is finalized is an LLX
+    /// returning [`LlxResult::Finalized`](crate::LlxResult::Finalized).
+    #[inline]
+    pub fn is_marked(&self) -> bool {
+        self.marked.load(Ordering::SeqCst)
+    }
+
+    /// Number of mutable fields, `M`.
+    #[inline]
+    pub fn num_mutable_fields(&self) -> usize {
+        M
+    }
+
+    #[inline]
+    pub(crate) fn load_info(&self) -> *mut ScxHeader {
+        self.info.load(Ordering::SeqCst)
+    }
+}
+
+impl<const M: usize, I> Drop for DataRecord<M, I> {
+    fn drop(&mut self) {
+        // This record's `info` field holds one reference to an SCX-record
+        // (see `reclaim`); release it. `get_mut` is safe: we have `&mut`.
+        let info = *self.info.get_mut();
+        // SAFETY: `info` always points to the static dummy or to an
+        // SCX-record of the same `Domain<M, I>`, whose destruction is
+        // deferred until this reference is released.
+        unsafe { reclaim::release_from_record_drop::<M, I>(info) };
+    }
+}
+
+impl<const M: usize, I: fmt::Debug> fmt::Debug for DataRecord<M, I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fields: Vec<u64> = (0..M).map(|i| self.read(i)).collect();
+        f.debug_struct("DataRecord")
+            .field("immutable", &self.immutable)
+            .field("mutable", &fields)
+            .field("marked", &self.is_marked())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_record_points_to_dummy_and_is_unmarked() {
+        let r: DataRecord<2, u32> = DataRecord::new(7, [1, 2]);
+        assert!(!r.is_marked());
+        assert_eq!(r.read(0), 1);
+        assert_eq!(r.read(1), 2);
+        assert_eq!(*r.immutable(), 7);
+        assert_eq!(r.num_mutable_fields(), 2);
+        let info = r.load_info();
+        assert!(unsafe { (*info).is_dummy() });
+    }
+
+    #[test]
+    fn zero_mutable_fields_is_allowed() {
+        let r: DataRecord<0, &str> = DataRecord::new("imm", []);
+        assert_eq!(r.num_mutable_fields(), 0);
+        assert_eq!(*r.immutable(), "imm");
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let r: DataRecord<1, u8> = DataRecord::new(3, [9]);
+        let s = format!("{r:?}");
+        assert!(s.contains("DataRecord"));
+        assert!(s.contains('9'));
+    }
+}

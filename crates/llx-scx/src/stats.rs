@@ -1,0 +1,184 @@
+//! Step-count instrumentation.
+//!
+//! The paper's headline efficiency claim (§1, §2) is stated in terms of
+//! primitive step counts: an uncontended SCX that depends on `k` LLXs and
+//! finalizes `f` records performs `k + 1` CAS steps and `f + 2` writes,
+//! versus `2k + 1` CAS steps for the best k-word CAS. These counters let
+//! the benchmark harness (experiment E1) and the test suite measure those
+//! counts exactly.
+//!
+//! Counting is off by default and enabled per [`Domain`](crate::Domain)
+//! with [`Domain::with_stats`](crate::Domain::with_stats); when disabled
+//! the hot paths execute a single predictable branch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal counter block; one per stats-enabled domain.
+#[derive(Debug, Default)]
+pub(crate) struct Stats {
+    pub(crate) llx_attempts: AtomicU64,
+    pub(crate) llx_snapshots: AtomicU64,
+    pub(crate) llx_finalized: AtomicU64,
+    pub(crate) llx_fails: AtomicU64,
+    pub(crate) scx_attempts: AtomicU64,
+    pub(crate) scx_commits: AtomicU64,
+    pub(crate) scx_aborts: AtomicU64,
+    pub(crate) vlx_attempts: AtomicU64,
+    pub(crate) vlx_successes: AtomicU64,
+    pub(crate) freezing_cas: AtomicU64,
+    pub(crate) update_cas: AtomicU64,
+    pub(crate) mark_writes: AtomicU64,
+    pub(crate) frozen_writes: AtomicU64,
+    pub(crate) state_writes: AtomicU64,
+    pub(crate) helps: AtomicU64,
+    pub(crate) reads: AtomicU64,
+}
+
+macro_rules! bump {
+    ($domain:expr, $field:ident) => {
+        if let Some(s) = $domain.stats.as_deref() {
+            s.$field.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    };
+}
+pub(crate) use bump;
+
+impl Stats {
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        StatsSnapshot {
+            llx_attempts: ld(&self.llx_attempts),
+            llx_snapshots: ld(&self.llx_snapshots),
+            llx_finalized: ld(&self.llx_finalized),
+            llx_fails: ld(&self.llx_fails),
+            scx_attempts: ld(&self.scx_attempts),
+            scx_commits: ld(&self.scx_commits),
+            scx_aborts: ld(&self.scx_aborts),
+            vlx_attempts: ld(&self.vlx_attempts),
+            vlx_successes: ld(&self.vlx_successes),
+            freezing_cas: ld(&self.freezing_cas),
+            update_cas: ld(&self.update_cas),
+            mark_writes: ld(&self.mark_writes),
+            frozen_writes: ld(&self.frozen_writes),
+            state_writes: ld(&self.state_writes),
+            helps: ld(&self.helps),
+            reads: ld(&self.reads),
+        }
+    }
+}
+
+/// A point-in-time copy of a domain's step counters.
+///
+/// Obtain with [`Domain::stats`](crate::Domain::stats); compute
+/// per-operation costs by differencing two snapshots (see
+/// [`StatsSnapshot::diff`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct StatsSnapshot {
+    /// LLX invocations.
+    pub llx_attempts: u64,
+    /// LLXs that returned a snapshot.
+    pub llx_snapshots: u64,
+    /// LLXs that returned `Finalized`.
+    pub llx_finalized: u64,
+    /// LLXs that returned `Fail`.
+    pub llx_fails: u64,
+    /// SCX invocations.
+    pub scx_attempts: u64,
+    /// SCXs that returned `true`.
+    pub scx_commits: u64,
+    /// SCXs that returned `false`.
+    pub scx_aborts: u64,
+    /// VLX invocations.
+    pub vlx_attempts: u64,
+    /// VLXs that returned `true`.
+    pub vlx_successes: u64,
+    /// Freezing CAS steps executed (Fig. 4 line 26), successful or not.
+    pub freezing_cas: u64,
+    /// Update CAS steps executed (Fig. 4 line 39).
+    pub update_cas: u64,
+    /// Mark steps (Fig. 4 line 38) — writes to `marked` bits.
+    pub mark_writes: u64,
+    /// Frozen steps (Fig. 4 line 37) — writes to `allFrozen` bits.
+    pub frozen_writes: u64,
+    /// Commit and abort steps (Fig. 4 lines 34/41) — writes to `state`.
+    pub state_writes: u64,
+    /// Invocations of the `Help` routine.
+    pub helps: u64,
+    /// Shared-memory reads performed by VLX (Fig. 4 line 47).
+    pub reads: u64,
+}
+
+impl StatsSnapshot {
+    /// Counter-wise difference `self - earlier`; panics on underflow in
+    /// debug builds (counters are monotone).
+    pub fn diff(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            llx_attempts: self.llx_attempts - earlier.llx_attempts,
+            llx_snapshots: self.llx_snapshots - earlier.llx_snapshots,
+            llx_finalized: self.llx_finalized - earlier.llx_finalized,
+            llx_fails: self.llx_fails - earlier.llx_fails,
+            scx_attempts: self.scx_attempts - earlier.scx_attempts,
+            scx_commits: self.scx_commits - earlier.scx_commits,
+            scx_aborts: self.scx_aborts - earlier.scx_aborts,
+            vlx_attempts: self.vlx_attempts - earlier.vlx_attempts,
+            vlx_successes: self.vlx_successes - earlier.vlx_successes,
+            freezing_cas: self.freezing_cas - earlier.freezing_cas,
+            update_cas: self.update_cas - earlier.update_cas,
+            mark_writes: self.mark_writes - earlier.mark_writes,
+            frozen_writes: self.frozen_writes - earlier.frozen_writes,
+            state_writes: self.state_writes - earlier.state_writes,
+            helps: self.helps - earlier.helps,
+            reads: self.reads - earlier.reads,
+        }
+    }
+
+    /// Total CAS steps attributable to the algorithm (freezing + update),
+    /// the quantity of the paper's `k + 1` claim.
+    pub fn total_cas(&self) -> u64 {
+        self.freezing_cas + self.update_cas
+    }
+
+    /// Total plain writes attributable to the algorithm (frozen + mark +
+    /// state), the quantity of the paper's `f + 2` claim.
+    pub fn total_writes(&self) -> u64 {
+        self.frozen_writes + self.mark_writes + self.state_writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_is_counterwise() {
+        let a = StatsSnapshot {
+            freezing_cas: 10,
+            update_cas: 3,
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            freezing_cas: 4,
+            update_cas: 1,
+            ..Default::default()
+        };
+        let d = a.diff(&b);
+        assert_eq!(d.freezing_cas, 6);
+        assert_eq!(d.update_cas, 2);
+        assert_eq!(d.total_cas(), 8);
+    }
+
+    #[test]
+    fn totals_combine_expected_counters() {
+        let s = StatsSnapshot {
+            freezing_cas: 5,
+            update_cas: 1,
+            frozen_writes: 1,
+            mark_writes: 2,
+            state_writes: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.total_cas(), 6);
+        assert_eq!(s.total_writes(), 4);
+    }
+}

@@ -1,0 +1,223 @@
+//! Mini-transactions: the §2 framing of LLX/SCX.
+//!
+//! The paper positions its primitives as "a restricted kind of
+//! transaction, in which each transaction can perform any number of
+//! reads followed by a single write and then finalize any number of
+//! words" (§2). [`Tx`] packages that shape: accumulate snapshot reads,
+//! then either [`validate`](Tx::validate) (a VLX) or
+//! [`commit`](Tx::commit) one write plus finalizations (an SCX).
+//!
+//! This is sugar over [`Domain::llx`]/[`Domain::scx`]/[`Domain::vlx`] —
+//! useful when an update's read set is assembled across helper
+//! functions — and inherits their usage contract (§4.1).
+//!
+//! ```
+//! use llx_scx::{Domain, FieldId, Tx};
+//!
+//! let domain: Domain<1, ()> = Domain::new();
+//! let guard = llx_scx::pin();
+//! let a = domain.alloc((), [1]);
+//! let b = domain.alloc((), [2]);
+//!
+//! let mut tx = Tx::new(&domain, &guard);
+//! let va = tx.read(unsafe { &*a }).expect("uncontended");
+//! let vb = tx.read(unsafe { &*b }).expect("uncontended");
+//! assert_eq!((va[0], vb[0]), (1, 2));
+//! // Write a's field, finalizing b (read-index 1), atomically
+//! // conditional on both reads.
+//! assert!(tx.commit(FieldId::new(0, 0), 3).finalizing(&[1]).run());
+//! assert_eq!(unsafe { &*a }.read(0), 3);
+//! assert!(unsafe { &*b }.is_marked());
+//! # unsafe { domain.retire(a, &guard); domain.retire(b, &guard); }
+//! ```
+
+use crossbeam_epoch::Guard;
+
+use crate::handle::{FieldId, Llx, LlxResult, ScxRequest};
+use crate::ops::Domain;
+use crate::record::DataRecord;
+
+/// An in-flight mini-transaction: a set of snapshot reads awaiting a
+/// validation or a single-write commit.
+#[derive(Debug)]
+pub struct Tx<'d, 'g, const M: usize, I> {
+    domain: &'d Domain<M, I>,
+    guard: &'g Guard,
+    reads: Vec<Llx<'g, M, I>>,
+}
+
+impl<'d, 'g, const M: usize, I> Tx<'d, 'g, M, I> {
+    /// Begin a transaction on `domain` under `guard`.
+    pub fn new(domain: &'d Domain<M, I>, guard: &'g Guard) -> Self {
+        Tx {
+            domain,
+            guard,
+            reads: Vec::new(),
+        }
+    }
+
+    /// Snapshot-read a record into the transaction's read set.
+    ///
+    /// Returns the snapshotted mutable fields, or `None` if the record
+    /// is being updated concurrently or was finalized — abort and retry
+    /// from fresh reads in that case. Records must be read in a
+    /// traversal-consistent order (paper §4.1).
+    pub fn read(&mut self, record: &'g DataRecord<M, I>) -> Option<[u64; M]> {
+        match self.domain.llx(record, self.guard) {
+            LlxResult::Snapshot(s) => {
+                let values = *s.values();
+                self.reads.push(s);
+                Some(values)
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of records read so far.
+    pub fn read_count(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Validate that nothing in the read set has changed (a VLX: `k`
+    /// reads). The transaction remains usable afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been read.
+    pub fn validate(&self) -> bool {
+        assert!(!self.reads.is_empty(), "validate requires at least one read");
+        self.domain.vlx(&self.reads)
+    }
+
+    /// Prepare the commit: write `new` into `fld` (indexed into the read
+    /// set in read order). Finish with [`Commit::run`], optionally
+    /// adding finalizations first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been read or `fld` is out of range.
+    pub fn commit(self, fld: FieldId, new: u64) -> Commit<'d, 'g, M, I> {
+        assert!(!self.reads.is_empty(), "commit requires at least one read");
+        Commit {
+            tx: self,
+            fld,
+            new,
+            finalize_mask: 0,
+        }
+    }
+}
+
+/// A prepared commit; configure finalization and [`run`](Commit::run).
+#[derive(Debug)]
+pub struct Commit<'d, 'g, const M: usize, I> {
+    tx: Tx<'d, 'g, M, I>,
+    fld: FieldId,
+    new: u64,
+    finalize_mask: u64,
+}
+
+impl<'d, 'g, const M: usize, I> Commit<'d, 'g, M, I> {
+    /// Finalize the records at these read-set indices on success.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn finalizing(mut self, read_indices: &[usize]) -> Self {
+        for &i in read_indices {
+            assert!(i < self.tx.reads.len(), "finalize index out of range");
+            self.finalize_mask |= 1u64 << i;
+        }
+        self
+    }
+
+    /// Execute the SCX: atomically verify the read set, perform the one
+    /// write and the finalizations. Returns whether it committed.
+    pub fn run(self) -> bool {
+        self.tx.domain.scx(
+            ScxRequest::new(&self.tx.reads, self.fld, self.new)
+                .finalize_mask(self.finalize_mask),
+            self.tx.guard,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_validate_commit_cycle() {
+        let domain: Domain<2, u8> = Domain::new();
+        let guard = crossbeam_epoch::pin();
+        let a = domain.alloc(0, [1, 2]);
+        let b = domain.alloc(1, [3, 4]);
+        let (a_ref, b_ref) = unsafe { (&*a, &*b) };
+
+        let mut tx = Tx::new(&domain, &guard);
+        assert_eq!(tx.read(a_ref), Some([1, 2]));
+        assert_eq!(tx.read(b_ref), Some([3, 4]));
+        assert_eq!(tx.read_count(), 2);
+        assert!(tx.validate());
+        assert!(tx.commit(FieldId::new(1, 0), 30).run());
+        assert_eq!(b_ref.read(0), 30);
+        assert_eq!(a_ref.read(0), 1, "only one field written");
+        unsafe {
+            domain.retire(a, &guard);
+            domain.retire(b, &guard);
+        }
+    }
+
+    #[test]
+    fn conflicting_write_aborts_commit() {
+        let domain: Domain<1, ()> = Domain::new();
+        let guard = crossbeam_epoch::pin();
+        let a = domain.alloc((), [0]);
+        let a_ref = unsafe { &*a };
+
+        let mut tx = Tx::new(&domain, &guard);
+        assert_eq!(tx.read(a_ref), Some([0]));
+        // An interleaved transaction wins.
+        let mut other = Tx::new(&domain, &guard);
+        other.read(a_ref).unwrap();
+        assert!(other.commit(FieldId::new(0, 0), 1).run());
+        // The original's validation and commit both fail.
+        assert!(!tx.validate());
+        assert!(!tx.commit(FieldId::new(0, 0), 2).run());
+        assert_eq!(a_ref.read(0), 1);
+        unsafe { domain.retire(a, &guard) };
+    }
+
+    #[test]
+    fn finalized_record_rejects_reads() {
+        let domain: Domain<1, ()> = Domain::new();
+        let guard = crossbeam_epoch::pin();
+        let a = domain.alloc((), [0]);
+        let a_ref = unsafe { &*a };
+        let mut tx = Tx::new(&domain, &guard);
+        tx.read(a_ref).unwrap();
+        assert!(tx.commit(FieldId::new(0, 0), 9).finalizing(&[0]).run());
+        let mut tx2 = Tx::new(&domain, &guard);
+        assert_eq!(tx2.read(a_ref), None, "finalized record unreadable");
+        unsafe { domain.retire(a, &guard) };
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one read")]
+    fn empty_validate_panics() {
+        let domain: Domain<1, ()> = Domain::new();
+        let guard = crossbeam_epoch::pin();
+        let tx = Tx::new(&domain, &guard);
+        tx.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "finalize index out of range")]
+    fn finalize_out_of_range_panics() {
+        let domain: Domain<1, ()> = Domain::new();
+        let guard = crossbeam_epoch::pin();
+        let a = domain.alloc((), [0]);
+        let mut tx = Tx::new(&domain, &guard);
+        tx.read(unsafe { &*a }).unwrap();
+        let _ = tx.commit(FieldId::new(0, 0), 1).finalizing(&[1]);
+    }
+}

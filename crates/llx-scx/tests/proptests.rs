@@ -1,0 +1,152 @@
+//! Property tests of the primitives' sequential semantics: in a
+//! single-threaded execution, LLX/SCX/VLX must behave exactly like the
+//! specification of §3 (C1–C4 with trivial linearization).
+
+use proptest::prelude::*;
+
+use llx_scx::{Domain, FieldId, ScxRequest};
+
+const RECORDS: usize = 4;
+const FIELDS: usize = 2;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Take fresh snapshots of a subset (bitmask) of records.
+    Llx(u8),
+    /// SCX over the records currently snapshotted (in index order),
+    /// writing to `(record, field)`, finalizing a sub-mask.
+    Scx { rec: u8, field: u8, fin: u8 },
+    /// VLX over the currently snapshotted records.
+    Vlx,
+    /// Plain read.
+    Read { rec: u8, field: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u8..16).prop_map(Op::Llx),
+        (0u8..RECORDS as u8, 0u8..FIELDS as u8, 0u8..16).prop_map(|(rec, field, fin)| {
+            Op::Scx { rec, field, fin }
+        }),
+        Just(Op::Vlx),
+        (0u8..RECORDS as u8, 0u8..FIELDS as u8).prop_map(|(rec, field)| Op::Read { rec, field }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Model: each record is an array of field values plus a finalized
+    /// flag; a snapshot set is valid until any snapshotted record is
+    /// written or finalized. Sequentially, SCX must succeed iff all its
+    /// records are unfinalized and unchanged since their snapshots.
+    #[test]
+    fn sequential_semantics_match_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let domain: Domain<FIELDS, usize> = Domain::new();
+        let guard = llx_scx::pin();
+        let recs: Vec<_> = (0..RECORDS).map(|i| domain.alloc(i, [0, 0])).collect();
+        let refs: Vec<&llx_scx::DataRecord<FIELDS, usize>> =
+            recs.iter().map(|&r| unsafe { &*r }).collect();
+
+        // Model state.
+        let mut values = [[0u64; FIELDS]; RECORDS];
+        let mut finalized = [false; RECORDS];
+        // Monotone counter so SCX never repeats a field value (no-ABA
+        // usage contract).
+        let mut next_value = 1u64;
+        // Model version per record: bumped whenever an SCX freezes it
+        // (every member of a successful SCX's V). A snapshot handle is
+        // valid while its record's version is unchanged.
+        let mut version = [0u64; RECORDS];
+        // Current snapshots: indices, handles, versions-at-snapshot.
+        let mut snap_idx: Vec<usize> = Vec::new();
+        let mut snaps: Vec<llx_scx::Llx<'_, FIELDS, usize>> = Vec::new();
+        let mut snap_ver: Vec<u64> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Llx(mask) => {
+                    snap_idx.clear();
+                    snaps.clear();
+                    snap_ver.clear();
+                    for i in 0..RECORDS {
+                        if mask & (1 << i) == 0 {
+                            continue;
+                        }
+                        match domain.llx(refs[i], &guard) {
+                            llx_scx::LlxResult::Snapshot(s) => {
+                                // C2: snapshot returns current values.
+                                prop_assert_eq!(s.values(), &values[i]);
+                                prop_assert!(!finalized[i], "snapshot of finalized record");
+                                snap_idx.push(i);
+                                snaps.push(s);
+                                snap_ver.push(version[i]);
+                            }
+                            llx_scx::LlxResult::Finalized => {
+                                // C3: finalized iff model says so.
+                                prop_assert!(finalized[i]);
+                            }
+                            llx_scx::LlxResult::Fail => {
+                                prop_assert!(false, "LLX cannot fail without concurrency");
+                            }
+                        }
+                    }
+                }
+                Op::Scx { rec, field, fin } => {
+                    if snaps.is_empty() {
+                        continue;
+                    }
+                    let rec = (rec as usize) % snaps.len();
+                    let field = field as usize;
+                    let fin_mask = u64::from(fin) & ((1u64 << snaps.len()) - 1);
+                    let new = next_value;
+                    next_value += 1;
+                    let got = domain.scx(
+                        ScxRequest::new(&snaps, FieldId::new(rec, field), new)
+                            .finalize_mask(fin_mask),
+                        &guard,
+                    );
+                    // C4 sequentially: succeeds iff every handle is
+                    // still current (record versions unchanged).
+                    let valid = snap_idx
+                        .iter()
+                        .zip(&snap_ver)
+                        .all(|(&i, &v)| version[i] == v);
+                    prop_assert_eq!(got, valid, "SCX success mismatch");
+                    if got {
+                        let target = snap_idx[rec];
+                        values[target][field] = new;
+                        for (j, &i) in snap_idx.iter().enumerate() {
+                            if fin_mask & (1 << j) != 0 {
+                                finalized[i] = true;
+                            }
+                            // Every record in V was frozen: all handles
+                            // to it are consumed.
+                            version[i] += 1;
+                        }
+                    }
+                }
+                Op::Vlx => {
+                    if snaps.is_empty() {
+                        continue;
+                    }
+                    let got = domain.vlx(&snaps);
+                    let valid = snap_idx
+                        .iter()
+                        .zip(&snap_ver)
+                        .all(|(&i, &v)| version[i] == v);
+                    prop_assert_eq!(got, valid, "VLX success mismatch");
+                }
+                Op::Read { rec, field } => {
+                    // C1: reads see the last committed value.
+                    let r = rec as usize;
+                    let f = field as usize;
+                    prop_assert_eq!(refs[r].read(f), values[r][f]);
+                }
+            }
+        }
+        for r in recs {
+            unsafe { domain.retire(r, &guard) };
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Concurrent stress tests for the LLX/SCX/VLX primitives.
+//!
+//! These exercise the properties the paper proves: snapshot atomicity
+//! (C2), finalization permanence (C3/P1), SCX mutual exclusion on
+//! overlapping V-sets (C4), and the progress guarantee that disjoint
+//! SCXs all succeed (§3.2).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use llx_scx::{Domain, FieldId, LlxResult, ScxRequest};
+
+const THREADS: usize = 8;
+
+/// Every record stores the same value in both of its mutable fields; an
+/// SCX can only write one field, so updaters perform two SCXs in a row
+/// but LLX must never observe a *torn* pair unless the record is mid
+/// update by design. Instead we keep a single-field invariant: field 0
+/// holds a value and field 1 holds its negation, updated by replacing the
+/// record wholesale via a pointer in a parent record — the pattern every
+/// LLX/SCX data structure actually uses.
+#[test]
+fn llx_snapshots_are_atomic_under_concurrent_replacement() {
+    // Parent record P with one field: pointer to child C(x, !x).
+    // Updaters: LLX(P), allocate C'(y, !y), SCX swinging P.0 to C',
+    // finalizing C. Readers: traverse P -> C and check the invariant.
+    let domain: Arc<Domain<2, ()>> = Arc::new(Domain::new());
+    let parent_domain: Arc<Domain<1, ()>> = Arc::new(Domain::new());
+    let guard = llx_scx::pin();
+    let c0 = domain.alloc((), [5, !5]);
+    let parent = parent_domain.alloc((), [llx_scx::pack_ptr(c0)]);
+    let parent_addr = parent as usize;
+    drop(guard);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let domain = Arc::clone(&domain);
+        let parent_domain = Arc::clone(&parent_domain);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let parent = parent_addr as *const llx_scx::DataRecord<1, ()>;
+            let mut rng: u64 = 0x9E3779B97F4A7C15u64.wrapping_mul(t as u64 + 1);
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let guard = llx_scx::pin();
+                let p_ref = unsafe { &*parent };
+                if t % 2 == 0 {
+                    // Reader: check the child invariant through a plain
+                    // read (Proposition 2 pattern) and through LLX.
+                    let word = p_ref.read(0);
+                    let child = unsafe { domain.deref(word, &guard) };
+                    match domain.llx(child, &guard) {
+                        LlxResult::Snapshot(s) => {
+                            assert_eq!(s.value(1), !s.value(0), "torn snapshot");
+                        }
+                        LlxResult::Finalized => {
+                            // Removed child: still immutable afterwards.
+                            assert_eq!(child.read(1), !child.read(0));
+                        }
+                        LlxResult::Fail => {}
+                    }
+                } else {
+                    // Updater: replace the child, finalizing the old one.
+                    let Some(ps) = parent_domain.llx(p_ref, &guard).snapshot() else {
+                        continue;
+                    };
+                    let child = unsafe { domain.deref(ps.value(0), &guard) };
+                    let Some(cs) = domain.llx(child, &guard).snapshot() else {
+                        continue;
+                    };
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let fresh = domain.alloc((), [rng, !rng]);
+                    // The child must not change under us either; the
+                    // parent-field SCX depends only on the parent here,
+                    // so validate the child with VLX before publishing.
+                    if !domain.vlx(&[cs]) {
+                        unsafe { domain.dealloc(fresh) };
+                        continue;
+                    }
+                    let ok = parent_domain.scx(
+                        ScxRequest::new(&[ps], FieldId::new(0, 0), llx_scx::pack_ptr(fresh)),
+                        &guard,
+                    );
+                    if ok {
+                        unsafe { domain.retire(child as *const _, &guard) };
+                        ops += 1;
+                    } else {
+                        unsafe { domain.dealloc(fresh) };
+                    }
+                }
+            }
+            ops
+        }));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(total > 0, "updaters made progress");
+
+    // Teardown.
+    let guard = llx_scx::pin();
+    let p_ref = unsafe { &*(parent_addr as *const llx_scx::DataRecord<1, ()>) };
+    let child_word = p_ref.read(0);
+    unsafe {
+        domain.retire(llx_scx::unpack_ptr(child_word), &guard);
+        parent_domain.retire(parent, &guard);
+    }
+}
+
+/// §3.2: "a VLX(V) or SCX(V, R, fld, new) is guaranteed to succeed if
+/// there is no concurrent SCX(V', ..) such that V and V' intersect."
+/// With one record per thread, every SCX must succeed.
+#[test]
+fn disjoint_scxs_all_succeed() {
+    let domain: Arc<Domain<1, usize>> = Arc::new(Domain::new());
+    let records: Vec<usize> = {
+        (0..THREADS)
+            .map(|t| domain.alloc(t, [0]) as usize)
+            .collect()
+    };
+    let per_thread = 20_000u64;
+    let mut handles = Vec::new();
+    for (t, &rec) in records.iter().enumerate() {
+        let domain = Arc::clone(&domain);
+        handles.push(std::thread::spawn(move || {
+            let r = unsafe { &*(rec as *const llx_scx::DataRecord<1, usize>) };
+            for i in 1..=per_thread {
+                let guard = llx_scx::pin();
+                let s = domain
+                    .llx(r, &guard)
+                    .snapshot()
+                    .expect("no contention on private record");
+                // Value strictly increases: no ABA.
+                assert!(domain.scx(
+                    ScxRequest::new(&[s], FieldId::new(0, 0), i),
+                    &guard
+                ));
+            }
+            let _ = t;
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let guard = llx_scx::pin();
+    for &rec in &records {
+        let r = rec as *const llx_scx::DataRecord<1, usize>;
+        assert_eq!(unsafe { &*r }.read(0), per_thread);
+        unsafe { domain.retire(r, &guard) };
+    }
+}
+
+/// Heavy contention on a single shared counter record: exactly one SCX
+/// wins per value (C4), so the final value equals the number of
+/// successful SCXs. Also exercises helping and SCX-record reclamation.
+#[test]
+fn contended_counter_is_exact() {
+    let domain: Arc<Domain<1, ()>> = Arc::new(Domain::new());
+    let rec = domain.alloc((), [0]) as usize;
+    let successes = Arc::new(AtomicU64::new(0));
+    let target = 4_000u64;
+    let mut handles = Vec::new();
+    for _ in 0..THREADS {
+        let domain = Arc::clone(&domain);
+        let successes = Arc::clone(&successes);
+        handles.push(std::thread::spawn(move || {
+            let r = unsafe { &*(rec as *const llx_scx::DataRecord<1, ()>) };
+            loop {
+                if successes.load(Ordering::Relaxed) >= target {
+                    return;
+                }
+                let guard = llx_scx::pin();
+                let Some(s) = domain.llx(r, &guard).snapshot() else {
+                    continue;
+                };
+                let cur = s.value(0);
+                if domain.scx(
+                    ScxRequest::new(&[s], FieldId::new(0, 0), cur + 1),
+                    &guard,
+                ) {
+                    successes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let r = rec as *const llx_scx::DataRecord<1, ()>;
+    let final_val = unsafe { &*r }.read(0);
+    // Threads may overshoot `target` slightly before observing it; the
+    // counter must exactly match the number of successful SCXs.
+    assert_eq!(final_val, successes.load(Ordering::Relaxed));
+    assert!(final_val >= target);
+    let guard = llx_scx::pin();
+    unsafe { domain.retire(r, &guard) };
+}
+
+/// Once finalized, a record can never change and every later LLX returns
+/// Finalized (C3 + P1), even while other threads race to modify it with
+/// stale handles.
+#[test]
+fn finalization_is_permanent_under_racing_writers() {
+    let domain: Arc<Domain<1, ()>> = Arc::new(Domain::new());
+    let guard = llx_scx::pin();
+    let rec = domain.alloc((), [42]);
+    let rec_addr = rec as usize;
+    let r_ref = unsafe { &*rec };
+    // Finalize.
+    let s = domain.llx(r_ref, &guard).snapshot().unwrap();
+    assert!(domain.scx(
+        ScxRequest::new(&[s], FieldId::new(0, 0), 43).finalize(0),
+        &guard
+    ));
+    drop(guard);
+
+    let mut handles = Vec::new();
+    // Cross-thread: fresh LLXs must all see Finalized and reads must see
+    // the committed value forever.
+    for _ in 0..THREADS {
+        let domain = Arc::clone(&domain);
+        handles.push(std::thread::spawn(move || {
+            let r = unsafe { &*(rec_addr as *const llx_scx::DataRecord<1, ()>) };
+            for _ in 0..10_000 {
+                let guard = llx_scx::pin();
+                assert!(domain.llx(r, &guard).is_finalized());
+                assert_eq!(r.read(0), 43);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let guard = llx_scx::pin();
+    unsafe { domain.retire(rec, &guard) };
+}
+
+/// Two-record transfers with overlapping V-sets: total is conserved.
+///
+/// Cell values pack a strictly increasing per-field sequence number with
+/// the balance (`(seq << 24) | balance`) so that no value is ever stored
+/// into a field twice — the paper's no-ABA usage constraint (§4.1). The
+/// paper's own multiset obeys the same constraint by *replacing* nodes
+/// instead of decrementing counts in place.
+#[test]
+fn overlapping_scx_transfers_conserve_sum() {
+    const CELLS: usize = 4;
+    const INIT: u64 = 1_000_000;
+    fn balance(word: u64) -> u64 {
+        word & 0xFF_FFFF
+    }
+    fn repack(word: u64, new_balance: u64) -> u64 {
+        let seq = (word >> 24) + 1;
+        (seq << 24) | new_balance
+    }
+    let domain: Arc<Domain<1, usize>> = Arc::new(Domain::new());
+    let cells: Vec<usize> = (0..CELLS)
+        .map(|i| domain.alloc(i, [INIT]) as usize)
+        .collect();
+    let cells = Arc::new(cells);
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let domain = Arc::clone(&domain);
+        let cells = Arc::clone(&cells);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = (t as u64 + 1).wrapping_mul(0x2545F4914F6CDD1D);
+            let mut next = move || {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                rng
+            };
+            while !stop.load(Ordering::Relaxed) {
+                let a = (next() as usize) % CELLS;
+                let mut b = (next() as usize) % CELLS;
+                if a == b {
+                    b = (b + 1) % CELLS;
+                }
+                // Consistent freezing order (paper §4.1 constraint):
+                // order V by cell index.
+                let (src, dst, v_order) = if a < b { (a, b, (a, b)) } else { (b, a, (b, a)) };
+                let _ = (src, dst);
+                let guard = llx_scx::pin();
+                let ra = unsafe { &*(cells[v_order.0] as *const llx_scx::DataRecord<1, usize>) };
+                let rb = unsafe { &*(cells[v_order.1] as *const llx_scx::DataRecord<1, usize>) };
+                let (Some(sa), Some(sb)) = (
+                    domain.llx(ra, &guard).snapshot(),
+                    domain.llx(rb, &guard).snapshot(),
+                ) else {
+                    continue;
+                };
+                // Move 1 from the first to the second. An SCX writes only
+                // one field, so the transfer is two SCXs: the debit
+                // depends on *both* cells (so the pair was consistent),
+                // the credit then retries until it lands.
+                if balance(sa.value(0)) == 0 {
+                    continue;
+                }
+                let debited = repack(sa.value(0), balance(sa.value(0)) - 1);
+                if domain.scx(
+                    ScxRequest::new(&[sa, sb], FieldId::new(0, 0), debited),
+                    &guard,
+                ) {
+                    loop {
+                        let guard = llx_scx::pin();
+                        let Some(sb2) = domain.llx(rb, &guard).snapshot() else {
+                            continue;
+                        };
+                        let credited = repack(sb2.value(0), balance(sb2.value(0)) + 1);
+                        if domain.scx(
+                            ScxRequest::new(&[sb2], FieldId::new(0, 0), credited),
+                            &guard,
+                        ) {
+                            break;
+                        }
+                    }
+                }
+            }
+        }));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total: u64 = cells
+        .iter()
+        .map(|&c| balance(unsafe { &*(c as *const llx_scx::DataRecord<1, usize>) }.read(0)))
+        .sum();
+    assert_eq!(total, INIT * CELLS as u64, "transfers conserved the sum");
+    let guard = llx_scx::pin();
+    for &c in cells.iter() {
+        unsafe { domain.retire(c as *const llx_scx::DataRecord<1, usize>, &guard) };
+    }
+}

@@ -1,0 +1,90 @@
+//! Keys with sentinels.
+//!
+//! The paper's list is bracketed by sentinel nodes with keys −∞ and ∞
+//! that never occur in the multiset (§5). [`SentinelKey`] adjoins those
+//! two points to any user key type.
+
+use std::cmp::Ordering;
+
+/// A user key extended with −∞ and +∞ sentinels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SentinelKey<K> {
+    /// −∞: the head sentinel's key; smaller than every user key.
+    NegInf,
+    /// A user key.
+    Key(K),
+    /// +∞: the tail sentinel's key; larger than every user key.
+    PosInf,
+}
+
+impl<K> SentinelKey<K> {
+    /// The user key, if this is not a sentinel.
+    pub fn key(&self) -> Option<&K> {
+        match self {
+            SentinelKey::Key(k) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// True for the −∞ and +∞ sentinels.
+    pub fn is_sentinel(&self) -> bool {
+        !matches!(self, SentinelKey::Key(_))
+    }
+}
+
+impl<K: Ord> PartialOrd for SentinelKey<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K: Ord> Ord for SentinelKey<K> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use SentinelKey::*;
+        match (self, other) {
+            (NegInf, NegInf) | (PosInf, PosInf) => Ordering::Equal,
+            (NegInf, _) | (_, PosInf) => Ordering::Less,
+            (_, NegInf) | (PosInf, _) => Ordering::Greater,
+            (Key(a), Key(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl<K: Ord> PartialEq<K> for SentinelKey<K> {
+    fn eq(&self, other: &K) -> bool {
+        matches!(self, SentinelKey::Key(k) if k == other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SentinelKey::*;
+    use super::*;
+
+    #[test]
+    fn total_order_with_sentinels() {
+        let neg: SentinelKey<i32> = NegInf;
+        let pos: SentinelKey<i32> = PosInf;
+        assert!(neg < Key(i32::MIN));
+        assert!(Key(i32::MAX) < pos);
+        assert!(neg < pos);
+        assert!(Key(1) < Key(2));
+        assert_eq!(neg.cmp(&NegInf), Ordering::Equal);
+        assert_eq!(pos.cmp(&PosInf), Ordering::Equal);
+    }
+
+    #[test]
+    fn key_accessors() {
+        assert_eq!(Key(7).key(), Some(&7));
+        assert_eq!(NegInf::<i32>.key(), None);
+        assert!(PosInf::<i32>.is_sentinel());
+        assert!(!Key(1).is_sentinel());
+    }
+
+    #[test]
+    fn eq_against_bare_key() {
+        assert!(Key(5) == 5);
+        assert!(Key(5) != 6);
+        assert!(NegInf::<i32> != 5);
+    }
+}

@@ -1,0 +1,191 @@
+//! Concurrent correctness tests for the multiset (paper Theorem 6).
+//!
+//! Strategy: each thread keeps a private ledger of the net number of
+//! occurrences it successfully added per key. After quiescence, the
+//! multiset contents must equal the sum of the ledgers, and the list
+//! invariants of Appendix C must hold.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use multiset::Multiset;
+
+const THREADS: usize = 8;
+const KEYS: u64 = 16;
+
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+#[test]
+fn mixed_workload_conserves_counts() {
+    let set: Arc<Multiset<u64>> = Arc::new(Multiset::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let set = Arc::clone(&set);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+            let mut ledger = vec![0i64; KEYS as usize];
+            while !stop.load(Ordering::Relaxed) {
+                let key = xorshift(&mut rng) % KEYS;
+                let count = (xorshift(&mut rng) % 3) + 1;
+                match xorshift(&mut rng) % 3 {
+                    0 => {
+                        set.insert(key, count);
+                        ledger[key as usize] += count as i64;
+                    }
+                    1 => {
+                        if set.remove(key, count) {
+                            ledger[key as usize] -= count as i64;
+                        }
+                    }
+                    _ => {
+                        let _ = set.get(key);
+                    }
+                }
+            }
+            ledger
+        }));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(500));
+    stop.store(true, Ordering::Relaxed);
+    let mut expected = vec![0i64; KEYS as usize];
+    for h in handles {
+        for (k, v) in h.join().unwrap().into_iter().enumerate() {
+            expected[k] += v;
+        }
+    }
+    set.check_invariants().unwrap();
+    for k in 0..KEYS {
+        assert!(expected[k as usize] >= 0, "net count cannot go negative");
+        assert_eq!(
+            set.get(k),
+            expected[k as usize] as u64,
+            "key {k} count mismatch"
+        );
+    }
+    let total: i64 = expected.iter().sum();
+    assert_eq!(set.len(), total as u64);
+}
+
+#[test]
+fn insert_only_then_delete_all() {
+    // Phase 1: threads insert disjoint key ranges concurrently.
+    let set: Arc<Multiset<u64>> = Arc::new(Multiset::new());
+    let per_thread = 200u64;
+    let mut handles = Vec::new();
+    for t in 0..THREADS as u64 {
+        let set = Arc::clone(&set);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..per_thread {
+                set.insert(t * per_thread + i, t + 1);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    set.check_invariants().unwrap();
+    assert_eq!(
+        set.len(),
+        (1..=THREADS as u64).map(|t| t * per_thread).sum::<u64>()
+    );
+
+    // Phase 2: delete everything concurrently from interleaved ranges.
+    let mut handles = Vec::new();
+    for t in 0..THREADS as u64 {
+        let set = Arc::clone(&set);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..per_thread {
+                assert!(set.remove(t * per_thread + i, t + 1));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    set.check_invariants().unwrap();
+    assert!(set.is_empty());
+}
+
+#[test]
+fn contended_single_key() {
+    // All threads hammer one key; the hottest possible node. Exercises
+    // count bumps (Fig. 5(b)), node replacement (5(d)) and full removal
+    // with tail copying (5(c)).
+    let set: Arc<Multiset<u64>> = Arc::new(Multiset::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let set = Arc::clone(&set);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = (t as u64 + 1).wrapping_mul(0x2545F4914F6CDD1D);
+            let mut net = 0i64;
+            while !stop.load(Ordering::Relaxed) {
+                if xorshift(&mut rng).is_multiple_of(2) {
+                    set.insert(42, 1);
+                    net += 1;
+                } else if set.remove(42, 1) {
+                    net -= 1;
+                }
+            }
+            net
+        }));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    stop.store(true, Ordering::Relaxed);
+    let net: i64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(net >= 0);
+    assert_eq!(set.get(42), net as u64);
+    set.check_invariants().unwrap();
+}
+
+#[test]
+fn readers_never_observe_broken_structure() {
+    // Readers traverse the full list while writers churn; every fold must
+    // see strictly ascending keys (the traversal itself would loop or
+    // misbehave otherwise) and non-zero counts.
+    let set: Arc<Multiset<u64>> = Arc::new(Multiset::new());
+    for k in 0..KEYS {
+        set.insert(k, 1);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let set = Arc::clone(&set);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = (t as u64 + 7).wrapping_mul(0x9E3779B97F4A7C15);
+            while !stop.load(Ordering::Relaxed) {
+                if t % 2 == 0 {
+                    let pairs = set.to_vec();
+                    for w in pairs.windows(2) {
+                        assert!(w[0].0 < w[1].0, "unsorted traversal");
+                    }
+                    for &(_, c) in &pairs {
+                        assert!(c > 0, "zero count observed");
+                    }
+                } else {
+                    let key = xorshift(&mut rng) % KEYS;
+                    if xorshift(&mut rng).is_multiple_of(2) {
+                        set.insert(key, 1);
+                    } else {
+                        set.remove(key, 1);
+                    }
+                }
+            }
+        }));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    set.check_invariants().unwrap();
+}

@@ -1,0 +1,132 @@
+//! Tests for the VLX-based atomic multi-key read (`get_many`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use multiset::Multiset;
+
+#[test]
+fn get_many_sequential_matches_get() {
+    let s = Multiset::new();
+    for (k, c) in [(1u64, 3u64), (5, 1), (9, 7)] {
+        s.insert(k, c);
+    }
+    assert_eq!(s.get_many(&[1, 5, 9]), vec![3, 1, 7]);
+    assert_eq!(s.get_many(&[0, 1, 2, 5, 6, 9, 10]), vec![0, 3, 0, 1, 0, 7, 0]);
+    assert_eq!(s.get_many(&[100]), vec![0]);
+}
+
+#[test]
+#[should_panic(expected = "strictly ascending")]
+fn get_many_rejects_unsorted_keys() {
+    let s: Multiset<u64> = Multiset::new();
+    s.get_many(&[2, 1]);
+}
+
+#[test]
+#[should_panic(expected = "at least one key")]
+fn get_many_rejects_empty() {
+    let s: Multiset<u64> = Multiset::new();
+    s.get_many(&[]);
+}
+
+/// The atomicity guarantee: a writer moves one occurrence back and forth
+/// between two keys with two single-key operations, so reachable states
+/// have sum 10 (steady) or 9 (mid-transfer) — but never 11 or 8.
+/// Interleaved naive `get`s can observe 11 (read the source before the
+/// debit and the destination after the credit); an atomic `get_many`
+/// cannot.
+#[test]
+fn get_many_is_atomic_across_keys() {
+    let s: Arc<Multiset<u64>> = Arc::new(Multiset::new());
+    s.insert(10, 5);
+    s.insert(20, 5);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let writer = {
+        let s = Arc::clone(&s);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut dir = true;
+            while !stop.load(Ordering::Relaxed) {
+                let (from, to) = if dir { (10, 20) } else { (20, 10) };
+                if s.remove(from, 1) {
+                    s.insert(to, 1);
+                }
+                dir = !dir;
+            }
+        })
+    };
+
+    let mut readers = Vec::new();
+    for _ in 0..3 {
+        let s = Arc::clone(&s);
+        let stop = Arc::clone(&stop);
+        readers.push(std::thread::spawn(move || {
+            let mut observations = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let counts = s.get_many(&[10, 20]);
+                let sum = counts[0] + counts[1];
+                assert!(
+                    sum == 10 || sum == 9,
+                    "snapshot saw sum {sum}: not a reachable state"
+                );
+                observations += 1;
+            }
+            observations
+        }));
+    }
+
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+    let total: u64 = readers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(total > 0, "readers completed snapshots");
+    s.check_invariants().unwrap();
+}
+
+/// Mixed present/absent keys under churn still return a consistent view:
+/// a token moving between keys 30 and 40 (two single-key ops) is seen in
+/// at most one place per snapshot — never both (sum 2 is unreachable).
+#[test]
+fn get_many_absent_keys_are_consistent() {
+    let s: Arc<Multiset<u64>> = Arc::new(Multiset::new());
+    s.insert(30, 1);
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let s = Arc::clone(&s);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut at30 = true;
+            while !stop.load(Ordering::Relaxed) {
+                if at30 {
+                    assert!(s.remove(30, 1));
+                    s.insert(40, 1);
+                } else {
+                    assert!(s.remove(40, 1));
+                    s.insert(30, 1);
+                }
+                at30 = !at30;
+            }
+        })
+    };
+    let reader = {
+        let s = Arc::clone(&s);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let counts = s.get_many(&[30, 35, 40]);
+                assert_eq!(counts[1], 0, "35 never inserted");
+                assert!(
+                    counts[0] + counts[2] <= 1,
+                    "token seen in both places: snapshot not atomic"
+                );
+            }
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+    reader.join().unwrap();
+    s.check_invariants().unwrap();
+}

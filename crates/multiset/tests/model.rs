@@ -1,0 +1,98 @@
+//! Property tests: the multiset agrees with a sequential model
+//! (`BTreeMap<K, u64>`) under arbitrary operation sequences. Because the
+//! structure is linearizable (paper Theorem 6), a single-threaded run
+//! must behave exactly like the sequential specification of Lemma 108.
+
+use std::collections::BTreeMap;
+
+use multiset::Multiset;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8, u8),
+    Delete(u8, u8),
+    Get(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), 1..8u8).prop_map(|(k, c)| Op::Insert(k, c)),
+        (any::<u8>(), 1..8u8).prop_map(|(k, c)| Op::Delete(k, c)),
+        any::<u8>().prop_map(Op::Get),
+    ]
+}
+
+fn model_insert(model: &mut BTreeMap<u8, u64>, k: u8, c: u64) {
+    *model.entry(k).or_insert(0) += c;
+}
+
+fn model_delete(model: &mut BTreeMap<u8, u64>, k: u8, c: u64) -> bool {
+    match model.get_mut(&k) {
+        Some(cur) if *cur > c => {
+            *cur -= c;
+            true
+        }
+        Some(cur) if *cur == c => {
+            model.remove(&k);
+            true
+        }
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn agrees_with_sequential_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let set: Multiset<u8> = Multiset::new();
+        let mut model: BTreeMap<u8, u64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, c) => {
+                    set.insert(k, c as u64);
+                    model_insert(&mut model, k, c as u64);
+                }
+                Op::Delete(k, c) => {
+                    let got = set.remove(k, c as u64);
+                    let want = model_delete(&mut model, k, c as u64);
+                    prop_assert_eq!(got, want, "Delete({}, {}) result mismatch", k, c);
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(set.get(k), model.get(&k).copied().unwrap_or(0));
+                }
+            }
+        }
+        // Final contents identical.
+        let contents: Vec<(u8, u64)> = set.to_vec();
+        let expected: Vec<(u8, u64)> = model.into_iter().collect();
+        prop_assert_eq!(contents, expected);
+        set.check_invariants().map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn len_equals_total_count(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+        let set: Multiset<u8> = Multiset::new();
+        let mut total: i64 = 0;
+        let mut model: BTreeMap<u8, u64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, c) => {
+                    set.insert(k, c as u64);
+                    model_insert(&mut model, k, c as u64);
+                    total += c as i64;
+                }
+                Op::Delete(k, c) => {
+                    if set.remove(k, c as u64) {
+                        model_delete(&mut model, k, c as u64);
+                        total -= c as i64;
+                    }
+                }
+                Op::Get(_) => {}
+            }
+        }
+        prop_assert_eq!(set.len() as i64, total);
+        prop_assert_eq!(set.is_empty(), total == 0);
+    }
+}

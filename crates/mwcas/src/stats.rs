@@ -1,0 +1,46 @@
+//! CAS step counting for the E1 step-complexity experiment.
+//!
+//! A single process-wide counter suffices here: the experiment measures
+//! uncontended single-threaded costs, differencing the counter around
+//! one operation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CAS_COUNT: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+pub(crate) fn bump_cas() {
+    CAS_COUNT.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total CAS steps executed by this crate since the last reset.
+pub fn kcas_cas_count() -> u64 {
+    CAS_COUNT.load(Ordering::Relaxed)
+}
+
+/// Reset the CAS step counter to zero.
+pub fn kcas_reset_cas_count() {
+    CAS_COUNT.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{kcas, KcasCell};
+
+    #[test]
+    fn uncontended_kcas_costs_3k_plus_1_cas() {
+        // Harris-style kCAS: per word, one RDCSS install CAS + one RDCSS
+        // completion CAS + one phase-2 CAS, plus the single status CAS.
+        // (The paper's cited optimum [Sundell 2011] is 2k + 1.)
+        for k in 1..=8usize {
+            let cells: Vec<KcasCell> = (0..k).map(|_| KcasCell::new(0)).collect();
+            let g = crossbeam_epoch::pin();
+            let entries: Vec<_> = cells.iter().map(|c| (c, 0u64, 1u64)).collect();
+            let before = kcas_cas_count();
+            assert!(kcas(&entries, &g));
+            let cost = kcas_cas_count() - before;
+            assert_eq!(cost, (3 * k + 1) as u64, "k = {k}");
+        }
+    }
+}

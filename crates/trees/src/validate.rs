@@ -1,0 +1,170 @@
+//! Structural and balance validators for the trees (test substrate).
+//!
+//! The validators take the tree's entry-point pointer, which the
+//! wrapping structures guarantee is live for their lifetime.
+#![allow(clippy::not_unsafe_ptr_arg_deref)]
+
+use llx_scx::Guard;
+
+use crate::node::{is_leaf, Node, TreeDomain, TreeKey, LEFT, RIGHT};
+
+/// Check leaf-oriented BST structure from `root`:
+///
+/// * internal nodes have two children; leaves none;
+/// * for every internal node `n`: all keys in the left subtree `< n.key`
+///   and all keys in the right subtree `>= n.key`;
+/// * the root holds `Inf2`; `Inf1`/`Inf2` leaves bracket the user keys;
+/// * no reachable node is finalized (marked);
+/// * if `chromatic`, additionally: leaf weights `>= 1` and the root's
+///   left child has weight `>= 1`.
+pub fn check_structure<K: Copy + Ord, V>(
+    domain: &TreeDomain<K, V>,
+    root: *const Node<K, V>,
+    chromatic: bool,
+) -> Result<(), String> {
+    let guard = llx_scx::pin();
+    let root_ref: &Node<K, V> = unsafe { &*root };
+    if root_ref.immutable().key != TreeKey::Inf2 {
+        return Err("root key must be Inf2".into());
+    }
+    if is_leaf(root_ref) {
+        return Err("root must be internal".into());
+    }
+    if chromatic {
+        let left: &Node<K, V> = unsafe { domain.deref(root_ref.read(LEFT), &guard) };
+        if left.immutable().weight == 0 {
+            return Err("root's left child must not be red".into());
+        }
+    }
+    check_range(domain, root_ref, None, Some(TreeKey::Inf2), chromatic, &guard)?;
+    Ok(())
+}
+
+fn check_range<K: Copy + Ord, V>(
+    domain: &TreeDomain<K, V>,
+    n: &Node<K, V>,
+    lo: Option<TreeKey<K>>,
+    hi: Option<TreeKey<K>>,
+    chromatic: bool,
+    guard: &Guard,
+) -> Result<(), String> {
+    if n.is_marked() {
+        return Err("reachable node is finalized".into());
+    }
+    let key = n.immutable().key;
+    if let Some(lo) = lo {
+        if key < lo {
+            return Err("BST order violated (key below range)".into());
+        }
+    }
+    if let Some(hi) = hi {
+        if key > hi {
+            return Err("BST order violated (key above range)".into());
+        }
+    }
+    let lw = n.read(LEFT);
+    let rw = n.read(RIGHT);
+    match (lw == llx_scx::NULL, rw == llx_scx::NULL) {
+        (true, true) => {
+            if chromatic && n.immutable().weight == 0 {
+                return Err("leaf with weight 0".into());
+            }
+            Ok(())
+        }
+        (false, false) => {
+            let l: &Node<K, V> = unsafe { domain.deref(lw, guard) };
+            let r: &Node<K, V> = unsafe { domain.deref(rw, guard) };
+            // Left subtree keys < key; right subtree keys >= key. Leaf
+            // routing keys equal the internal key on the right side.
+            if l.immutable().key >= key {
+                return Err("left child key not smaller than parent".into());
+            }
+            if r.immutable().key < key {
+                return Err("right child key smaller than parent".into());
+            }
+            if chromatic
+                && n.immutable().weight == 0
+                && (l.immutable().weight == 0 || r.immutable().weight == 0)
+            {
+                return Err("red-red violation".into());
+            }
+            check_range(domain, l, lo, Some(key), chromatic, guard)?;
+            check_range(domain, r, Some(key), hi, chromatic, guard)
+        }
+        _ => Err("node with exactly one child".into()),
+    }
+}
+
+/// Height in edges from `root` to the deepest leaf.
+pub fn height<K, V>(domain: &TreeDomain<K, V>, root: *const Node<K, V>) -> usize {
+    let guard = llx_scx::pin();
+    fn go<K, V>(domain: &TreeDomain<K, V>, n: &Node<K, V>, guard: &Guard) -> usize {
+        if is_leaf(n) {
+            0
+        } else {
+            let l: &Node<K, V> = unsafe { domain.deref(n.read(LEFT), guard) };
+            let r: &Node<K, V> = unsafe { domain.deref(n.read(RIGHT), guard) };
+            1 + go(domain, l, guard).max(go(domain, r, guard))
+        }
+    }
+    go(domain, unsafe { &*root }, &guard)
+}
+
+/// Number of leaves under `root`.
+pub fn leaf_count<K, V>(domain: &TreeDomain<K, V>, root: *const Node<K, V>) -> usize {
+    let guard = llx_scx::pin();
+    fn go<K, V>(domain: &TreeDomain<K, V>, n: &Node<K, V>, guard: &Guard) -> usize {
+        if is_leaf(n) {
+            1
+        } else {
+            let l: &Node<K, V> = unsafe { domain.deref(n.read(LEFT), guard) };
+            let r: &Node<K, V> = unsafe { domain.deref(n.read(RIGHT), guard) };
+            go(domain, l, guard) + go(domain, r, guard)
+        }
+    }
+    go(domain, unsafe { &*root }, &guard)
+}
+
+/// Chromatic balance validation under `top` (normally the root's left
+/// child, the subtree holding all user keys):
+///
+/// * **no violations**: no red-red edge, no weight `>= 2`;
+/// * **equal weighted path sums**: every `top`-to-leaf path has the same
+///   total weight (the red-black tree property in weight form).
+///
+/// Call during quiescence after updates have finished their cleanup.
+pub fn check_balanced<K: Copy + Ord, V>(
+    domain: &TreeDomain<K, V>,
+    top: *const Node<K, V>,
+) -> Result<u64, String> {
+    let guard = llx_scx::pin();
+    fn go<K, V>(
+        domain: &TreeDomain<K, V>,
+        n: &Node<K, V>,
+        parent_red: bool,
+        guard: &Guard,
+    ) -> Result<u64, String> {
+        let w = n.immutable().weight;
+        if w >= 2 {
+            return Err(format!("overweight violation (weight {w})"));
+        }
+        if parent_red && w == 0 {
+            return Err("red-red violation".into());
+        }
+        if is_leaf(n) {
+            if w == 0 {
+                return Err("red leaf".into());
+            }
+            return Ok(w as u64);
+        }
+        let l: &Node<K, V> = unsafe { domain.deref(n.read(LEFT), guard) };
+        let r: &Node<K, V> = unsafe { domain.deref(n.read(RIGHT), guard) };
+        let ls = go(domain, l, w == 0, guard)?;
+        let rs = go(domain, r, w == 0, guard)?;
+        if ls != rs {
+            return Err(format!("unequal weighted path sums ({ls} vs {rs})"));
+        }
+        Ok(ls + w as u64)
+    }
+    go(domain, unsafe { &*top }, false, &guard)
+}

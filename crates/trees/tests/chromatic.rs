@@ -1,0 +1,212 @@
+//! Chromatic tree validation: sequential balance, model equivalence,
+//! and concurrent stress with post-quiescence balance checks.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use trees::ChromaticTree;
+
+#[test]
+fn empty_tree_is_balanced() {
+    let t: ChromaticTree<u64, u64> = ChromaticTree::new();
+    assert!(t.is_empty());
+    t.check_invariants().unwrap();
+    t.check_balanced().unwrap();
+}
+
+#[test]
+fn sequential_ascending_inserts_stay_balanced() {
+    // The adversarial insertion order for an unbalanced BST.
+    let t: ChromaticTree<u64, u64> = ChromaticTree::new();
+    for k in 0..1024u64 {
+        assert!(t.insert(k, k));
+        t.check_invariants().unwrap();
+    }
+    t.check_balanced().unwrap();
+    // Red-black bound: height <= 2*log2(n+1) + sentinel slack.
+    let h = t.height();
+    assert!(
+        h <= 2 * 11 + 3,
+        "height {h} exceeds the red-black bound for 1024 keys"
+    );
+    assert_eq!(t.len(), 1024);
+}
+
+#[test]
+fn sequential_descending_inserts_stay_balanced() {
+    let t: ChromaticTree<u64, u64> = ChromaticTree::new();
+    for k in (0..1024u64).rev() {
+        assert!(t.insert(k, k));
+    }
+    t.check_balanced().unwrap();
+    let h = t.height();
+    assert!(h <= 2 * 11 + 3, "height {h} too large");
+}
+
+#[test]
+fn sequential_deletes_stay_balanced() {
+    let t: ChromaticTree<u64, u64> = ChromaticTree::new();
+    for k in 0..512u64 {
+        t.insert(k, k);
+    }
+    // Delete every other key, then a contiguous run.
+    for k in (0..512u64).step_by(2) {
+        assert_eq!(t.remove(k), Some(k));
+        t.check_invariants().unwrap();
+    }
+    t.check_balanced().unwrap();
+    for k in (1..512u64).step_by(2) {
+        assert_eq!(t.remove(k), Some(k));
+    }
+    assert!(t.is_empty());
+    t.check_balanced().unwrap();
+}
+
+#[test]
+fn mixed_random_ops_match_model_and_stay_balanced() {
+    use std::collections::BTreeMap;
+    let t: ChromaticTree<u64, u64> = ChromaticTree::new();
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut rng: u64 = 0x12345678;
+    for i in 0..20_000u64 {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        let k = rng % 300;
+        if rng & 0x1000 == 0 || model.len() < 10 {
+            let inserted = t.insert(k, i);
+            assert_eq!(inserted, !model.contains_key(&k), "insert({k})");
+            model.entry(k).or_insert(i);
+        } else {
+            let removed = t.remove(k);
+            assert_eq!(removed, model.remove(&k), "remove({k})");
+        }
+        if i % 2048 == 0 {
+            t.check_invariants().unwrap();
+            t.check_balanced().unwrap();
+        }
+    }
+    t.check_balanced().unwrap();
+    let contents: Vec<(u64, u64)> = t.to_vec();
+    let expected: Vec<(u64, u64)> = model.into_iter().collect();
+    assert_eq!(contents, expected);
+}
+
+#[test]
+fn concurrent_mixed_ops_balanced_after_quiescence() {
+    const THREADS: usize = 8;
+    const KEYS: u64 = 256;
+    let t: Arc<ChromaticTree<u64, u64>> = Arc::new(ChromaticTree::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for tid in 0..THREADS as u64 {
+        let t = Arc::clone(&t);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = (tid + 1).wrapping_mul(0x9E3779B97F4A7C15);
+            let mut net = 0i64;
+            while !stop.load(Ordering::Relaxed) {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                let k = rng % KEYS;
+                match (rng >> 20) % 3 {
+                    0 => {
+                        if t.insert(k, k) {
+                            net += 1;
+                        }
+                    }
+                    1 => {
+                        if t.remove(k).is_some() {
+                            net -= 1;
+                        }
+                    }
+                    _ => {
+                        let _ = t.get(k);
+                    }
+                }
+            }
+            net
+        }));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(700));
+    stop.store(true, Ordering::Relaxed);
+    let net: i64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    t.check_invariants().unwrap();
+    t.check_balanced()
+        .expect("tree balanced after quiescence");
+    assert_eq!(t.len() as i64, net);
+}
+
+#[test]
+fn concurrent_disjoint_inserts_then_full_scan() {
+    const THREADS: u64 = 4;
+    const PER: u64 = 500;
+    let t: Arc<ChromaticTree<u64, u64>> = Arc::new(ChromaticTree::new());
+    let mut handles = Vec::new();
+    for tid in 0..THREADS {
+        let t = Arc::clone(&t);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..PER {
+                assert!(t.insert(tid + THREADS * i, i));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    t.check_invariants().unwrap();
+    t.check_balanced().unwrap();
+    assert_eq!(t.len() as u64, THREADS * PER);
+    let keys: Vec<u64> = t.fold(Vec::new(), |mut v, k, _| {
+        v.push(k);
+        v
+    });
+    assert!(keys.windows(2).all(|w| w[0] < w[1]), "sorted iteration");
+    // Height stays logarithmic.
+    let h = t.height();
+    assert!(h <= 2 * 11 + 3, "height {h} for {} keys", THREADS * PER);
+}
+
+#[test]
+fn values_survive_rebalancing() {
+    let t: ChromaticTree<u64, String> = ChromaticTree::new();
+    for k in 0..200u64 {
+        t.insert(k, format!("v{k}"));
+    }
+    for k in 0..200u64 {
+        assert_eq!(t.get(k), Some(format!("v{k}")), "key {k}");
+    }
+    for k in (0..200u64).step_by(3) {
+        assert_eq!(t.remove(k), Some(format!("v{k}")));
+    }
+    for k in 0..200u64 {
+        if k % 3 == 0 {
+            assert_eq!(t.get(k), None);
+        } else {
+            assert_eq!(t.get(k), Some(format!("v{k}")));
+        }
+    }
+    t.check_balanced().unwrap();
+}
+
+#[test]
+fn first_and_last_key_value() {
+    let t: ChromaticTree<u64, u64> = ChromaticTree::new();
+    assert_eq!(t.first_key_value(), None);
+    assert_eq!(t.last_key_value(), None);
+    for k in [50u64, 10, 90, 30, 70] {
+        t.insert(k, k * 2);
+    }
+    assert_eq!(t.first_key_value(), Some((10, 20)));
+    assert_eq!(t.last_key_value(), Some((90, 180)));
+    t.remove(10);
+    t.remove(90);
+    assert_eq!(t.first_key_value(), Some((30, 60)));
+    assert_eq!(t.last_key_value(), Some((70, 140)));
+    t.remove(30);
+    t.remove(50);
+    t.remove(70);
+    assert_eq!(t.first_key_value(), None);
+    assert_eq!(t.last_key_value(), None);
+}

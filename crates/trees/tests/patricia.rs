@@ -1,0 +1,219 @@
+//! Patricia trie validation: model equivalence, structural invariants,
+//! depth bounds, and concurrent stress.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use trees::PatriciaTrie;
+
+#[test]
+fn empty_trie() {
+    let t: PatriciaTrie<u64> = PatriciaTrie::new();
+    assert!(t.is_empty());
+    assert_eq!(t.get(0), None);
+    assert_eq!(t.remove(0), None);
+    t.check_invariants().unwrap();
+}
+
+#[test]
+fn single_key_lifecycle() {
+    let t = PatriciaTrie::new();
+    assert!(t.insert(42, "x"));
+    assert!(!t.insert(42, "y"));
+    assert_eq!(t.get(42), Some("x"));
+    t.check_invariants().unwrap();
+    assert_eq!(t.remove(42), Some("x"));
+    assert!(t.is_empty());
+    t.check_invariants().unwrap();
+    // Reusable after emptying (fresh sentinel).
+    assert!(t.insert(7, "z"));
+    assert_eq!(t.get(7), Some("z"));
+    t.check_invariants().unwrap();
+}
+
+#[test]
+fn adversarial_keys_keep_bounded_depth() {
+    // Sequential keys 0..n give a trie of depth <= log2(n) + 1; compare
+    // with the unbalanced BST where they give depth n.
+    let t = PatriciaTrie::new();
+    let n = 1024u64;
+    for k in 0..n {
+        assert!(t.insert(k, k));
+    }
+    t.check_invariants().unwrap();
+    assert_eq!(t.len() as u64, n);
+    assert!(t.depth() <= 11, "depth {} too large", t.depth());
+    // Extreme bit patterns.
+    let t2 = PatriciaTrie::new();
+    for k in [0u64, u64::MAX, 1 << 63, 1, (1 << 63) | 1] {
+        assert!(t2.insert(k, k));
+    }
+    t2.check_invariants().unwrap();
+    assert_eq!(
+        t2.to_vec().iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+        vec![0, 1, 1 << 63, (1 << 63) | 1, u64::MAX]
+    );
+    assert!(t2.depth() <= 64);
+}
+
+#[test]
+fn ordered_iteration() {
+    let t = PatriciaTrie::new();
+    let keys = [907u64, 3, 555, 18, 0, 77777, 42];
+    for &k in &keys {
+        t.insert(k, k * 2);
+    }
+    let mut sorted = keys.to_vec();
+    sorted.sort_unstable();
+    assert_eq!(
+        t.to_vec(),
+        sorted.iter().map(|&k| (k, k * 2)).collect::<Vec<_>>()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn agrees_with_model(ops in proptest::collection::vec(
+        (0..3u8, 0..64u64), 1..300)) {
+        let t: PatriciaTrie<u64> = PatriciaTrie::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (op, key) in ops {
+            // Spread keys over the full bit range to exercise splicing
+            // at every level.
+            let key = key.wrapping_mul(0x9E3779B97F4A7C15);
+            match op {
+                0 => {
+                    let got = t.insert(key, key);
+                    prop_assert_eq!(got, !model.contains_key(&key));
+                    model.entry(key).or_insert(key);
+                }
+                1 => {
+                    prop_assert_eq!(t.remove(key), model.remove(&key));
+                }
+                _ => {
+                    prop_assert_eq!(t.get(key), model.get(&key).copied());
+                }
+            }
+        }
+        prop_assert_eq!(t.to_vec(), model.into_iter().collect::<Vec<_>>());
+        t.check_invariants().map_err(TestCaseError::fail)?;
+    }
+}
+
+#[test]
+fn concurrent_mixed_ops_conserve_membership() {
+    const THREADS: u64 = 8;
+    let t: Arc<PatriciaTrie<u64>> = Arc::new(PatriciaTrie::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for tid in 0..THREADS {
+        let t = Arc::clone(&t);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = (tid + 1).wrapping_mul(0x2545F4914F6CDD1D);
+            let mut net = 0i64;
+            while !stop.load(Ordering::Relaxed) {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                // Scatter keys across bit positions.
+                let key = (rng % 128).wrapping_mul(0x9E3779B97F4A7C15);
+                match (rng >> 24) % 3 {
+                    0 => {
+                        if t.insert(key, key) {
+                            net += 1;
+                        }
+                    }
+                    1 => {
+                        if t.remove(key).is_some() {
+                            net -= 1;
+                        }
+                    }
+                    _ => {
+                        if let Some(v) = t.get(key) {
+                            assert_eq!(v, key, "value integrity");
+                        }
+                    }
+                }
+            }
+            net
+        }));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(600));
+    stop.store(true, Ordering::Relaxed);
+    let net: i64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    t.check_invariants().unwrap();
+    assert_eq!(t.len() as i64, net);
+}
+
+#[test]
+fn concurrent_disjoint_bit_regions() {
+    // Each thread owns a distinct high-bit region: no conflicts expected,
+    // every op must succeed first try eventually.
+    const THREADS: u64 = 4;
+    let t: Arc<PatriciaTrie<u64>> = Arc::new(PatriciaTrie::new());
+    let mut handles = Vec::new();
+    for tid in 0..THREADS {
+        let t = Arc::clone(&t);
+        handles.push(std::thread::spawn(move || {
+            let base = tid << 60;
+            for i in 0..400u64 {
+                assert!(t.insert(base | i, i));
+            }
+            for i in (0..400u64).step_by(2) {
+                assert_eq!(t.remove(base | i), Some(i));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    t.check_invariants().unwrap();
+    assert_eq!(t.len() as u64, THREADS * 200);
+}
+
+#[test]
+fn prefix_queries() {
+    let t = PatriciaTrie::new();
+    // Keys grouped by their top byte: three under 0x11, two under 0x22.
+    let keys = [
+        0x1100_0000_0000_0000u64,
+        0x1101_0000_0000_0000,
+        0x11FF_0000_0000_0001,
+        0x2200_0000_0000_0000,
+        0x2210_0000_0000_0002,
+    ];
+    for &key in &keys {
+        t.insert(key, key);
+    }
+    let hits = t.keys_with_prefix(0x11u64 << 56, 8);
+    assert_eq!(hits.len(), 3, "three keys under top byte 0x11");
+    assert!(hits.windows(2).all(|w| w[0].0 < w[1].0), "ascending");
+    assert_eq!(t.keys_with_prefix(0x22u64 << 56, 8).len(), 2);
+    assert!(t.keys_with_prefix(0x33u64 << 56, 8).is_empty());
+    // Longer prefixes narrow the result.
+    assert_eq!(t.keys_with_prefix(0x1100u64 << 48, 16).len(), 1);
+    // Full-width prefix behaves like get.
+    assert_eq!(t.keys_with_prefix(keys[2], 64).len(), 1);
+    assert!(t.keys_with_prefix(keys[2] ^ 1, 64).is_empty());
+}
+
+#[test]
+fn prefix_query_on_empty_and_single() {
+    let t: PatriciaTrie<u64> = PatriciaTrie::new();
+    assert!(t.keys_with_prefix(0, 8).is_empty());
+    t.insert(0xAB00_0000_0000_0000, 1);
+    assert_eq!(t.keys_with_prefix(0xAB00_0000_0000_0000, 8).len(), 1);
+    assert!(t.keys_with_prefix(0xCD00_0000_0000_0000, 8).is_empty());
+}
+
+#[test]
+#[should_panic(expected = "prefix length")]
+fn prefix_zero_bits_panics() {
+    let t: PatriciaTrie<u64> = PatriciaTrie::new();
+    t.keys_with_prefix(0, 0);
+}

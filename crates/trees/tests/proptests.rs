@@ -1,0 +1,81 @@
+//! Property tests: both trees agree with a sequential model under
+//! arbitrary operation sequences, and the chromatic tree is balanced
+//! after every quiescent point.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use trees::{Bst, ChromaticTree};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16),
+    Remove(u16),
+    Get(u16),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..400u16).prop_map(Op::Insert),
+            (0..400u16).prop_map(Op::Remove),
+            (0..400u16).prop_map(Op::Get),
+        ],
+        1..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bst_agrees_with_model(ops in ops()) {
+        let t: Bst<u16, u16> = Bst::new();
+        let mut model: BTreeMap<u16, u16> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k) => {
+                    let got = t.insert(k, k.wrapping_mul(3));
+                    let want = !model.contains_key(&k);
+                    prop_assert_eq!(got, want);
+                    model.entry(k).or_insert(k.wrapping_mul(3));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(t.remove(k), model.remove(&k));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(t.get(k), model.get(&k).copied());
+                }
+            }
+        }
+        prop_assert_eq!(t.to_vec(), model.into_iter().collect::<Vec<_>>());
+        t.check_invariants().map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn chromatic_agrees_with_model_and_balances(ops in ops()) {
+        let t: ChromaticTree<u16, u16> = ChromaticTree::new();
+        let mut model: BTreeMap<u16, u16> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k) => {
+                    let got = t.insert(k, k.wrapping_mul(3));
+                    let want = !model.contains_key(&k);
+                    prop_assert_eq!(got, want);
+                    model.entry(k).or_insert(k.wrapping_mul(3));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(t.remove(k), model.remove(&k));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(t.get(k), model.get(&k).copied());
+                }
+            }
+            // Single-threaded execution is always quiescent: the tree
+            // must be violation-free with equal path sums continuously.
+            t.check_balanced().map_err(TestCaseError::fail)?;
+        }
+        prop_assert_eq!(t.to_vec(), model.into_iter().collect::<Vec<_>>());
+        t.check_invariants().map_err(TestCaseError::fail)?;
+    }
+}

@@ -1,0 +1,280 @@
+//! Workload generation for the benchmark harness.
+//!
+//! The evaluation style of the paper's §6 follow-up (and of the
+//! concurrent-dictionary literature it compares against) sweeps three
+//! parameters: thread count, key-range size, and operation mix
+//! (reads/inserts/deletes). This crate provides the deterministic
+//! generators those sweeps use:
+//!
+//! * [`Mix`] — an operation mix in percent;
+//! * [`KeyDist`] — uniform or Zipf-distributed key choice;
+//! * [`WorkloadGen`] — a per-thread deterministic stream of operations;
+//! * [`prefill_keys`] — the standard 50%-full prefill sequence.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The kind of an operation in a generated stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// A lookup.
+    Get,
+    /// An insertion.
+    Insert,
+    /// A deletion.
+    Remove,
+}
+
+/// An operation mix in percent; must sum to 100.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix {
+    /// Percent of lookups.
+    pub get: u32,
+    /// Percent of insertions.
+    pub insert: u32,
+    /// Percent of deletions.
+    pub remove: u32,
+}
+
+impl Mix {
+    /// A mix with `updates`% updates (split evenly between inserts and
+    /// removes) and the rest lookups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `updates > 100`.
+    pub fn with_update_percent(updates: u32) -> Self {
+        assert!(updates <= 100, "update percentage over 100");
+        Mix {
+            get: 100 - updates,
+            insert: updates / 2 + updates % 2,
+            remove: updates / 2,
+        }
+    }
+
+    /// Validate that the mix sums to 100.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.get + self.insert + self.remove == 100 {
+            Ok(())
+        } else {
+            Err(format!("mix sums to {}", self.get + self.insert + self.remove))
+        }
+    }
+}
+
+/// Key distribution over `0..n`.
+#[derive(Debug, Clone)]
+pub enum KeyDist {
+    /// Uniform over `0..n`.
+    Uniform {
+        /// Key-range size.
+        n: u64,
+    },
+    /// Zipf over `0..n` with skew `theta` in `(0, 1)`; popular keys are
+    /// sampled far more often (models skewed access).
+    Zipf {
+        /// Key-range size.
+        n: u64,
+        /// Skew parameter; `0.99` is the YCSB default.
+        theta: f64,
+        /// Precomputed generalized harmonic number `H_{n,theta}`.
+        zetan: f64,
+    },
+}
+
+impl KeyDist {
+    /// Uniform keys over `0..n`.
+    pub fn uniform(n: u64) -> Self {
+        assert!(n > 0);
+        KeyDist::Uniform { n }
+    }
+
+    /// Zipf keys over `0..n` with skew `theta` (e.g. `0.99`).
+    ///
+    /// Precomputes the harmonic normalizer in `O(n)`.
+    pub fn zipf(n: u64, theta: f64) -> Self {
+        assert!(n > 0);
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
+        let zetan = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        KeyDist::Zipf { n, theta, zetan }
+    }
+
+    /// The key-range size.
+    pub fn range(&self) -> u64 {
+        match self {
+            KeyDist::Uniform { n } => *n,
+            KeyDist::Zipf { n, .. } => *n,
+        }
+    }
+
+    /// Sample a key.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        match self {
+            KeyDist::Uniform { n } => rng.random_range(0..*n),
+            KeyDist::Zipf { n, theta, zetan } => {
+                // Gray et al., "Quickly generating billion-record
+                // synthetic databases": inverse-CDF approximation.
+                let n = *n;
+                let theta = *theta;
+                let alpha = 1.0 / (1.0 - theta);
+                let zeta2: f64 = (1..=2u64.min(n))
+                    .map(|i| 1.0 / (i as f64).powf(theta))
+                    .sum();
+                let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+                let u: f64 = rng.random();
+                let uz = u * zetan;
+                let rank = if uz < 1.0 {
+                    1
+                } else if uz < 1.0 + 0.5f64.powf(theta) {
+                    2
+                } else {
+                    1 + ((n as f64) * (eta * u - eta + 1.0).powf(alpha)) as u64
+                };
+                rank.min(n) - 1
+            }
+        }
+    }
+}
+
+/// A deterministic per-thread operation stream.
+#[derive(Debug)]
+pub struct WorkloadGen {
+    rng: SmallRng,
+    dist: KeyDist,
+    mix: Mix,
+}
+
+impl WorkloadGen {
+    /// A generator seeded by `(seed, thread)`, so concurrent threads get
+    /// distinct, reproducible streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix does not sum to 100.
+    pub fn new(seed: u64, thread: usize, dist: KeyDist, mix: Mix) -> Self {
+        mix.validate().expect("operation mix must sum to 100");
+        let rng = SmallRng::seed_from_u64(
+            seed.wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(thread as u64 + 1),
+        );
+        WorkloadGen { rng, dist, mix }
+    }
+
+    /// The next `(operation, key)` pair.
+    pub fn next_op(&mut self) -> (OpKind, u64) {
+        let roll = self.rng.random_range(0..100u32);
+        let kind = if roll < self.mix.get {
+            OpKind::Get
+        } else if roll < self.mix.get + self.mix.insert {
+            OpKind::Insert
+        } else {
+            OpKind::Remove
+        };
+        (kind, self.dist.sample(&mut self.rng))
+    }
+}
+
+/// The standard prefill: insert every other key of `0..n` so that the
+/// structure is ~50% full and sizes stay stable under balanced
+/// insert/delete mixes.
+pub fn prefill_keys(n: u64) -> impl Iterator<Item = u64> {
+    (0..n).step_by(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_constructor_sums_to_100() {
+        for u in [0, 10, 20, 33, 50, 100] {
+            let m = Mix::with_update_percent(u);
+            m.validate().unwrap();
+            assert_eq!(m.insert + m.remove, u);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "over 100")]
+    fn mix_rejects_over_100() {
+        Mix::with_update_percent(101);
+    }
+
+    #[test]
+    fn uniform_covers_range() {
+        let d = KeyDist::uniform(16);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut seen = [false; 16];
+        for _ in 0..2000 {
+            seen[d.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all keys sampled");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let n = 1000;
+        let d = KeyDist::zipf(n, 0.99);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = vec![0u64; n as usize];
+        let samples = 100_000;
+        for _ in 0..samples {
+            let k = d.sample(&mut rng);
+            assert!(k < n);
+            counts[k as usize] += 1;
+        }
+        // Key 0 (rank 1) should dominate; top-10 keys take a large share.
+        let top10: u64 = counts.iter().take(10).sum();
+        assert!(
+            counts[0] > samples / 20,
+            "rank-1 frequency too low: {}",
+            counts[0]
+        );
+        assert!(top10 > samples / 3, "top-10 share too low: {top10}");
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_thread() {
+        let mk = |t| {
+            let mut g = WorkloadGen::new(
+                1,
+                t,
+                KeyDist::uniform(100),
+                Mix::with_update_percent(40),
+            );
+            (0..50).map(|_| g.next_op()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(0), mk(0), "same thread, same stream");
+        assert_ne!(mk(0), mk(1), "different threads, different streams");
+    }
+
+    #[test]
+    fn mix_frequencies_roughly_match() {
+        let mut g = WorkloadGen::new(
+            3,
+            0,
+            KeyDist::uniform(10),
+            Mix { get: 80, insert: 10, remove: 10 },
+        );
+        let mut counts = [0u32; 3];
+        for _ in 0..10_000 {
+            match g.next_op().0 {
+                OpKind::Get => counts[0] += 1,
+                OpKind::Insert => counts[1] += 1,
+                OpKind::Remove => counts[2] += 1,
+            }
+        }
+        assert!((7_500..8_500).contains(&counts[0]), "gets: {}", counts[0]);
+        assert!((700..1_300).contains(&counts[1]), "inserts: {}", counts[1]);
+        assert!((700..1_300).contains(&counts[2]), "removes: {}", counts[2]);
+    }
+
+    #[test]
+    fn prefill_is_half_range() {
+        let keys: Vec<u64> = prefill_keys(10).collect();
+        assert_eq!(keys, vec![0, 2, 4, 6, 8]);
+    }
+}

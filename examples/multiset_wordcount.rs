@@ -1,0 +1,85 @@
+//! Concurrent word counting with the paper's multiset (§5).
+//!
+//! The multiset ADT (`Insert(key, count)` / `Get(key)` / `Delete(key,
+//! count)`) is exactly a concurrent counting structure: many threads
+//! tally occurrences, readers query counts while tallying is in flight.
+//! This example shards a corpus across threads, counts words
+//! concurrently, then removes stop words with exact multiplicities.
+//!
+//! Run with `cargo run --example multiset_wordcount`.
+
+use std::sync::Arc;
+
+use multiset::Multiset;
+
+const CORPUS: &str = "the quick brown fox jumps over the lazy dog \
+                      the dog barks and the fox runs over the hill \
+                      a quick brown dog and a lazy fox meet the dog";
+
+/// Stable tiny hash so words map to u64 keys (a real application would
+/// intern strings; the multiset key type only needs `Copy + Ord`).
+fn key_of(word: &str) -> u64 {
+    word.bytes()
+        .fold(0xcbf29ce484222325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100000001b3)
+        })
+}
+
+fn main() {
+    let words: Vec<&'static str> = CORPUS.split_whitespace().collect();
+    let set: Arc<Multiset<u64>> = Arc::new(Multiset::new());
+
+    // Shard the corpus across 4 tally threads.
+    let chunks: Vec<Vec<&'static str>> = words.chunks(words.len().div_ceil(4)).map(|c| c.to_vec()).collect();
+    let mut handles = Vec::new();
+    for chunk in chunks {
+        let set = Arc::clone(&set);
+        handles.push(std::thread::spawn(move || {
+            for w in chunk {
+                set.insert(key_of(w), 1);
+            }
+        }));
+    }
+    // A concurrent reader polls the count of "the" while tallying runs.
+    {
+        let set = Arc::clone(&set);
+        handles.push(std::thread::spawn(move || {
+            let k = key_of("the");
+            let mut last = 0;
+            while last < 5 {
+                let now = set.get(k);
+                assert!(now >= last, "counts are monotone during tallying");
+                last = now;
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let mut uniq: Vec<&str> = words.clone();
+    uniq.sort_unstable();
+    uniq.dedup();
+    println!("word counts:");
+    for w in &uniq {
+        println!("  {:>6} x {}", set.get(key_of(w)), w);
+    }
+    assert_eq!(set.len(), words.len() as u64);
+
+    // Remove stop words with exact multiplicities (Delete fails, without
+    // changing anything, if fewer occurrences are present — §5).
+    for stop in ["the", "a", "and"] {
+        let k = key_of(stop);
+        let n = set.get(k);
+        if n > 0 {
+            assert!(set.remove(k, n));
+        }
+        assert!(!set.remove(k, 1), "all occurrences removed");
+    }
+    println!(
+        "total words after stop-word removal: {} (of {})",
+        set.len(),
+        words.len()
+    );
+    set.check_invariants().expect("list invariants hold");
+}

@@ -1,0 +1,57 @@
+//! Quickstart: the three layers of the repository in one file.
+//!
+//! 1. the raw LLX/SCX primitives (`llx-scx`),
+//! 2. the paper's multiset (`multiset`, §5),
+//! 3. the §6 trees (`trees`).
+//!
+//! Run with `cargo run --example quickstart`.
+
+use llx_scx::{Domain, FieldId, LlxResult, ScxRequest};
+use multiset::Multiset;
+use trees::ChromaticTree;
+
+fn main() {
+    // --- Layer 1: primitives -------------------------------------------
+    // A Data-record with one mutable field and a &str immutable payload.
+    let domain: Domain<1, &str> = Domain::new();
+    let guard = llx_scx::pin();
+    let rec = domain.alloc("my-record", [10]);
+    let rec_ref = unsafe { &*rec };
+
+    // LLX takes an atomic snapshot of the mutable fields.
+    let snap = match domain.llx(rec_ref, &guard) {
+        LlxResult::Snapshot(s) => s,
+        _ => unreachable!("no contention here"),
+    };
+    println!(
+        "LLX snapshot of {:?}: {:?}",
+        rec_ref.immutable(),
+        snap.values()
+    );
+
+    // VLX revalidates it for free (k reads).
+    assert!(domain.vlx(&[snap]));
+
+    // SCX atomically writes one field, conditional on the snapshot.
+    let ok = domain.scx(ScxRequest::new(&[snap], FieldId::new(0, 0), 11), &guard);
+    println!("SCX succeeded: {ok}; field is now {}", rec_ref.read(0));
+    unsafe { domain.retire(rec, &guard) };
+    drop(guard);
+
+    // --- Layer 2: the paper's multiset (§5) -----------------------------
+    let set = Multiset::new();
+    set.insert("apple", 3);
+    set.insert("pear", 1);
+    set.remove("apple", 2);
+    println!("multiset contents: {set:?}");
+    assert_eq!(set.get("apple"), 1);
+
+    // --- Layer 3: the §6 chromatic tree ---------------------------------
+    let tree: ChromaticTree<u64, &str> = ChromaticTree::new();
+    for (k, v) in [(3, "three"), (1, "one"), (2, "two")] {
+        tree.insert(k, v);
+    }
+    println!("tree contents:     {tree:?}");
+    tree.check_balanced().expect("balanced after quiescence");
+    println!("tree height:       {} (balanced)", tree.height());
+}

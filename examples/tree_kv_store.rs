@@ -1,0 +1,103 @@
+//! A concurrent key-value store on the chromatic tree (§6).
+//!
+//! Simulates a session store: writer threads create and expire sessions
+//! while reader threads look sessions up, all wait-free of locks. After
+//! the workload quiesces, the example validates the red-black balance
+//! bound that the chromatic tree restores via its LLX/SCX rebalancing
+//! transformations.
+//!
+//! Run with `cargo run --release --example tree_kv_store`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use trees::ChromaticTree;
+
+#[derive(Clone, Debug, PartialEq)]
+struct Session {
+    user: u64,
+    expiry: u64,
+}
+
+fn main() {
+    let store: Arc<ChromaticTree<u64, Session>> = Arc::new(ChromaticTree::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let created = Arc::new(AtomicU64::new(0));
+    let expired = Arc::new(AtomicU64::new(0));
+    let lookups = Arc::new(AtomicU64::new(0));
+
+    let mut handles = Vec::new();
+    // Two writers: create sessions with increasing ids, expire old ones.
+    for w in 0..2u64 {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        let created = Arc::clone(&created);
+        let expired = Arc::clone(&expired);
+        handles.push(std::thread::spawn(move || {
+            let mut next = w; // writer-disjoint id spaces (even/odd)
+            while !stop.load(Ordering::Relaxed) {
+                let id = next;
+                next += 2;
+                if store.insert(
+                    id,
+                    Session {
+                        user: id * 7,
+                        expiry: id + 100,
+                    },
+                ) {
+                    created.fetch_add(1, Ordering::Relaxed);
+                }
+                // Expire a session from the tail of our id space.
+                if id >= 50 && store.remove(id - 50).is_some() {
+                    expired.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+    // Two readers.
+    for r in 0..2u64 {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        let lookups = Arc::clone(&lookups);
+        handles.push(std::thread::spawn(move || {
+            let mut probe = r;
+            while !stop.load(Ordering::Relaxed) {
+                probe = probe.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if let Some(s) = store.get(probe % 2048) {
+                    assert_eq!(s.user, (probe % 2048) * 7, "values never tear");
+                }
+                lookups.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+
+    std::thread::sleep(std::time::Duration::from_millis(500));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let live = store.len();
+    println!(
+        "created {} sessions, expired {}, {} lookups; {} live",
+        created.load(Ordering::Relaxed),
+        expired.load(Ordering::Relaxed),
+        lookups.load(Ordering::Relaxed),
+        live
+    );
+    assert_eq!(
+        live as u64,
+        created.load(Ordering::Relaxed) - expired.load(Ordering::Relaxed)
+    );
+
+    store.check_invariants().expect("structure intact");
+    store.check_balanced().expect("balanced after quiescence");
+    let h = store.height();
+    let n = live as f64;
+    println!(
+        "height {} for {} keys (red-black bound ~ {:.0})",
+        h,
+        live,
+        2.0 * (n + 1.0).log2() + 2.0
+    );
+}

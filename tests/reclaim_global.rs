@@ -1,0 +1,58 @@
+//! Whole-workspace SCX-record reclamation check.
+//!
+//! Lives in its own test binary because it compares a process-global
+//! counter before and after the workload; in-binary test parallelism
+//! would race it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use multiset::Multiset;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// SCX-records created by every structure in the workspace are all
+/// reclaimed (debug builds count live records globally).
+#[test]
+fn no_scx_record_leak_across_structures() {
+    let baseline = llx_scx::live_scx_records();
+    {
+        let set = Arc::new(Multiset::<u64>::new());
+        let tree = Arc::new(trees::ChromaticTree::<u64, u64>::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let set = Arc::clone(&set);
+            let tree = Arc::clone(&tree);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(t);
+                while !stop.load(Ordering::Relaxed) {
+                    let k = rng.random_range(0..64u64);
+                    if rng.random_bool(0.5) {
+                        set.insert(k, 1);
+                        tree.insert(k, k);
+                    } else {
+                        set.remove(k, 1);
+                        tree.remove(k);
+                    }
+                }
+            }));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        set.check_invariants().unwrap();
+        tree.check_balanced().unwrap();
+    }
+    // Drain deferred destructions.
+    for _ in 0..512 {
+        crossbeam_epoch::pin().flush();
+    }
+    if let (Some(before), Some(after)) = (baseline, llx_scx::live_scx_records()) {
+        assert_eq!(after, before, "SCX-records leaked");
+    }
+}
+
