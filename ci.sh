@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI gate for the LLX/SCX reproduction workspace.
+#
+# Mirrors the tier-1 verify command (ROADMAP.md) and adds doctests,
+# example builds, benchmark compilation and a deny-warnings clippy pass.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test --doc -p llx-scx"
+cargo test -q --doc -p llx-scx
+
+echo "==> cargo build --examples"
+cargo build --examples
+
+echo "==> cargo build --benches"
+cargo build -p bench --benches
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI green."

@@ -8,8 +8,36 @@
 mod experiments;
 mod runner;
 
+const USAGE: &str = "\
+bench-harness: experiment harness for the LLX/SCX reproduction
+
+USAGE:
+    bench-harness [EXPERIMENT]
+
+EXPERIMENTS:
+    e1    step complexity of uncontended SCX (paper §1: k+1 CAS, f+2 writes)
+    e2    disjoint SCXs all succeed (paper §3.2 progress guarantee)
+    e3    VLX cost (k reads per validation)
+    e4    multiset throughput scaling: LLX/SCX vs kCAS vs locks
+    e5    tree throughput scaling: chromatic vs BST vs coarse lock
+    e6    progress under contention: obstruction-free KCSS vs SCX
+    e7    search ablation: read-based vs LLX-based traversals
+    e8    helping statistics under contention
+    all   run every experiment in order (default)
+
+OPTIONS:
+    -h, --help    print this help and exit\
+";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args
+        .iter()
+        .any(|a| a == "--help" || a == "-h" || a == "help")
+    {
+        println!("{USAGE}");
+        return;
+    }
     let which = args.first().map(String::as_str).unwrap_or("all");
     let available = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -36,7 +64,7 @@ fn main() {
             experiments::e8_helping_stats();
         }
         other => {
-            eprintln!("unknown experiment {other:?}; use e1..e8 or all");
+            eprintln!("unknown experiment {other:?}\n\n{USAGE}");
             std::process::exit(2);
         }
     }

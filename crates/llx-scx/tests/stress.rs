@@ -12,6 +12,19 @@ use llx_scx::{Domain, FieldId, LlxResult, ScxRequest};
 
 const THREADS: usize = 8;
 
+/// Milliseconds each stop-flag churn phase runs. The default keeps
+/// `cargo test -q` CI-friendly; set `LLX_STRESS_MILLIS` (e.g. 5000) for
+/// a real soak.
+fn stress_millis(default_ms: u64) -> std::time::Duration {
+    workloads::knobs::env_millis("LLX_STRESS_MILLIS", default_ms)
+}
+
+/// Per-thread iteration count for bounded loops, scaled by
+/// `LLX_STRESS_SCALE` (an integer multiplier, default 1).
+fn stress_iters(default_iters: u64) -> u64 {
+    default_iters * workloads::knobs::env_scale("LLX_STRESS_SCALE")
+}
+
 /// Every record stores the same value in both of its mutable fields; an
 /// SCX can only write one field, so updaters perform two SCXs in a row
 /// but LLX must never observe a *torn* pair unless the record is mid
@@ -93,7 +106,7 @@ fn llx_snapshots_are_atomic_under_concurrent_replacement() {
             ops
         }));
     }
-    std::thread::sleep(std::time::Duration::from_millis(400));
+    std::thread::sleep(stress_millis(200));
     stop.store(true, Ordering::Relaxed);
     let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
     assert!(total > 0, "updaters made progress");
@@ -119,7 +132,7 @@ fn disjoint_scxs_all_succeed() {
             .map(|t| domain.alloc(t, [0]) as usize)
             .collect()
     };
-    let per_thread = 20_000u64;
+    let per_thread = stress_iters(20_000);
     let mut handles = Vec::new();
     for (t, &rec) in records.iter().enumerate() {
         let domain = Arc::clone(&domain);
@@ -159,7 +172,7 @@ fn contended_counter_is_exact() {
     let domain: Arc<Domain<1, ()>> = Arc::new(Domain::new());
     let rec = domain.alloc((), [0]) as usize;
     let successes = Arc::new(AtomicU64::new(0));
-    let target = 4_000u64;
+    let target = stress_iters(4_000);
     let mut handles = Vec::new();
     for _ in 0..THREADS {
         let domain = Arc::clone(&domain);
@@ -222,7 +235,7 @@ fn finalization_is_permanent_under_racing_writers() {
         let domain = Arc::clone(&domain);
         handles.push(std::thread::spawn(move || {
             let r = unsafe { &*(rec_addr as *const llx_scx::DataRecord<1, ()>) };
-            for _ in 0..10_000 {
+            for _ in 0..stress_iters(10_000) {
                 let guard = llx_scx::pin();
                 assert!(domain.llx(r, &guard).is_finalized());
                 assert_eq!(r.read(0), 43);
@@ -321,7 +334,7 @@ fn overlapping_scx_transfers_conserve_sum() {
             }
         }));
     }
-    std::thread::sleep(std::time::Duration::from_millis(300));
+    std::thread::sleep(stress_millis(200));
     stop.store(true, Ordering::Relaxed);
     for h in handles {
         h.join().unwrap();

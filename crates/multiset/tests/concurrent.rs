@@ -13,6 +13,13 @@ use multiset::Multiset;
 const THREADS: usize = 8;
 const KEYS: u64 = 16;
 
+/// Milliseconds each stop-flag churn phase runs. The default keeps
+/// `cargo test -q` CI-friendly; set `LLX_STRESS_MILLIS` (e.g. 5000) for
+/// a real soak.
+fn stress_millis(default_ms: u64) -> std::time::Duration {
+    workloads::knobs::env_millis("LLX_STRESS_MILLIS", default_ms)
+}
+
 fn xorshift(x: &mut u64) -> u64 {
     *x ^= *x << 13;
     *x ^= *x >> 7;
@@ -52,7 +59,7 @@ fn mixed_workload_conserves_counts() {
             ledger
         }));
     }
-    std::thread::sleep(std::time::Duration::from_millis(500));
+    std::thread::sleep(stress_millis(200));
     stop.store(true, Ordering::Relaxed);
     let mut expected = vec![0i64; KEYS as usize];
     for h in handles {
@@ -138,7 +145,7 @@ fn contended_single_key() {
             net
         }));
     }
-    std::thread::sleep(std::time::Duration::from_millis(300));
+    std::thread::sleep(stress_millis(150));
     stop.store(true, Ordering::Relaxed);
     let net: i64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
     assert!(net >= 0);
@@ -182,7 +189,7 @@ fn readers_never_observe_broken_structure() {
             }
         }));
     }
-    std::thread::sleep(std::time::Duration::from_millis(300));
+    std::thread::sleep(stress_millis(150));
     stop.store(true, Ordering::Relaxed);
     for h in handles {
         h.join().unwrap();

@@ -1,0 +1,339 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the measurement surface this workspace's benches use:
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion`] with the
+//! `sample_size` / `measurement_time` / `warm_up_time` builders,
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`] and
+//! [`Bencher::iter`].
+//!
+//! Measurement model: each benchmark warms up for the configured
+//! warm-up time, estimates a batch size from the warm-up rate, then runs
+//! timed batches until the measurement time elapses and reports the mean
+//! ns/iteration on stdout. No statistics machinery, no HTML reports —
+//! numbers suitable for tracking relative regressions in CHANGES.md.
+//!
+//! Recognized CLI arguments (others are ignored for compatibility with
+//! `cargo bench` / real criterion invocations): `--quick` divides the
+//! warm-up and measurement times by 5; a positional argument filters
+//! benchmarks by substring.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The benchmark manager: configuration plus result reporting.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut quick = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                // Flags the libtest/criterion harness protocol may pass.
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            filter,
+            quick,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the nominal sample count (kept for API compatibility; this
+    /// shim uses it only to scale batch sizes).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Set how long to measure each benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set how long to warm up each benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    fn effective_times(&self) -> (Duration, Duration) {
+        if self.quick {
+            (
+                self.warm_up_time.div_f64(5.0).max(Duration::from_millis(10)),
+                self.measurement_time
+                    .div_f64(5.0)
+                    .max(Duration::from_millis(20)),
+            )
+        } else {
+            (self.warm_up_time, self.measurement_time)
+        }
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Run one benchmark; `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.selected(id) {
+            let (warm_up, measure) = self.effective_times();
+            let mut b = Bencher::new(warm_up, measure);
+            f(&mut b);
+            b.report(id);
+        }
+        self
+    }
+
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks, e.g. one per parameter value.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if self.criterion.selected(&full) {
+            let (warm_up, measure) = self.criterion.effective_times();
+            let mut b = Bencher::new(warm_up, measure);
+            f(&mut b, input);
+            b.report(&full);
+        }
+        self
+    }
+
+    /// Run one unparameterized benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.selected(&full) {
+            let (warm_up, measure) = self.criterion.effective_times();
+            let mut b = Bencher::new(warm_up, measure);
+            f(&mut b);
+            b.report(&full);
+        }
+        self
+    }
+
+    /// Finish the group (reports are already printed; kept for API
+    /// compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives the timing loop of one benchmark.
+#[derive(Clone, Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(warm_up: Duration, measure: Duration) -> Self {
+        Bencher {
+            warm_up,
+            measure,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Measure `f`: warm up, then run timed batches until the
+    /// measurement time is spent.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up, also yielding a batch-size estimate so the timing
+        // loop checks the clock ~sample_size times, not every iteration.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < self.warm_up {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let warm_elapsed = start.elapsed().max(Duration::from_nanos(1));
+        let rate = warm_iters as f64 / warm_elapsed.as_secs_f64();
+        let batch = ((rate * self.measure.as_secs_f64() / 100.0) as u64).max(1);
+
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            iters += batch;
+            let elapsed = start.elapsed();
+            if elapsed >= self.measure {
+                self.elapsed = elapsed;
+                self.iters = iters;
+                break;
+            }
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters == 0 {
+            println!("{id:<40} (no measurement: Bencher::iter was not called)");
+            return;
+        }
+        let ns = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        let per_sec = 1e9 / ns;
+        println!("{id:<40} {ns:>12.1} ns/iter {per_sec:>16.0} ops/s   ({} iters)", self.iters);
+    }
+}
+
+/// Measured equivalent of `std::hint::black_box`, re-exported because
+/// some benches import it from criterion.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a group of benchmark functions as a single runnable function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` to run benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion::default()
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10))
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = fast_criterion();
+        c.filter = None;
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_and_ids() {
+        let mut c = fast_criterion();
+        c.filter = None;
+        let mut group = c.benchmark_group("g");
+        for k in [1u32, 2] {
+            group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+                b.iter(|| k * 2);
+            });
+        }
+        group.finish();
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn filter_skips_unmatched() {
+        let mut c = fast_criterion();
+        c.filter = Some("matched".to_string());
+        let mut ran = false;
+        c.bench_function("other", |_b| ran = true);
+        assert!(!ran);
+        c.bench_function("matched/yes", |b| {
+            ran = true;
+            b.iter(|| ());
+        });
+        assert!(ran);
+    }
+}

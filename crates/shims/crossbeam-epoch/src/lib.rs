@@ -1,0 +1,410 @@
+//! Offline stand-in for the `crossbeam-epoch` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the subset of the `crossbeam-epoch` API the workspace uses
+//! — [`pin`], [`Guard`], [`Guard::defer_unchecked`] and [`Guard::flush`]
+//! — backed by a real (if simple) global-epoch reclamation scheme:
+//!
+//! * a global epoch counter;
+//! * one registered slot per participating thread publishing the epoch
+//!   it pinned at (or "inactive");
+//! * per-thread *bags* of deferred closures, each tagged with the epoch
+//!   at which it was deferred — the defer hot path touches only
+//!   thread-local state, so the non-blocking primitives built on top
+//!   are not serialized through a shared lock;
+//! * a mutex-protected global queue that bags are batch-drained into
+//!   (when a bag fills, on [`Guard::flush`], on the periodic collection
+//!   tick, and at thread exit).
+//!
+//! A queued closure runs once every currently-pinned thread is pinned at
+//! a *later* epoch than its tag, which implies no thread that could
+//! still reach the retired object remains pinned. Collection is
+//! amortized into [`pin`] (every [`COLLECT_EVERY`]-th outermost pin
+//! advances the epoch and runs ready closures), so long-running
+//! processes reclaim memory without ever calling [`Guard::flush`];
+//! `flush` remains the way tests drain deterministically.
+//!
+//! Deferred closures may themselves pin and defer (the SCX-record
+//! reclamation protocol relies on this); the collector runs closures
+//! outside all internal locks and thread-local borrows to keep that
+//! re-entrancy safe.
+
+#![warn(missing_docs)]
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Slot value meaning "this thread is not pinned".
+const INACTIVE: u64 = u64::MAX;
+
+/// Batch-drain a thread's bag into the global queue at this size.
+const BAG_FLUSH: usize = 64;
+
+/// Run a collection on every Nth outermost [`pin`].
+const COLLECT_EVERY: u64 = 64;
+
+struct Slot {
+    epoch: AtomicU64,
+}
+
+/// A deferred closure. The `Send` assertion is the caller's promise made
+/// through the `unsafe` contract of [`Guard::defer_unchecked`]: the
+/// closure may be run by whichever thread collects it.
+struct Deferred(Box<dyn FnOnce()>);
+unsafe impl Send for Deferred {}
+
+struct Global {
+    epoch: AtomicU64,
+    slots: Mutex<Vec<Arc<Slot>>>,
+    queue: Mutex<VecDeque<(u64, Deferred)>>,
+}
+
+fn global() -> &'static Global {
+    static GLOBAL: OnceLock<Global> = OnceLock::new();
+    GLOBAL.get_or_init(|| Global {
+        epoch: AtomicU64::new(0),
+        slots: Mutex::new(Vec::new()),
+        queue: Mutex::new(VecDeque::new()),
+    })
+}
+
+struct Local {
+    slot: Arc<Slot>,
+    pins: Cell<usize>,
+    total_pins: Cell<u64>,
+    bag: RefCell<Vec<(u64, Deferred)>>,
+}
+
+impl Local {
+    /// Move the bag's contents to the global queue (one lock
+    /// acquisition per batch). Must not be called with `bag` borrowed.
+    fn seal_bag(&self) {
+        let items = std::mem::take(&mut *self.bag.borrow_mut());
+        if !items.is_empty() {
+            global().queue.lock().unwrap().extend(items);
+        }
+    }
+}
+
+impl Drop for Local {
+    fn drop(&mut self) {
+        // Thread exit: hand any stranded deferred closures to the
+        // global queue so another thread's collection can run them, and
+        // deregister the slot so the registry (scanned by every
+        // collection while holding its mutex) does not grow with every
+        // thread ever spawned.
+        self.seal_bag();
+        global()
+            .slots
+            .lock()
+            .unwrap()
+            .retain(|s| !Arc::ptr_eq(s, &self.slot));
+    }
+}
+
+thread_local! {
+    static LOCAL: Local = {
+        let slot = Arc::new(Slot {
+            epoch: AtomicU64::new(INACTIVE),
+        });
+        global().slots.lock().unwrap().push(Arc::clone(&slot));
+        Local {
+            slot,
+            pins: Cell::new(0),
+            total_pins: Cell::new(0),
+            bag: RefCell::new(Vec::new()),
+        }
+    };
+}
+
+/// A handle keeping the current thread pinned to an epoch.
+///
+/// While any `Guard` of a thread is alive, no object retired at this or
+/// a later epoch is destroyed, so shared pointers read under the guard
+/// stay dereferenceable.
+pub struct Guard {
+    /// Guards unpin through thread-local state, so they must stay on the
+    /// thread that created them.
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl fmt::Debug for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Guard").finish_non_exhaustive()
+    }
+}
+
+/// Pin the current thread: publish the global epoch into this thread's
+/// slot and return a [`Guard`] that keeps it published. Re-entrant; only
+/// the outermost pin writes the slot. Every [`COLLECT_EVERY`]-th
+/// outermost pin also runs a collection (while still unpinned), which
+/// bounds the memory held by deferred destructions without any explicit
+/// [`Guard::flush`].
+pub fn pin() -> Guard {
+    LOCAL.with(|local| {
+        let pins = local.pins.get();
+        if pins == 0 {
+            let total = local.total_pins.get().wrapping_add(1);
+            local.total_pins.set(total);
+            if total % COLLECT_EVERY == 0 {
+                // Not yet pinned: our own slot does not hold back the
+                // collection, and re-entrant pins from closures nest
+                // above pins == 0 correctly.
+                local.seal_bag();
+                collect();
+            }
+            // Publish the epoch, then re-check it: if the global epoch
+            // moved while we were publishing, a concurrent collector may
+            // have missed our slot, so publish the newer value instead.
+            loop {
+                let e = global().epoch.load(Ordering::SeqCst);
+                local.slot.epoch.store(e, Ordering::SeqCst);
+                fence(Ordering::SeqCst);
+                if global().epoch.load(Ordering::SeqCst) == e {
+                    break;
+                }
+            }
+        }
+        local.pins.set(local.pins.get() + 1);
+    });
+    Guard {
+        _not_send: PhantomData,
+    }
+}
+
+impl Guard {
+    /// Defer a closure until every thread currently pinned has unpinned.
+    ///
+    /// The closure lands in this thread's local bag (no shared lock);
+    /// full bags are batch-drained into the global queue.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee the closure is safe to run on any thread
+    /// once all threads pinned at defer time have unpinned — in
+    /// particular, that the object it frees is unreachable to any thread
+    /// that pins afterwards, and that it is deferred at most once.
+    pub unsafe fn defer_unchecked<F, R>(&self, f: F)
+    where
+        F: FnOnce() -> R,
+    {
+        let epoch = global().epoch.load(Ordering::SeqCst);
+        let boxed: Box<dyn FnOnce() + '_> = Box::new(move || {
+            let _ = f();
+        });
+        // Erase the lifetime: the caller's contract (above) is exactly
+        // the promise that the closure and its captures remain valid
+        // until the collector runs it. Real crossbeam-epoch likewise
+        // accepts non-'static closures here.
+        let boxed: Box<dyn FnOnce()> =
+            std::mem::transmute::<Box<dyn FnOnce() + '_>, Box<dyn FnOnce() + 'static>>(boxed);
+        let mut item = Some((epoch, Deferred(boxed)));
+        let _ = LOCAL.try_with(|local| {
+            let full = {
+                let mut bag = local.bag.borrow_mut();
+                bag.push(item.take().expect("item pushed at most once"));
+                bag.len() >= BAG_FLUSH
+            };
+            if full {
+                local.seal_bag();
+            }
+        });
+        if let Some(stranded) = item {
+            // Thread-local already destroyed (defer during thread
+            // teardown): queue globally so the closure still runs.
+            global().queue.lock().unwrap().push_back(stranded);
+        }
+    }
+
+    /// Seal this thread's bag, advance the global epoch and run every
+    /// queued closure whose epoch is now strictly older than all pinned
+    /// threads'.
+    ///
+    /// Repeatedly calling `pin().flush()` drains the queue: each call
+    /// pins at a fresh epoch, so older tags fall below the minimum.
+    pub fn flush(&self) {
+        let _ = LOCAL.try_with(Local::seal_bag);
+        collect();
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        // `try_with`: guards dropped during thread teardown must not
+        // re-initialize the destroyed thread-local.
+        let _ = LOCAL.try_with(|local| {
+            let pins = local.pins.get();
+            debug_assert!(pins > 0, "unpinning an unpinned thread");
+            if pins == 1 {
+                local.slot.epoch.store(INACTIVE, Ordering::SeqCst);
+            }
+            local.pins.set(pins - 1);
+        });
+    }
+}
+
+/// Advance the global epoch and run the ready queued closures.
+fn collect() {
+    let g = global();
+    g.epoch.fetch_add(1, Ordering::SeqCst);
+    let min_pinned = {
+        let slots = g.slots.lock().unwrap();
+        slots
+            .iter()
+            .map(|s| s.epoch.load(Ordering::SeqCst))
+            .min()
+            .unwrap_or(INACTIVE)
+    };
+    // Detach the ready closures first, then run them with no lock or
+    // thread-local borrow held: closures may re-enter
+    // pin/defer_unchecked/flush.
+    let ready: Vec<Deferred> = {
+        let mut queue = g.queue.lock().unwrap();
+        let mut ready = Vec::new();
+        let mut keep = VecDeque::with_capacity(queue.len());
+        while let Some((epoch, d)) = queue.pop_front() {
+            if epoch < min_pinned {
+                ready.push(d);
+            } else {
+                keep.push_back((epoch, d));
+            }
+        }
+        *queue = keep;
+        ready
+    };
+    for d in ready {
+        (d.0)();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn drain() {
+        for _ in 0..16 {
+            pin().flush();
+        }
+    }
+
+    #[test]
+    fn deferred_runs_after_unpin_and_flush() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        {
+            let guard = pin();
+            let ran2 = Arc::clone(&ran);
+            unsafe { guard.defer_unchecked(move || ran2.fetch_add(1, Ordering::SeqCst)) };
+            // Still pinned: a flush now must not run it.
+            guard.flush();
+            assert_eq!(ran.load(Ordering::SeqCst), 0);
+        }
+        drain();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn pinned_peer_blocks_collection() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let hold = Arc::new(std::sync::Barrier::new(2));
+        let release = Arc::new(std::sync::Barrier::new(2));
+        let peer = {
+            let hold = Arc::clone(&hold);
+            let release = Arc::clone(&release);
+            std::thread::spawn(move || {
+                let _guard = pin();
+                hold.wait();
+                release.wait();
+            })
+        };
+        hold.wait(); // peer is pinned now
+        {
+            let guard = pin();
+            let ran2 = Arc::clone(&ran);
+            unsafe { guard.defer_unchecked(move || ran2.fetch_add(1, Ordering::SeqCst)) };
+        }
+        drain();
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "peer still pinned");
+        release.wait();
+        peer.join().unwrap();
+        drain();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn deferring_from_a_deferred_closure_works() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        {
+            let guard = pin();
+            let ran2 = Arc::clone(&ran);
+            unsafe {
+                guard.defer_unchecked(move || {
+                    let inner = pin();
+                    let ran3 = Arc::clone(&ran2);
+                    inner.defer_unchecked(move || ran3.fetch_add(1, Ordering::SeqCst));
+                })
+            };
+        }
+        drain();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn reentrant_pin_counts() {
+        let a = pin();
+        let b = pin();
+        drop(a);
+        // Still pinned through b.
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran2 = Arc::clone(&ran);
+        unsafe { b.defer_unchecked(move || ran2.fetch_add(1, Ordering::SeqCst)) };
+        b.flush();
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+        drop(b);
+        drain();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn pin_only_loop_reclaims_without_flush() {
+        // The amortized collection inside pin() must reclaim deferred
+        // objects even when nobody ever calls flush() — the product
+        // crates only pin and defer.
+        let ran = Arc::new(AtomicUsize::new(0));
+        const N: usize = 1000;
+        for _ in 0..N {
+            let guard = pin();
+            let ran2 = Arc::clone(&ran);
+            unsafe { guard.defer_unchecked(move || ran2.fetch_add(1, Ordering::SeqCst)) };
+        }
+        // Loop some more pins with no defers so collection ticks fire.
+        for _ in 0..(COLLECT_EVERY as usize * 4) {
+            let _ = pin();
+        }
+        let reclaimed = ran.load(Ordering::SeqCst);
+        assert!(
+            reclaimed >= N / 2,
+            "amortized collection reclaimed only {reclaimed}/{N}"
+        );
+    }
+
+    #[test]
+    fn thread_exit_hands_bag_to_global() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran2 = Arc::clone(&ran);
+        std::thread::spawn(move || {
+            let guard = pin();
+            // Fewer than BAG_FLUSH items: they stay in the local bag
+            // until the thread exits.
+            unsafe { guard.defer_unchecked(move || ran2.fetch_add(1, Ordering::SeqCst)) };
+        })
+        .join()
+        .unwrap();
+        drain();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,251 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! Implements the subset this workspace uses: [`Mutex`] with
+//! [`Mutex::lock`] (borrowing guard) and [`Mutex::lock_arc`] (owned
+//! guard holding the `Arc`, as required by hand-over-hand locking where
+//! guard lifetimes cannot be nested). The lock itself is a test-and-set
+//! spinlock with bounded spinning before yielding — adequate for the
+//! short critical sections of the lock-based baseline structures.
+
+#![warn(missing_docs)]
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Marker type standing in for parking_lot's raw lock; appears as the
+/// `R` parameter of [`ArcMutexGuard`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RawMutex;
+
+/// A mutual-exclusion primitive (spinlock-backed in this shim).
+pub struct Mutex<T: ?Sized> {
+    locked: AtomicBool,
+    data: UnsafeCell<T>,
+}
+
+// Same bounds as parking_lot: the guard hands out &mut T, so T must be
+// Send; no &T escapes without the lock, so Sync on T is not required.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            locked: AtomicBool::new(false),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    /// Acquire the lock through an `Arc`, returning a guard that owns a
+    /// clone of the `Arc` (so it is not lifetime-bound to the caller).
+    pub fn lock_arc(this: &Arc<Self>) -> ArcMutexGuard<RawMutex, T> {
+        this.acquire();
+        ArcMutexGuard {
+            mutex: Arc::clone(this),
+            _raw: PhantomData,
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn acquire(&self) {
+        let mut spins = 0u32;
+        loop {
+            if self
+                .locked
+                .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    fn release(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+
+    /// Acquire the lock, blocking (spinning) until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.acquire();
+        MutexGuard { mutex: self }
+    }
+
+    /// Acquire the lock only if it is free right now.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        if self
+            .locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(MutexGuard { mutex: self })
+        } else {
+            None
+        }
+    }
+
+    /// Mutable access without locking (the `&mut` proves uniqueness).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(guard) => f.debug_struct("Mutex").field("data", &&*guard).finish(),
+            None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// A lock guard borrowing the mutex; unlocks on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard holds the lock.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the guard holds the lock exclusively.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mutex.release();
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// A lock guard owning the `Arc` of its mutex; unlocks on drop. The `R`
+/// parameter mirrors parking_lot's raw-lock parameter and is always
+/// [`RawMutex`] here.
+pub struct ArcMutexGuard<R, T: ?Sized> {
+    mutex: Arc<Mutex<T>>,
+    _raw: PhantomData<R>,
+}
+
+impl<R, T: ?Sized> Deref for ArcMutexGuard<R, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard holds the lock.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<R, T: ?Sized> DerefMut for ArcMutexGuard<R, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the guard holds the lock exclusively.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<R, T: ?Sized> Drop for ArcMutexGuard<R, T> {
+    fn drop(&mut self) {
+        self.mutex.release();
+    }
+}
+
+impl<R, T: ?Sized + fmt::Debug> fmt::Debug for ArcMutexGuard<R, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_excludes_and_releases() {
+        let m = Mutex::new(1);
+        {
+            let mut g = m.lock();
+            *g += 1;
+            assert!(m.try_lock().is_none(), "already held");
+        }
+        assert_eq!(*m.lock(), 2);
+    }
+
+    #[test]
+    fn lock_arc_guard_outlives_borrow_scope() {
+        let m = Arc::new(Mutex::new(vec![1, 2]));
+        let guard = {
+            // The borrow of `m` ends here; the guard keeps the Arc.
+            Mutex::lock_arc(&m)
+        };
+        assert_eq!(guard.len(), 2);
+        assert!(m.try_lock().is_none());
+        drop(guard);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn contended_counter() {
+        let m = Arc::new(Mutex::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    *m.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 40_000);
+    }
+
+    #[test]
+    fn hand_over_hand_traversal() {
+        struct Node {
+            value: u32,
+            next: Option<Arc<Mutex<Node>>>,
+        }
+        let tail = Arc::new(Mutex::new(Node { value: 2, next: None }));
+        let head = Arc::new(Mutex::new(Node {
+            value: 1,
+            next: Some(tail),
+        }));
+        let mut sum = 0;
+        let mut cur: ArcMutexGuard<RawMutex, Node> = Mutex::lock_arc(&head);
+        loop {
+            sum += cur.value;
+            let Some(next) = cur.next.clone() else { break };
+            cur = Mutex::lock_arc(&next);
+        }
+        assert_eq!(sum, 3);
+    }
+}

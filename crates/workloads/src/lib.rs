@@ -184,6 +184,62 @@ pub fn prefill_keys(n: u64) -> impl Iterator<Item = u64> {
     (0..n).step_by(2)
 }
 
+/// Environment-variable knobs shared by the workspace's stress and
+/// linearizability tests (documented in the repository README): CI runs
+/// use small defaults, soak runs scale up without editing tests.
+pub mod knobs {
+    use std::time::Duration;
+
+    /// A duration knob: `var` (milliseconds) overrides `default_ms`.
+    pub fn env_millis(var: &str, default_ms: u64) -> Duration {
+        let ms = std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_ms);
+        Duration::from_millis(ms)
+    }
+
+    /// A multiplier knob: `var` is an integer scale factor (default 1,
+    /// clamped to at least 1).
+    pub fn env_scale(var: &str) -> u64 {
+        std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1)
+            .max(1)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        /// One test fn on purpose: `set_var` racing a sibling test's
+        /// `getenv` is UB on glibc, so all env mutation stays on one
+        /// thread.
+        #[test]
+        fn knob_parsing() {
+            assert_eq!(
+                env_millis("LLX_KNOB_TEST_UNSET", 150),
+                Duration::from_millis(150)
+            );
+            assert_eq!(env_scale("LLX_KNOB_TEST_UNSET"), 1);
+
+            std::env::set_var("LLX_KNOB_TEST_MS", "2500");
+            assert_eq!(
+                env_millis("LLX_KNOB_TEST_MS", 150),
+                Duration::from_millis(2500)
+            );
+            std::env::set_var("LLX_KNOB_TEST_MS", "not-a-number");
+            assert_eq!(
+                env_millis("LLX_KNOB_TEST_MS", 150),
+                Duration::from_millis(150)
+            );
+            std::env::set_var("LLX_KNOB_TEST_SCALE", "0");
+            assert_eq!(env_scale("LLX_KNOB_TEST_SCALE"), 1, "clamped to 1");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,6 +11,13 @@ use multiset::Multiset;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+/// Number of recorded rounds per test, scaled by `LLX_LIN_ROUNDS_SCALE`
+/// (integer multiplier, default 1). The defaults keep the WGL checker's
+/// exhaustive search inside CI-friendly time; scale up for a deep run.
+fn rounds(default_rounds: u64) -> u64 {
+    default_rounds * workloads::knobs::env_scale("LLX_LIN_ROUNDS_SCALE")
+}
+
 fn record_round(seed: u64, threads: usize, ops_per_thread: usize) -> History<MultisetOp, u64> {
     let set: Arc<Multiset<u8>> = Arc::new(Multiset::new());
     let clock = Arc::new(Clock::new());
@@ -57,7 +64,7 @@ fn record_round(seed: u64, threads: usize, ops_per_thread: usize) -> History<Mul
 
 #[test]
 fn concurrent_multiset_histories_are_linearizable() {
-    for seed in 0..40u64 {
+    for seed in 0..rounds(40) {
         let h = record_round(seed, 3, 5);
         assert!(
             h.check(&MultisetSpec),
@@ -68,7 +75,7 @@ fn concurrent_multiset_histories_are_linearizable() {
 
 #[test]
 fn higher_contention_round_is_linearizable() {
-    for seed in 0..10u64 {
+    for seed in 0..rounds(10) {
         let h = record_round(1000 + seed, 4, 6);
         assert!(
             h.check(&MultisetSpec),
@@ -186,7 +193,7 @@ fn chromatic_tree_histories_are_linearizable() {
             SetOp::Contains(k) => u64::from(t.contains(*k)),
         }
     }
-    for seed in 0..25u64 {
+    for seed in 0..rounds(25) {
         let tree = Arc::new(trees::ChromaticTree::<u8, u8>::new());
         let h = record_tree_round(tree, op, seed, 3, 5);
         assert!(h.check(&SetSpec), "chromatic history seed {seed}");
@@ -202,7 +209,7 @@ fn bst_histories_are_linearizable() {
             SetOp::Contains(k) => u64::from(t.contains(*k)),
         }
     }
-    for seed in 0..25u64 {
+    for seed in 0..rounds(25) {
         let tree = Arc::new(trees::Bst::<u8, u8>::new());
         let h = record_tree_round(tree, op, seed, 3, 5);
         assert!(h.check(&SetSpec), "bst history seed {seed}");
@@ -218,7 +225,7 @@ fn patricia_histories_are_linearizable() {
             SetOp::Contains(k) => u64::from(t.contains(*k as u64)),
         }
     }
-    for seed in 0..25u64 {
+    for seed in 0..rounds(25) {
         let trie = Arc::new(trees::PatriciaTrie::<u64>::new());
         let h = record_tree_round(trie, op, seed, 3, 5);
         assert!(h.check(&SetSpec), "patricia history seed {seed}");
