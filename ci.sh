@@ -12,6 +12,13 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# The default `cargo test` above already runs the generic
+# linearizability + stress harness (root test binaries) with the pool
+# enabled; re-run them with the pool DISABLED so both reclamation paths
+# stay covered, at small knob values.
+echo "==> generic linearizability + stress harness, pool-off A/B (small knobs)"
+LLX_SCX_POOL=0 LLX_STRESS_MILLIS=80 cargo test -q -p llx-scx-repro --test linearizability --test conc_stress
+
 echo "==> cargo test --doc -p llx-scx"
 cargo test -q --doc -p llx-scx
 

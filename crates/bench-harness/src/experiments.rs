@@ -1,16 +1,19 @@
-//! The experiments E1–E6 (see DESIGN.md §6 for the index).
+//! The experiments E1–E8 plus the cross-structure `compare` sweep.
+//!
+//! Structure-level experiments (E4, E5, `compare`) drive every data
+//! structure through the [`conc_set::ConcurrentOrderedSet`] trait, so
+//! one worker definition covers the whole zoo and adding a structure to
+//! the registry adds it to the sweeps.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use conc_set::ConcurrentOrderedSet;
 use llx_scx::{Domain, FieldId, ScxRequest};
-use lockbased::{CoarseMultiset, HandOverHandMultiset};
 use multiset::Multiset;
-use mwcas::{kcas, KcasCell, KcasMultiset};
-use rand::rngs::SmallRng;
+use mwcas::{kcas, KcasCell};
 use rand::SeedableRng;
-use trees::{Bst, ChromaticTree, PatriciaTrie};
 use workloads::{KeyDist, Mix, OpKind, WorkloadGen};
 
 use crate::runner::{fmt_ops, print_table, run_throughput};
@@ -19,6 +22,98 @@ use crate::runner::{fmt_ops, print_table, run_throughput};
 const CELL: Duration = Duration::from_millis(300);
 /// Thread counts for scaling sweeps.
 const THREADS: &[usize] = &[1, 2, 4, 8];
+
+/// A per-thread worker that drives `set` with a deterministic
+/// `(seed, thread)` workload stream, one operation per call.
+fn set_worker<'a>(
+    set: &'a dyn ConcurrentOrderedSet,
+    seed: u64,
+    dist: KeyDist,
+    mix: Mix,
+) -> impl Fn(usize) -> Box<dyn FnMut() -> u64 + Send + 'a> + Sync + 'a {
+    move |t| {
+        let mut gen = WorkloadGen::new(seed, t, dist.clone(), mix);
+        Box::new(move || {
+            let (kind, key) = gen.next_op();
+            match kind {
+                OpKind::Get => {
+                    let _ = set.get(key);
+                }
+                OpKind::Insert => {
+                    let _ = set.insert(key, 1);
+                }
+                OpKind::Remove => {
+                    let _ = set.remove(key, 1);
+                }
+            }
+            1
+        })
+    }
+}
+
+/// Look up registry factories by structure name, preserving order.
+fn factories_named(names: &[&str]) -> Vec<conc_set::Factory> {
+    names.iter().map(|n| conc_set::factory_by_name(n)).collect()
+}
+
+/// Measure one throughput cell: fresh structure, standard 50% prefill
+/// in shuffled order (ascending order would degenerate the unbalanced
+/// BST into a list — shuffled inserts give ~log height, and the other
+/// structures hold identical content either way), one timed run.
+fn measure_cell(factory: conc_set::Factory, threads: usize, range: u64, mix: Mix) -> f64 {
+    let set = factory();
+    let mut keys: Vec<u64> = workloads::prefill_keys(range).collect();
+    use rand::seq::SliceRandom;
+    keys.shuffle(&mut rand::rngs::SmallRng::seed_from_u64(99));
+    for k in keys {
+        set.insert(k, 1);
+    }
+    run_throughput(
+        threads,
+        CELL,
+        set_worker(&*set, 42, KeyDist::uniform(range), mix),
+    )
+}
+
+/// `compare` — every structure in the registry through one sweep
+/// (threads × update-mix × key-range), the cross-structure table the
+/// unified trait exists to enable.
+pub fn compare() {
+    let factories = conc_set::all_factories();
+    let names: Vec<String> = factories.iter().map(|f| f().name().to_string()).collect();
+    let mut header = vec!["range".to_string(), "upd".to_string(), "thr".to_string()];
+    header.extend(names.iter().cloned());
+
+    let mut rows = Vec::new();
+    // Thread scaling at a fixed moderate mix.
+    for &range in &[64u64, 1024] {
+        for &threads in THREADS {
+            let mix = Mix::with_update_percent(20);
+            let mut row = vec![range.to_string(), "20%".into(), threads.to_string()];
+            for &factory in factories {
+                row.push(fmt_ops(measure_cell(factory, threads, range, mix)));
+            }
+            rows.push(row);
+        }
+    }
+    // Mix sweep at a fixed thread count.
+    for &range in &[64u64, 1024] {
+        for &updates in &[0u32, 50, 100] {
+            let mix = Mix::with_update_percent(updates);
+            let mut row = vec![range.to_string(), format!("{updates}%"), "4".into()];
+            for &factory in factories {
+                row.push(fmt_ops(measure_cell(factory, 4, range, mix)));
+            }
+            rows.push(row);
+        }
+    }
+    print_table(
+        "compare: throughput (ops/s) across all ConcurrentOrderedSet structures",
+        &header,
+        &rows,
+    );
+    println!("counting structures (multisets) and distinct structures (trees) run the same generated streams; columns are directly comparable within a row");
+}
 
 /// E1 — step complexity of uncontended SCX vs k-word CAS (paper §1/§2).
 ///
@@ -94,24 +189,20 @@ pub fn e2_disjoint_success() {
     let mut rows = Vec::new();
     for &threads in THREADS {
         // Disjoint: one private record per thread.
-        let domain: Arc<Domain<1, usize>> = Arc::new(Domain::new());
-        let records: Arc<Vec<usize>> = Arc::new(
-            (0..threads)
-                .map(|t| domain.alloc(t, [0]) as usize)
-                .collect(),
-        );
-        let attempts = Arc::new(AtomicU64::new(0));
-        let successes = Arc::new(AtomicU64::new(0));
-        {
-            let domain = Arc::clone(&domain);
-            let records = Arc::clone(&records);
-            let attempts = Arc::clone(&attempts);
-            let successes = Arc::clone(&successes);
-            run_throughput(threads, CELL, move |t| {
-                let r = unsafe { &*(records[t] as *const llx_scx::DataRecord<1, usize>) };
+        let domain: Domain<1, usize> = Domain::new();
+        let records: Vec<usize> = (0..threads).map(|t| domain.alloc(t, [0]) as usize).collect();
+        let attempts = AtomicU64::new(0);
+        let successes = AtomicU64::new(0);
+        run_throughput(threads, CELL, |t: usize| {
+            let domain = &domain;
+            let attempts = &attempts;
+            let successes = &successes;
+            let rec = records[t];
+            Box::new(move || {
+                let r = unsafe { &*(rec as *const llx_scx::DataRecord<1, usize>) };
                 let g = llx_scx::pin();
                 let Some(s) = domain.llx(r, &g).snapshot() else {
-                    return 0;
+                    return 1;
                 };
                 attempts.fetch_add(1, Ordering::Relaxed);
                 if domain.scx(
@@ -121,25 +212,25 @@ pub fn e2_disjoint_success() {
                     successes.fetch_add(1, Ordering::Relaxed);
                 }
                 1
-            });
-        }
+            })
+        });
         let disjoint_rate =
             successes.load(Ordering::Relaxed) as f64 / attempts.load(Ordering::Relaxed) as f64;
 
         // Overlapping: all threads target one record.
-        let domain2: Arc<Domain<1, usize>> = Arc::new(Domain::new());
+        let domain2: Domain<1, usize> = Domain::new();
         let shared = domain2.alloc(0, [0]) as usize;
-        let attempts2 = Arc::new(AtomicU64::new(0));
-        let successes2 = Arc::new(AtomicU64::new(0));
-        {
-            let domain2 = Arc::clone(&domain2);
-            let attempts2 = Arc::clone(&attempts2);
-            let successes2 = Arc::clone(&successes2);
-            run_throughput(threads, CELL, move |_| {
+        let attempts2 = AtomicU64::new(0);
+        let successes2 = AtomicU64::new(0);
+        run_throughput(threads, CELL, |_t: usize| {
+            let domain2 = &domain2;
+            let attempts2 = &attempts2;
+            let successes2 = &successes2;
+            Box::new(move || {
                 let r = unsafe { &*(shared as *const llx_scx::DataRecord<1, usize>) };
                 let g = llx_scx::pin();
                 let Some(s) = domain2.llx(r, &g).snapshot() else {
-                    return 0;
+                    return 1;
                 };
                 attempts2.fetch_add(1, Ordering::Relaxed);
                 if domain2.scx(
@@ -149,8 +240,8 @@ pub fn e2_disjoint_success() {
                     successes2.fetch_add(1, Ordering::Relaxed);
                 }
                 1
-            });
-        }
+            })
+        });
         let succ2 = successes2.load(Ordering::Relaxed);
         let overlap_rate = succ2 as f64 / attempts2.load(Ordering::Relaxed) as f64;
         rows.push(vec![
@@ -204,316 +295,68 @@ pub fn e3_vlx_cost() {
     println!("paper claim: a VLX on k Data-records only requires reading k words (§1)");
 }
 
-fn multiset_worker(
-    set: Arc<Multiset<u64>>,
-    seed: u64,
-    dist: KeyDist,
-    mix: Mix,
-) -> impl Fn(usize) -> u64 + Send + Sync {
-    move |t| {
-        // Each call performs a small batch to amortize generator setup.
-        thread_local! {
-            static GEN: std::cell::RefCell<Option<WorkloadGen>> = const { std::cell::RefCell::new(None) };
-        }
-        GEN.with(|g| {
-            let mut g = g.borrow_mut();
-            let gen =
-                g.get_or_insert_with(|| WorkloadGen::new(seed, t, dist.clone(), mix));
-            let mut n = 0;
-            for _ in 0..32 {
-                let (kind, key) = gen.next_op();
-                match kind {
-                    OpKind::Get => {
-                        let _ = set.get(key);
-                    }
-                    OpKind::Insert => set.insert(key, 1),
-                    OpKind::Remove => {
-                        let _ = set.remove(key, 1);
-                    }
-                }
-                n += 1;
-            }
-            n
-        })
-    }
-}
-
 /// E4 — multiset throughput: LLX/SCX vs kCAS-based vs locks
 /// (the paper's implicit comparison; list topologies identical).
 pub fn e4_multiset_scaling() {
     let range = 64u64;
+    let names = [
+        "scx-multiset",
+        "kcas-multiset",
+        "coarse-multiset",
+        "hoh-multiset",
+    ];
+    let factories = factories_named(&names);
     let mut rows = Vec::new();
     for &updates in &[0u32, 20, 50, 100] {
         let mix = Mix::with_update_percent(updates);
         for &threads in THREADS {
-            let dist = KeyDist::uniform(range);
-
-            // LLX/SCX multiset.
-            let set = Arc::new(Multiset::<u64>::new());
-            for k in workloads::prefill_keys(range) {
-                set.insert(k, 1);
+            let mut row = vec![format!("{updates}%"), threads.to_string()];
+            for &factory in &factories {
+                row.push(fmt_ops(measure_cell(factory, threads, range, mix)));
             }
-            let scx_tp = run_throughput(
-                threads,
-                CELL,
-                multiset_worker(Arc::clone(&set), 42, dist.clone(), mix),
-            );
-
-            // kCAS multiset.
-            let kset = Arc::new(KcasMultiset::new());
-            for k in workloads::prefill_keys(range) {
-                kset.insert(k, 1);
-            }
-            let kset2 = Arc::clone(&kset);
-            let dist2 = dist.clone();
-            let kcas_tp = run_throughput(threads, CELL, move |t| {
-                let mut gen = WorkloadGen::new(42 + t as u64, t, dist2.clone(), mix);
-                let mut n = 0;
-                for _ in 0..32 {
-                    let (kind, key) = gen.next_op();
-                    match kind {
-                        OpKind::Get => {
-                            let _ = kset2.get(key);
-                        }
-                        OpKind::Insert => kset2.insert(key, 1),
-                        OpKind::Remove => {
-                            let _ = kset2.remove(key, 1);
-                        }
-                    }
-                    n += 1;
-                }
-                n
-            });
-
-            // Coarse lock.
-            let cset = Arc::new(CoarseMultiset::<u64>::new());
-            for k in workloads::prefill_keys(range) {
-                cset.insert(k, 1);
-            }
-            let cset2 = Arc::clone(&cset);
-            let dist3 = dist.clone();
-            let coarse_tp = run_throughput(threads, CELL, move |t| {
-                let mut gen = WorkloadGen::new(42 + t as u64, t, dist3.clone(), mix);
-                let mut n = 0;
-                for _ in 0..32 {
-                    let (kind, key) = gen.next_op();
-                    match kind {
-                        OpKind::Get => {
-                            let _ = cset2.get(key);
-                        }
-                        OpKind::Insert => cset2.insert(key, 1),
-                        OpKind::Remove => {
-                            let _ = cset2.remove(key, 1);
-                        }
-                    }
-                    n += 1;
-                }
-                n
-            });
-
-            // Hand-over-hand lock.
-            let hset = Arc::new(HandOverHandMultiset::<u64>::new());
-            for k in workloads::prefill_keys(range) {
-                hset.insert(k, 1);
-            }
-            let hset2 = Arc::clone(&hset);
-            let dist4 = dist.clone();
-            let hoh_tp = run_throughput(threads, CELL, move |t| {
-                let mut gen = WorkloadGen::new(42 + t as u64, t, dist4.clone(), mix);
-                let mut n = 0;
-                for _ in 0..32 {
-                    let (kind, key) = gen.next_op();
-                    match kind {
-                        OpKind::Get => {
-                            let _ = hset2.get(key);
-                        }
-                        OpKind::Insert => hset2.insert(key, 1),
-                        OpKind::Remove => {
-                            let _ = hset2.remove(key, 1);
-                        }
-                    }
-                    n += 1;
-                }
-                n
-            });
-
-            rows.push(vec![
-                format!("{updates}%"),
-                threads.to_string(),
-                fmt_ops(scx_tp),
-                fmt_ops(kcas_tp),
-                fmt_ops(coarse_tp),
-                fmt_ops(hoh_tp),
-            ]);
+            rows.push(row);
         }
     }
+    let mut header = vec!["updates".to_string(), "threads".to_string()];
+    header.extend(names.iter().map(|s| s.to_string()));
     print_table(
         &format!("E4: multiset throughput (ops/s), key range {range}"),
-        &[
-            "updates".into(),
-            "threads".into(),
-            "LLX/SCX".into(),
-            "kCAS".into(),
-            "coarse lock".into(),
-            "hand-over-hand".into(),
-        ],
+        &header,
         &rows,
     );
     println!("expected shape: LLX/SCX >= kCAS (fewer CAS steps/op); locks degrade with threads and update rate");
 }
 
-/// E5 — tree throughput: chromatic vs unbalanced BST vs coarse lock
-/// (the §6 / PPoPP'14 evaluation shape).
+/// E5 — tree throughput: chromatic vs unbalanced BST vs Patricia vs the
+/// coarse-locked map (the §6 / PPoPP'14 evaluation shape).
 pub fn e5_tree_scaling() {
+    let names = ["chromatic", "bst", "patricia", "coarse-multiset"];
+    let factories = factories_named(&names);
     let mut rows = Vec::new();
     for &range in &[1_024u64, 65_536] {
         for &updates in &[10u32, 50] {
             let mix = Mix::with_update_percent(updates);
             for &threads in THREADS {
-                let dist = KeyDist::uniform(range);
-
-                let chrom = Arc::new(ChromaticTree::<u64, u64>::new());
-                for k in workloads::prefill_keys(range) {
-                    chrom.insert(k, k);
-                }
-                let c2 = Arc::clone(&chrom);
-                let d2 = dist.clone();
-                let chrom_tp = run_throughput(threads, CELL, move |t| {
-                    let mut gen = WorkloadGen::new(7 + t as u64, t, d2.clone(), mix);
-                    let mut n = 0;
-                    for _ in 0..32 {
-                        let (kind, key) = gen.next_op();
-                        match kind {
-                            OpKind::Get => {
-                                let _ = c2.get(key);
-                            }
-                            OpKind::Insert => {
-                                let _ = c2.insert(key, key);
-                            }
-                            OpKind::Remove => {
-                                let _ = c2.remove(key);
-                            }
-                        }
-                        n += 1;
-                    }
-                    n
-                });
-
-                let bst = Arc::new(Bst::<u64, u64>::new());
-                // Prefill in shuffled order so the unbalanced BST is not
-                // degenerate (random-order inserts give ~log height).
-                let mut keys: Vec<u64> = workloads::prefill_keys(range).collect();
-                let mut rng = SmallRng::seed_from_u64(99);
-                use rand::seq::SliceRandom;
-                keys.shuffle(&mut rng);
-                for k in keys {
-                    bst.insert(k, k);
-                }
-                let b2 = Arc::clone(&bst);
-                let d3 = dist.clone();
-                let bst_tp = run_throughput(threads, CELL, move |t| {
-                    let mut gen = WorkloadGen::new(7 + t as u64, t, d3.clone(), mix);
-                    let mut n = 0;
-                    for _ in 0..32 {
-                        let (kind, key) = gen.next_op();
-                        match kind {
-                            OpKind::Get => {
-                                let _ = b2.get(key);
-                            }
-                            OpKind::Insert => {
-                                let _ = b2.insert(key, key);
-                            }
-                            OpKind::Remove => {
-                                let _ = b2.remove(key);
-                            }
-                        }
-                        n += 1;
-                    }
-                    n
-                });
-
-                // Patricia trie (u64 keys; structurally bounded depth).
-                let pat = Arc::new(PatriciaTrie::<u64>::new());
-                for k in workloads::prefill_keys(range) {
-                    pat.insert(k, k);
-                }
-                let p2 = Arc::clone(&pat);
-                let d5 = dist.clone();
-                let pat_tp = run_throughput(threads, CELL, move |t| {
-                    let mut gen = WorkloadGen::new(7 + t as u64, t, d5.clone(), mix);
-                    let mut n = 0;
-                    for _ in 0..32 {
-                        let (kind, key) = gen.next_op();
-                        match kind {
-                            OpKind::Get => {
-                                let _ = p2.get(key);
-                            }
-                            OpKind::Insert => {
-                                let _ = p2.insert(key, key);
-                            }
-                            OpKind::Remove => {
-                                let _ = p2.remove(key);
-                            }
-                        }
-                        n += 1;
-                    }
-                    n
-                });
-
-                // Coarse-locked BTreeMap.
-                let locked = Arc::new(parking_lot_stand_in::LockedMap::new());
-                for k in workloads::prefill_keys(range) {
-                    locked.insert(k, k);
-                }
-                let l2 = Arc::clone(&locked);
-                let d4 = dist.clone();
-                let lock_tp = run_throughput(threads, CELL, move |t| {
-                    let mut gen = WorkloadGen::new(7 + t as u64, t, d4.clone(), mix);
-                    let mut n = 0;
-                    for _ in 0..32 {
-                        let (kind, key) = gen.next_op();
-                        match kind {
-                            OpKind::Get => {
-                                let _ = l2.get(key);
-                            }
-                            OpKind::Insert => {
-                                let _ = l2.insert(key, key);
-                            }
-                            OpKind::Remove => {
-                                let _ = l2.remove(key);
-                            }
-                        }
-                        n += 1;
-                    }
-                    n
-                });
-
-                rows.push(vec![
+                let mut row = vec![
                     range.to_string(),
                     format!("{updates}%"),
                     threads.to_string(),
-                    fmt_ops(chrom_tp),
-                    fmt_ops(bst_tp),
-                    fmt_ops(pat_tp),
-                    fmt_ops(lock_tp),
-                ]);
+                ];
+                for &factory in &factories {
+                    row.push(fmt_ops(measure_cell(factory, threads, range, mix)));
+                }
+                rows.push(row);
             }
         }
     }
-    print_table(
-        "E5: tree throughput (ops/s)",
-        &[
-            "key range".into(),
-            "updates".into(),
-            "threads".into(),
-            "chromatic".into(),
-            "BST".into(),
-            "patricia".into(),
-            "locked BTreeMap".into(),
-        ],
-        &rows,
-    );
-    println!("expected shape (PPoPP'14): non-blocking trees scale with threads; the lock-based map does not");
+    let mut header = vec![
+        "key range".to_string(),
+        "updates".to_string(),
+        "threads".to_string(),
+    ];
+    header.extend(names.iter().map(|s| s.to_string()));
+    print_table("E5: tree throughput (ops/s)", &header, &rows);
+    println!("expected shape (PPoPP'14): non-blocking trees scale with threads; the coarse lock does not; BST prefill is shuffled (~log height), not the sorted worst case");
 }
 
 /// E7 — ablation: plain-read searches vs LLX-everywhere searches
@@ -528,42 +371,44 @@ pub fn e5_tree_scaling() {
 pub fn e7_search_ablation() {
     let mut rows = Vec::new();
     for &range in &[16u64, 64, 256, 1024] {
-        let set = Arc::new(Multiset::<u64>::new());
+        let set = Multiset::<u64>::new();
         for k in workloads::prefill_keys(range) {
             set.insert(k, 1);
         }
 
         // Read-based lookups (the paper's design).
-        let s1 = Arc::clone(&set);
-        let read_tp = run_throughput(1, CELL, move |_| {
-            let mut n = 0;
-            for k in (0..range).step_by(3) {
-                let _ = s1.get(k);
-                n += 1;
-            }
-            n
+        let read_tp = run_throughput(1, CELL, |_t: usize| {
+            let set = &set;
+            Box::new(move || {
+                let mut n = 0;
+                for k in (0..range).step_by(3) {
+                    let _ = set.get(k);
+                    n += 1;
+                }
+                n
+            })
         });
 
-        // LLX-per-node lookups: emulate by LLXing every node along the
-        // way via fold over a fresh domain traversal — approximated by
-        // issuing `get` then an LLX-heavy scan of the same prefix.
-        let s2 = Arc::clone(&set);
-        let llx_tp = run_throughput(1, CELL, move |_| {
-            // Traverse with an LLX on every visited node.
-            let guard = llx_scx::pin();
-            let mut n = 0;
-            for k in (0..range).step_by(3) {
-                let mut found = 0u64;
-                s2.fold_llx(&guard, |key, snap_count| {
-                    if key == k {
-                        found = snap_count;
-                    }
-                    key < k // keep walking while below the target
-                });
-                let _ = found;
-                n += 1;
-            }
-            n
+        // LLX-per-node lookups: traverse with an LLX on every visited
+        // node, the design Proposition 2 makes unnecessary.
+        let llx_tp = run_throughput(1, CELL, |_t: usize| {
+            let set = &set;
+            Box::new(move || {
+                let guard = llx_scx::pin();
+                let mut n = 0;
+                for k in (0..range).step_by(3) {
+                    let mut found = 0u64;
+                    set.fold_llx(&guard, |key, snap_count| {
+                        if key == k {
+                            found = snap_count;
+                        }
+                        key < k // keep walking while below the target
+                    });
+                    let _ = found;
+                    n += 1;
+                }
+                n
+            })
         });
 
         rows.push(vec![
@@ -596,34 +441,32 @@ pub fn e7_search_ablation() {
 pub fn e8_helping_stats() {
     let mut rows = Vec::new();
     for &threads in THREADS {
-        let set = Arc::new(Multiset::<u64>::new_with_stats());
+        let set = Multiset::<u64>::new_with_stats();
         // Tiny key range = maximal conflicts.
         for k in workloads::prefill_keys(8) {
             set.insert(k, 1);
         }
-        let s2 = Arc::clone(&set);
-        run_throughput(threads, CELL, move |t| {
+        run_throughput(threads, CELL, |t: usize| {
+            let set = &set;
             let mut gen = WorkloadGen::new(
                 13 + t as u64,
                 t,
                 KeyDist::uniform(8),
                 Mix::with_update_percent(100),
             );
-            let mut n = 0;
-            for _ in 0..32 {
+            Box::new(move || {
                 let (kind, key) = gen.next_op();
                 match kind {
                     OpKind::Get => {
-                        let _ = s2.get(key);
+                        let _ = set.get(key);
                     }
-                    OpKind::Insert => s2.insert(key, 1),
+                    OpKind::Insert => set.insert(key, 1),
                     OpKind::Remove => {
-                        let _ = s2.remove(key, 1);
+                        let _ = set.remove(key, 1);
                     }
                 }
-                n += 1;
-            }
-            n
+                1
+            })
         });
         let st = set.stats().expect("stats enabled");
         let cooperative_helps = st.helps.saturating_sub(st.scx_attempts);
@@ -651,32 +494,6 @@ pub fn e8_helping_stats() {
     println!("helps beyond own-SCX = other processes' operations completed cooperatively (paper §4)");
 }
 
-/// Minimal coarse-locked map baseline for E5 (std Mutex; no extra deps).
-mod parking_lot_stand_in {
-    use std::collections::BTreeMap;
-    use std::sync::Mutex;
-
-    #[derive(Debug, Default)]
-    pub struct LockedMap {
-        inner: Mutex<BTreeMap<u64, u64>>,
-    }
-
-    impl LockedMap {
-        pub fn new() -> Self {
-            Self::default()
-        }
-        pub fn get(&self, k: u64) -> Option<u64> {
-            self.inner.lock().unwrap().get(&k).copied()
-        }
-        pub fn insert(&self, k: u64, v: u64) -> bool {
-            self.inner.lock().unwrap().insert(k, v).is_none()
-        }
-        pub fn remove(&self, k: u64) -> Option<u64> {
-            self.inner.lock().unwrap().remove(&k)
-        }
-    }
-}
-
 /// E6 — progress: obstruction-free KCSS vs non-blocking SCX under heavy
 /// contention (paper §2: KCSS "is guaranteed to terminate if it runs
 /// alone"; LLX/SCX satisfies the stronger non-blocking condition).
@@ -687,14 +504,12 @@ pub fn e6_progress() {
         // second; retries on every conflict, no helping.
         let a = Arc::new(kcss::KcssLoc::new(0));
         let gate = Arc::new(kcss::KcssLoc::new(1));
-        let kcss_max_retries = Arc::new(AtomicU64::new(0));
-        let kcss_ops = {
+        let kcss_max_retries = AtomicU64::new(0);
+        let kcss_ops = run_throughput(threads, CELL, |_t: usize| {
             let a = Arc::clone(&a);
             let gate = Arc::clone(&gate);
-            let maxr = Arc::clone(&kcss_max_retries);
-            let stopf = Arc::new(AtomicBool::new(false));
-            let _ = stopf;
-            run_throughput(threads, CELL, move |_| {
+            let maxr = &kcss_max_retries;
+            Box::new(move || {
                 let mut retries = 0u64;
                 loop {
                     let cur = a.read();
@@ -703,22 +518,24 @@ pub fn e6_progress() {
                     }
                     retries += 1;
                     if retries > 1_000_000 {
-                        break; // starved; count as failure
+                        // Starved: not a completed operation.
+                        maxr.fetch_max(retries, Ordering::Relaxed);
+                        return 0;
                     }
                 }
                 maxr.fetch_max(retries, Ordering::Relaxed);
                 1
             })
-        };
+        });
 
         // SCX on one shared record.
-        let domain: Arc<Domain<1, ()>> = Arc::new(Domain::new());
+        let domain: Domain<1, ()> = Domain::new();
         let rec = domain.alloc((), [0]) as usize;
-        let scx_max_retries = Arc::new(AtomicU64::new(0));
-        let scx_ops = {
-            let domain = Arc::clone(&domain);
-            let maxr = Arc::clone(&scx_max_retries);
-            run_throughput(threads, CELL, move |_| {
+        let scx_max_retries = AtomicU64::new(0);
+        let scx_ops = run_throughput(threads, CELL, |_t: usize| {
+            let domain = &domain;
+            let maxr = &scx_max_retries;
+            Box::new(move || {
                 let r = unsafe { &*(rec as *const llx_scx::DataRecord<1, ()>) };
                 let mut retries = 0u64;
                 loop {
@@ -738,7 +555,7 @@ pub fn e6_progress() {
                 maxr.fetch_max(retries, Ordering::Relaxed);
                 1
             })
-        };
+        });
 
         rows.push(vec![
             threads.to_string(),

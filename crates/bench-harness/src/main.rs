@@ -15,15 +15,17 @@ USAGE:
     bench-harness [EXPERIMENT]
 
 EXPERIMENTS:
-    e1    step complexity of uncontended SCX (paper §1: k+1 CAS, f+2 writes)
-    e2    disjoint SCXs all succeed (paper §3.2 progress guarantee)
-    e3    VLX cost (k reads per validation)
-    e4    multiset throughput scaling: LLX/SCX vs kCAS vs locks
-    e5    tree throughput scaling: chromatic vs BST vs coarse lock
-    e6    progress under contention: obstruction-free KCSS vs SCX
-    e7    search ablation: read-based vs LLX-based traversals
-    e8    helping statistics under contention
-    all   run every experiment in order (default)
+    e1       step complexity of uncontended SCX (paper §1: k+1 CAS, f+2 writes)
+    e2       disjoint SCXs all succeed (paper §3.2 progress guarantee)
+    e3       VLX cost (k reads per validation)
+    e4       multiset throughput scaling: LLX/SCX vs kCAS vs locks
+    e5       tree throughput scaling: chromatic vs BST vs Patricia vs coarse lock
+    e6       progress under contention: obstruction-free KCSS vs SCX
+    e7       search ablation: read-based vs LLX-based traversals
+    e8       helping statistics under contention
+    compare  every ConcurrentOrderedSet structure through one sweep
+             (threads x update-mix x key-range), one column per structure
+    all      run every experiment in order (default)
 
 OPTIONS:
     -h, --help    print this help and exit\
@@ -53,6 +55,7 @@ fn main() {
         "e6" => experiments::e6_progress(),
         "e7" => experiments::e7_search_ablation(),
         "e8" => experiments::e8_helping_stats(),
+        "compare" => experiments::compare(),
         "all" => {
             experiments::e1_step_complexity();
             experiments::e2_disjoint_success();
@@ -62,6 +65,7 @@ fn main() {
             experiments::e6_progress();
             experiments::e7_search_ablation();
             experiments::e8_helping_stats();
+            experiments::compare();
         }
         other => {
             eprintln!("unknown experiment {other:?}\n\n{USAGE}");

@@ -1,41 +1,51 @@
 //! Fixed-duration throughput runner.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
-/// Run `threads` copies of `worker` for `duration`, returning total
-/// operations per second. Each worker is called repeatedly with its
-/// thread index and must perform one operation per call, returning the
-/// number of completed operations (usually 1).
-pub fn run_throughput<F>(threads: usize, duration: Duration, worker: F) -> f64
+/// Run `threads` workers for `duration`, returning total operations per
+/// second.
+///
+/// `make_worker` is called once per thread (with the thread index) to
+/// build that thread's stateful worker — typically closing over a
+/// seeded generator — so per-thread streams are deterministic without
+/// thread-local hacks. Each worker call must perform at least one
+/// operation and return how many it completed.
+///
+/// Threads are scoped: workers may borrow the structures under test
+/// from the caller's stack frame.
+pub fn run_throughput<'a, F>(threads: usize, duration: Duration, make_worker: F) -> f64
 where
-    F: Fn(usize) -> u64 + Send + Sync + 'static,
+    F: Fn(usize) -> Box<dyn FnMut() -> u64 + Send + 'a> + Sync + 'a,
 {
-    let worker = Arc::new(worker);
-    let stop = Arc::new(AtomicBool::new(false));
-    let barrier = Arc::new(Barrier::new(threads + 1));
-    let mut handles = Vec::new();
-    for t in 0..threads {
-        let worker = Arc::clone(&worker);
-        let stop = Arc::clone(&stop);
-        let barrier = Arc::clone(&barrier);
-        handles.push(std::thread::spawn(move || {
-            barrier.wait();
-            let mut ops = 0u64;
-            while !stop.load(Ordering::Relaxed) {
-                ops += worker(t);
-            }
-            ops
-        }));
-    }
-    barrier.wait();
-    let start = Instant::now();
-    std::thread::sleep(duration);
-    stop.store(true, Ordering::Relaxed);
-    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
-    let elapsed = start.elapsed().as_secs_f64();
-    total as f64 / elapsed
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(threads + 1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let stop = &stop;
+                let barrier = &barrier;
+                let make_worker = &make_worker;
+                scope.spawn(move || {
+                    let mut worker = make_worker(t);
+                    barrier.wait();
+                    let mut ops = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        ops += worker();
+                    }
+                    ops
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let elapsed = start.elapsed().as_secs_f64();
+        total as f64 / elapsed
+    })
 }
 
 /// Render a table: header row plus data rows, space-aligned.

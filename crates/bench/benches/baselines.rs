@@ -10,10 +10,12 @@ fn bench_matched_k(c: &mut Criterion) {
     for k in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::new("scx", k), &k, |b, &k| {
             let domain: Domain<1, u64> = Domain::new();
-            let guard = llx_scx::pin();
             let recs: Vec<_> = (0..k).map(|i| domain.alloc(i as u64, [0])).collect();
             let mut next = 0u64;
+            // Pin per iteration (see primitives.rs): an eternal pin
+            // would forbid reclamation entirely.
             b.iter(|| {
+                let guard = llx_scx::pin();
                 let snaps: Vec<_> = recs
                     .iter()
                     .map(|&r| domain.llx(unsafe { &*r }, &guard).snapshot().unwrap())
@@ -24,6 +26,7 @@ fn bench_matched_k(c: &mut Criterion) {
                     &guard
                 ));
             });
+            let guard = llx_scx::pin();
             for r in recs {
                 unsafe { domain.retire(r, &guard) };
             }

@@ -1,54 +1,23 @@
-//! Single-threaded operation latency of the multiset at several sizes
-//! (the list is O(n), so size dominates).
+//! Single-threaded operation latency of every multiset implementation
+//! (the list-based structures are O(n), so size dominates), driven
+//! through the `ConcurrentOrderedSet` trait so all four columns of the
+//! paper's comparison run the identical access pattern.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use multiset::Multiset;
-use std::hint::black_box;
+use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_multiset(c: &mut Criterion) {
-    let mut group = c.benchmark_group("multiset");
-    for size in [16u64, 128, 1024] {
-        group.bench_with_input(BenchmarkId::new("get", size), &size, |b, &n| {
-            let set = Multiset::new();
-            for k in 0..n {
-                set.insert(k, 1);
-            }
-            let mut k = 0;
-            b.iter(|| {
-                k = (k + 7) % n;
-                black_box(set.get(black_box(k)))
-            });
-        });
-        group.bench_with_input(
-            BenchmarkId::new("insert_remove", size),
-            &size,
-            |b, &n| {
-                let set = Multiset::new();
-                for k in 0..n {
-                    set.insert(k, 1);
-                }
-                let mut k = 0;
-                b.iter(|| {
-                    k = (k + 7) % n;
-                    set.insert(k, 1);
-                    assert!(set.remove(k, 1));
-                });
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("count_bump", size), &size, |b, &n| {
-            // Fig. 5(b): in-place count increase, a 1-record SCX.
-            let set = Multiset::new();
-            for k in 0..n {
-                set.insert(k, 1);
-            }
-            let mut k = 0;
-            b.iter(|| {
-                k = (k + 7) % n;
-                set.insert(k, 1)
-            });
-        });
+fn bench_multisets(c: &mut Criterion) {
+    let sizes = [16u64, 128, 1024];
+    for name in [
+        "scx-multiset",
+        "kcas-multiset",
+        "coarse-multiset",
+        "hoh-multiset",
+    ] {
+        bench::bench_set_ops(c, bench::factory(name), &sizes);
+        // Fig. 5(b): the in-place count increase (1-record SCX for the
+        // LLX/SCX multiset; the analogous cheap path elsewhere).
+        bench::bench_count_bump(c, bench::factory(name), &sizes);
     }
-    group.finish();
 }
 
 fn config() -> Criterion {
@@ -61,6 +30,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_multiset
+    targets = bench_multisets
 }
 criterion_main!(benches);

@@ -23,10 +23,14 @@ fn bench_scx_k(c: &mut Criterion) {
     for k in [1usize, 2, 3, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             let domain: Domain<1, u64> = Domain::new();
-            let guard = llx_scx::pin();
             let recs: Vec<_> = (0..k).map(|i| domain.alloc(i as u64, [0])).collect();
             let mut next = 1u64;
+            // Pin per iteration, like every real data-structure
+            // operation: an eternally pinned bench thread forbids the
+            // epoch collector from ever reclaiming retired SCX-records,
+            // so it measures unbounded queue growth instead of SCX.
             b.iter(|| {
+                let guard = llx_scx::pin();
                 let snaps: Vec<_> = recs
                     .iter()
                     .map(|&r| domain.llx(unsafe { &*r }, &guard).snapshot().unwrap())
@@ -38,6 +42,7 @@ fn bench_scx_k(c: &mut Criterion) {
                     &guard
                 ));
             });
+            let guard = llx_scx::pin();
             for r in recs {
                 unsafe { domain.retire(r, &guard) };
             }

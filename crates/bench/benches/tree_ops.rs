@@ -1,73 +1,18 @@
-//! Single-threaded operation latency of the BST and chromatic tree.
-//! The chromatic tree pays rebalancing on updates but keeps lookups
-//! logarithmic even for sorted insertion orders.
+//! Single-threaded operation latency of the three search structures,
+//! driven through the `ConcurrentOrderedSet` trait. The dense ascending
+//! prefill is the adversarial case for the unbalanced BST (kept small
+//! there); the chromatic tree pays rebalancing on updates but keeps
+//! lookups logarithmic, and the Patricia trie's depth is structurally
+//! bounded by the key width.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-use trees::{Bst, ChromaticTree};
+use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_get(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tree_get");
-    for size in [1_024u64, 65_536] {
-        // Sorted insertion order: adversarial for the unbalanced BST.
-        group.bench_with_input(
-            BenchmarkId::new("chromatic_sorted_fill", size),
-            &size,
-            |b, &n| {
-                let t = ChromaticTree::new();
-                for k in 0..n {
-                    t.insert(k, k);
-                }
-                let mut k = 0;
-                b.iter(|| {
-                    k = (k + 7919) % n;
-                    black_box(t.get(black_box(k)))
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("bst_sorted_fill", size),
-            &size,
-            |b, &n| {
-                // Cap the degenerate BST size to keep the bench short.
-                let n = n.min(4096);
-                let t = Bst::new();
-                for k in 0..n {
-                    t.insert(k, k);
-                }
-                let mut k = 0;
-                b.iter(|| {
-                    k = (k + 7919) % n;
-                    black_box(t.get(black_box(k)))
-                });
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_update(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tree_update");
-    for size in [1_024u64, 65_536] {
-        group.bench_with_input(
-            BenchmarkId::new("chromatic_insert_remove", size),
-            &size,
-            |b, &n| {
-                let t = ChromaticTree::new();
-                for k in (0..n).step_by(2) {
-                    t.insert(k, k);
-                }
-                let mut k = 1;
-                b.iter(|| {
-                    k = (k + 2) % n;
-                    let key = k | 1; // odd keys absent from prefill
-                    assert!(t.insert(key, key));
-                    assert!(t.remove(key).is_some());
-                });
-            },
-        );
-    }
-    group.finish();
+fn bench_trees(c: &mut Criterion) {
+    bench::bench_set_ops(c, bench::factory("chromatic"), &[1_024, 65_536]);
+    bench::bench_set_ops(c, bench::factory("patricia"), &[1_024, 65_536]);
+    // Sorted fill degenerates the unbalanced BST to a list; cap the
+    // size to keep the bench short (matches the pre-trait cap).
+    bench::bench_set_ops(c, bench::factory("bst"), &[1_024, 4_096]);
 }
 
 fn config() -> Criterion {
@@ -80,6 +25,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_get, bench_update
+    targets = bench_trees
 }
 criterion_main!(benches);

@@ -1,1 +1,79 @@
-//! Criterion micro-benchmarks live in `benches/`; this library is empty.
+//! Shared helpers for the criterion benches in `benches/`: generic
+//! single-threaded operation-latency sweeps over any
+//! [`conc_set::ConcurrentOrderedSet`], so one definition covers the
+//! whole structure zoo and `cargo bench` output is comparable across
+//! structures by construction.
+
+#![warn(missing_docs)]
+
+use std::hint::black_box;
+
+use conc_set::{ConcurrentOrderedSet, Factory};
+use criterion::{BenchmarkId, Criterion};
+
+/// Look up a registry factory by structure name; see
+/// [`conc_set::factory_by_name`].
+pub fn factory(name: &str) -> Factory {
+    conc_set::factory_by_name(name)
+}
+
+/// Bench `get` and `insert`+`remove` latency for the structure at each
+/// size in `sizes` (prefilled densely with `0..n`), grouped under the
+/// structure's registry name.
+pub fn bench_set_ops(c: &mut Criterion, make: Factory, sizes: &[u64]) {
+    let name = make().name();
+    let mut group = c.benchmark_group(name);
+    for &n in sizes {
+        group.bench_with_input(BenchmarkId::new("get", n), &n, |b, &n| {
+            let set = make();
+            prefill_dense(&*set, n);
+            let mut k = 0;
+            b.iter(|| {
+                k = (k + 7) % n;
+                black_box(set.get(black_box(k)))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("insert_remove", n), &n, |b, &n| {
+            let set = make();
+            prefill_dense(&*set, n);
+            let mut k = 0;
+            b.iter(|| {
+                k = (k + 7) % n;
+                set.insert(k, 1);
+                assert!(set.remove(k, 1) > 0);
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Bench the in-place count increase (paper Fig. 5(b), a 1-record SCX
+/// on the LLX/SCX multiset) for counting structures.
+pub fn bench_count_bump(c: &mut Criterion, make: Factory, sizes: &[u64]) {
+    let probe = make();
+    assert!(
+        probe.counting(),
+        "{} is not a counting structure",
+        probe.name()
+    );
+    let name = probe.name();
+    let mut group = c.benchmark_group(name);
+    for &n in sizes {
+        group.bench_with_input(BenchmarkId::new("count_bump", n), &n, |b, &n| {
+            let set = make();
+            prefill_dense(&*set, n);
+            let mut k = 0;
+            b.iter(|| {
+                k = (k + 7) % n;
+                set.insert(k, 1)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn prefill_dense(set: &dyn ConcurrentOrderedSet, n: u64) {
+    for k in 0..n {
+        set.insert(k, 1);
+    }
+}

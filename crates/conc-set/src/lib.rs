@@ -1,0 +1,419 @@
+//! One trait over every concurrent ordered-set structure in the
+//! workspace.
+//!
+//! The paper's point is that LLX/SCX is a *reusable* primitive: the
+//! multiset (§5) and the trees (§6) are two instances of one technique.
+//! This crate completes that story at the API level: every structure in
+//! the repository — the three LLX/SCX structures, the kCAS multiset the
+//! paper argues against, and the two lock-based baselines — implements
+//! [`ConcurrentOrderedSet`], so workloads, benchmarks, stress tests and
+//! the linearizability harness are written once and run against the
+//! whole zoo.
+//!
+//! Two sequential semantics coexist behind the one interface,
+//! distinguished by [`ConcurrentOrderedSet::counting`]:
+//!
+//! * **counting** (the multisets, paper §5): a key has a count of
+//!   occurrences; `insert(k, c)` adds `c` of them.
+//! * **distinct** (the trees, paper §6): a key is present or absent;
+//!   `insert` is insert-if-absent and `count` arguments are ignored.
+//!
+//! The uniform return contract makes both checkable by one spec
+//! ([`linearize::OrderedSetSpec`]) and one ledger: `insert`/`remove`
+//! return the number of occurrences actually added/removed, so across
+//! any quiescent run `Σ insert returns − Σ remove returns = len()`.
+//! The [`stress`] module exploits exactly that identity.
+//!
+//! # Example
+//!
+//! ```
+//! use conc_set::ConcurrentOrderedSet;
+//!
+//! for factory in conc_set::all_factories() {
+//!     let set = factory();
+//!     assert_eq!(set.insert(7, 1), 1, "{}", set.name());
+//!     assert_eq!(set.get(7), 1);
+//!     assert_eq!(set.remove(7, 1), 1);
+//!     assert_eq!(set.len(), 0);
+//!     set.validate().unwrap();
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod stress;
+
+use linearize::{OrderedSetOp, OrderedSetSpec};
+
+/// A concurrent ordered set of `u64` keys with occurrence counts.
+///
+/// # Contract
+///
+/// * `get(k)` returns the number of occurrences of `k` (0 or 1 for
+///   distinct-semantics structures).
+/// * `insert(k, c)` returns the number of occurrences added: `c` for
+///   counting structures, 1 or 0 (already present) for distinct ones.
+/// * `remove(k, c)` returns the number removed: `c` or 0 (fewer than
+///   `c` present) for counting structures, 1 or 0 for distinct ones.
+/// * `len()` is the total occurrence count over all keys, with
+///   traversal (not snapshot) semantics under concurrency; at
+///   quiescence it equals the insert/remove return-value ledger.
+/// * Keys must stay below `u64::MAX - 1` (the kCAS multiset reserves
+///   the top key for its tail sentinel) and counts below `2^62` (kCAS
+///   values are 62-bit).
+///
+/// All operations are linearizable for every implementation in this
+/// workspace; the root `tests/linearizability.rs` checks each one
+/// against [`OrderedSetSpec`] with the WGL checker.
+pub trait ConcurrentOrderedSet: Send + Sync {
+    /// Short stable name for tables and test labels.
+    fn name(&self) -> &'static str;
+
+    /// `true` for multiset (counting) semantics, `false` for
+    /// distinct-set semantics. Decides the sequential spec.
+    fn counting(&self) -> bool;
+
+    /// Occurrences of `key`.
+    fn get(&self, key: u64) -> u64;
+
+    /// Add occurrences of `key`; returns how many were added.
+    fn insert(&self, key: u64, count: u64) -> u64;
+
+    /// Remove occurrences of `key`; returns how many were removed.
+    fn remove(&self, key: u64, count: u64) -> u64;
+
+    /// Total occurrences across all keys (traversal semantics).
+    fn len(&self) -> u64;
+
+    /// Whether a traversal finds no occurrences.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Structure-specific invariant validation; call at quiescence.
+    /// Structures without internal invariants return `Ok(())`.
+    fn validate(&self) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// The sequential specification this structure's operations follow —
+    /// the hook the generic linearizability harness plugs into.
+    fn spec(&self) -> OrderedSetSpec {
+        OrderedSetSpec {
+            counting: self.counting(),
+        }
+    }
+
+    /// Dispatch one [`OrderedSetOp`], returning the occurrence delta the
+    /// spec models. This is the bridge between recorded histories and
+    /// the structure.
+    fn apply(&self, op: &OrderedSetOp) -> u64 {
+        match op {
+            OrderedSetOp::Get(k) => self.get(*k),
+            OrderedSetOp::Insert(k, c) => self.insert(*k, *c),
+            OrderedSetOp::Remove(k, c) => self.remove(*k, *c),
+        }
+    }
+}
+
+impl std::fmt::Debug for dyn ConcurrentOrderedSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ConcurrentOrderedSet({})", self.name())
+    }
+}
+
+impl ConcurrentOrderedSet for multiset::Multiset<u64> {
+    fn name(&self) -> &'static str {
+        "scx-multiset"
+    }
+    fn counting(&self) -> bool {
+        true
+    }
+    fn get(&self, key: u64) -> u64 {
+        multiset::Multiset::get(self, key)
+    }
+    fn insert(&self, key: u64, count: u64) -> u64 {
+        multiset::Multiset::insert(self, key, count);
+        count
+    }
+    fn remove(&self, key: u64, count: u64) -> u64 {
+        if multiset::Multiset::remove(self, key, count) {
+            count
+        } else {
+            0
+        }
+    }
+    fn len(&self) -> u64 {
+        multiset::Multiset::len(self)
+    }
+    fn validate(&self) -> Result<(), String> {
+        self.check_invariants()
+    }
+}
+
+impl ConcurrentOrderedSet for mwcas::KcasMultiset {
+    fn name(&self) -> &'static str {
+        "kcas-multiset"
+    }
+    fn counting(&self) -> bool {
+        true
+    }
+    fn get(&self, key: u64) -> u64 {
+        mwcas::KcasMultiset::get(self, key)
+    }
+    fn insert(&self, key: u64, count: u64) -> u64 {
+        mwcas::KcasMultiset::insert(self, key, count);
+        count
+    }
+    fn remove(&self, key: u64, count: u64) -> u64 {
+        if mwcas::KcasMultiset::remove(self, key, count) {
+            count
+        } else {
+            0
+        }
+    }
+    fn len(&self) -> u64 {
+        mwcas::KcasMultiset::len(self)
+    }
+}
+
+impl ConcurrentOrderedSet for lockbased::CoarseMultiset<u64> {
+    fn name(&self) -> &'static str {
+        "coarse-multiset"
+    }
+    fn counting(&self) -> bool {
+        true
+    }
+    fn get(&self, key: u64) -> u64 {
+        lockbased::CoarseMultiset::get(self, key)
+    }
+    fn insert(&self, key: u64, count: u64) -> u64 {
+        lockbased::CoarseMultiset::insert(self, key, count);
+        count
+    }
+    fn remove(&self, key: u64, count: u64) -> u64 {
+        if lockbased::CoarseMultiset::remove(self, key, count) {
+            count
+        } else {
+            0
+        }
+    }
+    fn len(&self) -> u64 {
+        lockbased::CoarseMultiset::len(self)
+    }
+}
+
+impl ConcurrentOrderedSet for lockbased::HandOverHandMultiset<u64> {
+    fn name(&self) -> &'static str {
+        "hoh-multiset"
+    }
+    fn counting(&self) -> bool {
+        true
+    }
+    fn get(&self, key: u64) -> u64 {
+        lockbased::HandOverHandMultiset::get(self, key)
+    }
+    fn insert(&self, key: u64, count: u64) -> u64 {
+        lockbased::HandOverHandMultiset::insert(self, key, count);
+        count
+    }
+    fn remove(&self, key: u64, count: u64) -> u64 {
+        if lockbased::HandOverHandMultiset::remove(self, key, count) {
+            count
+        } else {
+            0
+        }
+    }
+    fn len(&self) -> u64 {
+        lockbased::HandOverHandMultiset::len(self)
+    }
+}
+
+impl ConcurrentOrderedSet for trees::Bst<u64, u64> {
+    fn name(&self) -> &'static str {
+        "bst"
+    }
+    fn counting(&self) -> bool {
+        false
+    }
+    fn get(&self, key: u64) -> u64 {
+        u64::from(self.contains(key))
+    }
+    fn insert(&self, key: u64, _count: u64) -> u64 {
+        u64::from(trees::Bst::insert(self, key, key))
+    }
+    fn remove(&self, key: u64, _count: u64) -> u64 {
+        u64::from(trees::Bst::remove(self, key).is_some())
+    }
+    fn len(&self) -> u64 {
+        trees::Bst::len(self) as u64
+    }
+    fn validate(&self) -> Result<(), String> {
+        self.check_invariants()
+    }
+}
+
+impl ConcurrentOrderedSet for trees::ChromaticTree<u64, u64> {
+    fn name(&self) -> &'static str {
+        "chromatic"
+    }
+    fn counting(&self) -> bool {
+        false
+    }
+    fn get(&self, key: u64) -> u64 {
+        u64::from(self.contains(key))
+    }
+    fn insert(&self, key: u64, _count: u64) -> u64 {
+        u64::from(trees::ChromaticTree::insert(self, key, key))
+    }
+    fn remove(&self, key: u64, _count: u64) -> u64 {
+        u64::from(trees::ChromaticTree::remove(self, key).is_some())
+    }
+    fn len(&self) -> u64 {
+        trees::ChromaticTree::len(self) as u64
+    }
+    fn validate(&self) -> Result<(), String> {
+        self.check_invariants()?;
+        self.check_balanced()
+    }
+}
+
+impl ConcurrentOrderedSet for trees::PatriciaTrie<u64> {
+    fn name(&self) -> &'static str {
+        "patricia"
+    }
+    fn counting(&self) -> bool {
+        false
+    }
+    fn get(&self, key: u64) -> u64 {
+        u64::from(self.contains(key))
+    }
+    fn insert(&self, key: u64, _count: u64) -> u64 {
+        u64::from(trees::PatriciaTrie::insert(self, key, key))
+    }
+    fn remove(&self, key: u64, _count: u64) -> u64 {
+        u64::from(trees::PatriciaTrie::remove(self, key).is_some())
+    }
+    fn len(&self) -> u64 {
+        trees::PatriciaTrie::len(self) as u64
+    }
+    fn validate(&self) -> Result<(), String> {
+        self.check_invariants()
+    }
+}
+
+/// A constructor for one fresh, empty structure behind the trait.
+pub type Factory = fn() -> Box<dyn ConcurrentOrderedSet>;
+
+/// Factories for every structure in the workspace, in the order they
+/// appear in comparison tables: the three LLX/SCX structures first, then
+/// the kCAS rival, then the lock-based baselines.
+pub fn all_factories() -> &'static [Factory] {
+    &[
+        || Box::new(multiset::Multiset::<u64>::new()),
+        || Box::new(trees::ChromaticTree::<u64, u64>::new()),
+        || Box::new(trees::Bst::<u64, u64>::new()),
+        || Box::new(trees::PatriciaTrie::<u64>::new()),
+        || Box::new(mwcas::KcasMultiset::new()),
+        || Box::new(lockbased::HandOverHandMultiset::<u64>::new()),
+        || Box::new(lockbased::CoarseMultiset::<u64>::new()),
+    ]
+}
+
+/// Look up a registry factory by structure name.
+///
+/// # Panics
+///
+/// Panics if no structure with that name is registered.
+pub fn factory_by_name(name: &str) -> Factory {
+    all_factories()
+        .iter()
+        .copied()
+        .find(|f| f().name() == name)
+        .unwrap_or_else(|| panic!("unknown structure {name:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_stable() {
+        let names: Vec<_> = all_factories().iter().map(|f| f().name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "scx-multiset",
+                "chromatic",
+                "bst",
+                "patricia",
+                "kcas-multiset",
+                "hoh-multiset",
+                "coarse-multiset"
+            ]
+        );
+    }
+
+    #[test]
+    fn counting_structures_accumulate_occurrences() {
+        for factory in all_factories() {
+            let set = factory();
+            if !set.counting() {
+                continue;
+            }
+            assert_eq!(set.insert(5, 3), 3, "{}", set.name());
+            assert_eq!(set.insert(5, 2), 2);
+            assert_eq!(set.get(5), 5);
+            assert_eq!(set.remove(5, 4), 4);
+            assert_eq!(set.remove(5, 4), 0, "short remove fails whole");
+            assert_eq!(set.get(5), 1);
+            assert_eq!(set.len(), 1);
+            set.validate().unwrap_or_else(|e| panic!("{}: {e}", set.name()));
+        }
+    }
+
+    #[test]
+    fn distinct_structures_ignore_counts() {
+        for factory in all_factories() {
+            let set = factory();
+            if set.counting() {
+                continue;
+            }
+            assert_eq!(set.insert(5, 3), 1, "{}", set.name());
+            assert_eq!(set.insert(5, 2), 0, "already present");
+            assert_eq!(set.get(5), 1);
+            assert_eq!(set.remove(5, 9), 1);
+            assert_eq!(set.remove(5, 1), 0);
+            assert_eq!(set.len(), 0);
+            set.validate().unwrap_or_else(|e| panic!("{}: {e}", set.name()));
+        }
+    }
+
+    #[test]
+    fn apply_matches_spec_on_a_sequential_tape() {
+        use linearize::Spec;
+        for factory in all_factories() {
+            let set = factory();
+            let spec = set.spec();
+            let mut state = spec.initial();
+            let ops = [
+                OrderedSetOp::Insert(1, 2),
+                OrderedSetOp::Insert(9, 1),
+                OrderedSetOp::Get(1),
+                OrderedSetOp::Remove(1, 1),
+                OrderedSetOp::Get(1),
+                OrderedSetOp::Remove(1, 5),
+                OrderedSetOp::Remove(9, 1),
+                OrderedSetOp::Get(9),
+            ];
+            for op in &ops {
+                let got = set.apply(op);
+                let (next, want) = spec.apply(&state, op);
+                assert_eq!(got, want, "{}: {op:?}", set.name());
+                state = next;
+            }
+            set.validate().unwrap_or_else(|e| panic!("{}: {e}", set.name()));
+        }
+    }
+}

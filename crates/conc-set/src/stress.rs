@@ -1,0 +1,142 @@
+//! A generic multi-thread stress harness over [`ConcurrentOrderedSet`].
+//!
+//! One driver covers the whole zoo: `threads` workers run a seeded
+//! [`workloads::WorkloadGen`] stream against the structure for a fixed
+//! duration, tallying the occurrence deltas the trait's return values
+//! report. Because every implementation returns exact deltas, the
+//! harness can assert a structure-independent conservation law at
+//! quiescence:
+//!
+//! > total occurrences added − total removed = `len()`
+//!
+//! plus the structure's own [`validate`](ConcurrentOrderedSet::validate)
+//! invariants. Any lost update, duplicated insert, resurrected node or
+//! broken traversal shows up as a ledger mismatch.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use workloads::{KeyDist, Mix, OpKind, WorkloadGen};
+
+use crate::ConcurrentOrderedSet;
+
+/// Outcome of one [`run`]: the ledger and the observed final state.
+#[derive(Debug, Clone, Copy)]
+pub struct StressReport {
+    /// Operations completed across all threads.
+    pub ops: u64,
+    /// Σ insert returns − Σ remove returns over the whole run
+    /// (including the prefill if it was tallied by the caller).
+    pub net_occurrences: i64,
+    /// `len()` observed after all threads joined.
+    pub final_len: u64,
+}
+
+impl StressReport {
+    /// The conservation law: the final length equals the net occurrence
+    /// delta reported by the operations themselves.
+    pub fn balanced(&self) -> bool {
+        self.net_occurrences >= 0 && self.final_len == self.net_occurrences as u64
+    }
+}
+
+/// Insert every other key of `0..range` once (the standard 50% prefill)
+/// and return the occurrences added, for inclusion in the caller's
+/// ledger.
+pub fn prefill(set: &dyn ConcurrentOrderedSet, range: u64) -> i64 {
+    let mut added = 0i64;
+    for k in workloads::prefill_keys(range) {
+        added += set.insert(k, 1) as i64;
+    }
+    added
+}
+
+/// Run `threads` workers against `set` for `duration`, each driving a
+/// deterministic `(seed, thread)` workload stream of the given mix over
+/// `dist`. Returns the combined ledger; `prefill_delta` (from
+/// [`prefill`]) is folded into `net_occurrences` so
+/// [`StressReport::balanced`] holds for a correct structure.
+///
+/// Counting structures get per-op counts in `1..=2` to exercise the
+/// partial-remove paths; distinct structures get count 1.
+pub fn run(
+    set: &dyn ConcurrentOrderedSet,
+    threads: usize,
+    duration: Duration,
+    dist: KeyDist,
+    mix: Mix,
+    seed: u64,
+    prefill_delta: i64,
+) -> StressReport {
+    let stop = AtomicBool::new(false);
+    let counting = set.counting();
+    let (ops, net) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let stop = &stop;
+                let dist = dist.clone();
+                scope.spawn(move || {
+                    let mut gen = WorkloadGen::new(seed, t, dist, mix);
+                    let mut ops = 0u64;
+                    let mut net = 0i64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let (kind, key) = gen.next_op();
+                        let count = if counting { 1 + key % 2 } else { 1 };
+                        match kind {
+                            OpKind::Get => {
+                                let _ = set.get(key);
+                            }
+                            OpKind::Insert => net += set.insert(key, count) as i64,
+                            OpKind::Remove => net -= set.remove(key, count) as i64,
+                        }
+                        ops += 1;
+                    }
+                    (ops, net)
+                })
+            })
+            .collect();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .fold((0u64, 0i64), |(o, n), (po, pn)| (o + po, n + pn))
+    });
+    StressReport {
+        ops,
+        net_occurrences: prefill_delta + net,
+        final_len: set.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_structure_balances_under_brief_stress() {
+        for factory in crate::all_factories() {
+            let set = factory();
+            let pre = prefill(&*set, 16);
+            let report = run(
+                &*set,
+                2,
+                Duration::from_millis(40),
+                KeyDist::uniform(16),
+                Mix::with_update_percent(60),
+                7,
+                pre,
+            );
+            assert!(report.ops > 0, "{} made progress", set.name());
+            assert!(
+                report.balanced(),
+                "{}: net {} vs len {}",
+                set.name(),
+                report.net_occurrences,
+                report.final_len
+            );
+            set.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", set.name()));
+        }
+    }
+}

@@ -24,6 +24,11 @@ pub struct Llx<'g, const M: usize, I> {
     pub(crate) record: &'g DataRecord<M, I>,
     pub(crate) info: *const ScxHeader,
     pub(crate) values: [u64; M],
+    /// Debug builds: generation of the observed SCX-record, used to
+    /// assert the reclamation protocol never lets a recycled address
+    /// masquerade as the record this LLX linked to.
+    #[cfg(debug_assertions)]
+    pub(crate) info_gen: u64,
 }
 
 impl<'g, const M: usize, I> Llx<'g, M, I> {

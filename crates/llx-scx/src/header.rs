@@ -54,14 +54,37 @@ pub(crate) struct ScxHeader {
     /// True only for [`DUMMY`]. The dummy is `static`, participates in no
     /// helping (Lemma 11) and is exempt from reference counting.
     dummy: bool,
-    /// Number of outstanding references: one for the creating SCX
-    /// invocation until it returns, plus one per Data-record whose `info`
-    /// field currently points here (see `reclaim`).
+    /// Total outstanding references: the creating SCX invocation until
+    /// it returns, plus one per Data-record whose `info` field points
+    /// here, plus one per live successor SCX-record holding this header
+    /// in its `info_fields` (see `reclaim`).
     pub(crate) refs: AtomicUsize,
+    /// The *install* subset of [`refs`](Self::refs): creator + `info`
+    /// fields only. Its zero-crossing means no process can newly reach
+    /// this record from shared memory, which is the trigger for the
+    /// epoch-deferred release of the record's own `info_fields` holds.
+    pub(crate) cas_refs: AtomicUsize,
+    /// Set once when the `cas_refs` zero-crossing schedules the
+    /// dependency release; makes that scheduling idempotent against the
+    /// late-helper transient re-zero (see `reclaim`).
+    pub(crate) deps_scheduled: AtomicBool,
+    /// Set (after the epoch) once the record's `info_fields` holds have
+    /// been released; destruction requires it.
+    pub(crate) deps_released: AtomicBool,
     /// Set once by whichever thread claims responsibility for destroying
     /// the record; makes the destroy decision idempotent.
     pub(crate) claimed: AtomicBool,
+    /// Debug builds: allocation generation, unique per SCX-record
+    /// incarnation. Used to assert that pooled-block reuse never
+    /// produces an ABA on `info` pointers (the hazard the epoch delay
+    /// in `pool` exists to prevent).
+    #[cfg(debug_assertions)]
+    pub(crate) gen: u64,
 }
+
+/// Debug builds: source of unique SCX-record generations.
+#[cfg(debug_assertions)]
+static NEXT_GEN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 /// The dummy SCX-record every fresh Data-record's `info` field points to.
 pub(crate) static DUMMY: ScxHeader = ScxHeader {
@@ -69,7 +92,12 @@ pub(crate) static DUMMY: ScxHeader = ScxHeader {
     all_frozen: AtomicBool::new(false),
     dummy: true,
     refs: AtomicUsize::new(0),
+    cas_refs: AtomicUsize::new(0),
+    deps_scheduled: AtomicBool::new(true),
+    deps_released: AtomicBool::new(true),
     claimed: AtomicBool::new(true),
+    #[cfg(debug_assertions)]
+    gen: 0,
 };
 
 impl ScxHeader {
@@ -81,7 +109,12 @@ impl ScxHeader {
             all_frozen: AtomicBool::new(false),
             dummy: false,
             refs: AtomicUsize::new(1),
+            cas_refs: AtomicUsize::new(1),
+            deps_scheduled: AtomicBool::new(false),
+            deps_released: AtomicBool::new(false),
             claimed: AtomicBool::new(false),
+            #[cfg(debug_assertions)]
+            gen: NEXT_GEN.fetch_add(1, Ordering::Relaxed),
         }
     }
 

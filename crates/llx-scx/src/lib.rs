@@ -80,6 +80,7 @@ mod handle;
 mod header;
 mod inline_vec;
 pub mod ops;
+mod pool;
 mod reclaim;
 mod record;
 mod scx_record;
@@ -107,4 +108,48 @@ pub type Guard = crossbeam_epoch::Guard;
 /// from this function is alive.
 pub fn pin() -> Guard {
     crossbeam_epoch::pin()
+}
+
+/// Counters of the per-thread SCX-record pool (process-global, monotone).
+///
+/// `hits` / `misses` count pool allocations that did / did not reuse a
+/// recycled block; `defers` counts `defer_unchecked` calls issued for
+/// SCX-record reclamation — with pooling enabled this is roughly one per
+/// 32 retired records instead of one per record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Allocations served from the free list.
+    pub hits: u64,
+    /// Allocations that fell through to the global allocator.
+    pub misses: u64,
+    /// Epoch-deferred closures issued (batched or fallback).
+    pub defers: u64,
+}
+
+/// A snapshot of the SCX-record pool counters; see [`PoolStats`].
+pub fn pool_stats() -> PoolStats {
+    use std::sync::atomic::Ordering;
+    PoolStats {
+        hits: pool::POOL_HITS.load(Ordering::Relaxed),
+        misses: pool::POOL_MISSES.load(Ordering::Relaxed),
+        defers: pool::POOL_DEFERS.load(Ordering::Relaxed),
+    }
+}
+
+/// Drive SCX-record reclamation to quiescence from the calling thread.
+///
+/// Seals this thread's partially filled retirement batch, adopts records
+/// stranded by threads that exited mid-batch, and repeatedly flushes the
+/// epoch queue so deferred destructions run. After all operations have
+/// ceased, all worker threads have joined and this has been called,
+/// [`live_scx_records`] drains back to its baseline (debug builds).
+///
+/// Intended for tests and teardown paths; never required for safety.
+pub fn flush_reclamation() {
+    for _ in 0..16 {
+        let guard = pin();
+        pool::seal_current_thread(&guard);
+        pool::drain_orphans(&guard);
+        guard.flush();
+    }
 }

@@ -147,18 +147,31 @@ impl<const M: usize, I> Domain<M, I> {
 
         // line 7: was r frozen at line 5?
         if state == ScxState::Aborted || (state == ScxState::Committed && !marked2) {
+            #[cfg(debug_assertions)]
+            let gen_at_line5 = rinfo_hdr.gen;
             let mut values = [0u64; M];
             for (i, slot) in values.iter_mut().enumerate() {
                 *slot = r.mutable[i].load(Ordering::SeqCst); // line 8
             }
             if r.load_info() == rinfo {
-                // line 9
+                // line 9. The address comparison stands in for the
+                // paper's GC assumption; assert (debug builds) that the
+                // pool's epoch delay kept the address from being
+                // recycled into a different SCX-record incarnation.
+                #[cfg(debug_assertions)]
+                debug_assert_eq!(
+                    unsafe { (*rinfo).gen },
+                    gen_at_line5,
+                    "SCX-record address ABA: pooled block recycled under a pinned reader"
+                );
                 bump!(self, llx_snapshots);
                 // line 10's local table is replaced by the returned handle.
                 return LlxResult::Snapshot(Llx {
                     record: r,
                     info: rinfo,
                     values,
+                    #[cfg(debug_assertions)]
+                    info_gen: gen_at_line5,
                 }); // line 11
             }
         }
@@ -219,6 +232,15 @@ impl<const M: usize, I> Domain<M, I> {
         );
         let info_fields =
             crate::inline_vec::InlineVec::from_iter(req.v.iter().map(|h| h.info));
+        // The new SCX-record makes the old SCX-records in `info_fields`
+        // reachable (its freezing CASes use their addresses as expected
+        // values), so it must hold a reference on each: otherwise a
+        // stalled helper's freezing CAS could run against a recycled
+        // address and succeed spuriously (see `reclaim` on why the
+        // `r.info` count alone is not the paper's reachability).
+        for h in info_fields.iter() {
+            reclaim::acquire_hold(h);
+        }
         let target = &req.v[req.fld.record];
         let old = target.values[req.fld.field];
         let fld = &target.record.mutable[req.fld.field] as *const std::sync::atomic::AtomicU64;
@@ -228,9 +250,11 @@ impl<const M: usize, I> Domain<M, I> {
         );
 
         // line 21: create the SCX-record and do the real work in Help.
+        // Allocation goes through the per-thread pool, which recycles
+        // blocks of retired SCX-records (see `pool`).
         #[cfg(debug_assertions)]
         crate::scx_record::LIVE_SCX_RECORDS.fetch_add(1, Ordering::SeqCst);
-        let u = Box::into_raw(Box::new(ScxRecord::<M, I> {
+        let u = crate::pool::alloc(ScxRecord::<M, I> {
             hdr: ScxHeader::new_in_progress(),
             v,
             finalize_mask: req.finalize_mask,
@@ -238,7 +262,11 @@ impl<const M: usize, I> Domain<M, I> {
             old,
             new: req.new,
             info_fields,
-        }));
+            #[cfg(debug_assertions)]
+            info_gens: crate::inline_vec::InlineVec::from_iter(
+                req.v.iter().map(|h| h.info_gen),
+            ),
+        });
         // SAFETY: freshly allocated, uniquely reachable through `u`.
         let u_ref = unsafe { &*u };
         let result = self.help(u_ref, guard);
@@ -290,7 +318,16 @@ impl<const M: usize, I> Domain<M, I> {
                 Ok(displaced) => {
                     // freezing CAS succeeded (line 26): `r` is frozen for
                     // `u`; the displaced SCX-record loses the reference
-                    // held by `r.info`.
+                    // held by `r.info`. The displaced record must be the
+                    // very one the linked LLX observed — a generation
+                    // mismatch would mean the CAS matched a recycled
+                    // address (the ABA the reclamation protocol excludes).
+                    #[cfg(debug_assertions)]
+                    debug_assert_eq!(
+                        unsafe { (*displaced).gen },
+                        u.info_gens.get(i),
+                        "freezing CAS displaced a recycled SCX-record (address ABA)"
+                    );
                     // SAFETY: `displaced` was reachable via `r.info`
                     // until our CAS, under our pinned guard.
                     unsafe { reclaim::release::<M, I>(displaced, guard) };

@@ -1,0 +1,384 @@
+//! Per-thread pooling of retired SCX-records.
+//!
+//! Every SCX allocates one SCX-record, and before this module every
+//! record whose reference count drained to zero was routed through its
+//! own `guard.defer_unchecked` closure — one heap-allocated closure and
+//! one reclamation-queue entry *per SCX*. Under SCX-heavy workloads that
+//! defer traffic dominates the cost of the primitive itself (the
+//! `primitives/scx` bench cliff recorded in CHANGES.md).
+//!
+//! The pool batches the two epoch-deferred stages of the `reclaim`
+//! protocol and recycles the blocks:
+//!
+//! 1. **dependency stage** — when a record's install count
+//!    (`cas_refs`) hits zero it is pushed onto this thread's dependency
+//!    list; every [`LIMBO_BATCH`] records, *one* `defer_unchecked`
+//!    publishes the batch. When the epoch expires — i.e. when every
+//!    helper that could still execute one of the record's freezing CASes
+//!    has unpinned — [`crate::reclaim::mature_deps`] releases the
+//!    record's holds on its `info_fields` predecessors.
+//! 2. **destruction stage** — when a record's total count (`refs`) hits
+//!    zero with dependencies released, it is pushed onto this thread's
+//!    retirement list, batched the same way. When that epoch expires the
+//!    record is dropped in place and its raw block cached on the
+//!    collecting thread's free list (or returned to the allocator past
+//!    the cap). [`alloc`] pops from the free list and `ptr::write`s a
+//!    fresh record into the block, skipping the allocator entirely.
+//!
+//! The epoch delays are **not** optional: reusing a record's address
+//! while any stale holder could still dereference or CAS-compare it
+//! would reintroduce the ABA on SCX-record addresses that the paper's
+//! garbage-collection assumption rules out (see `reclaim` for the two
+//! reachability paths). Debug builds back this with a generation stamp
+//! checked in `Domain::llx`.
+//!
+//! Why pooling is sound across domains: `ScxRecord<M, I>` stores only
+//! words and pointers (never an `I` by value), so every instantiation
+//! has the same size and alignment. The pool stores untyped blocks and
+//! each entry carries a monomorphized shim, so a block retired by one
+//! domain can be reused by any other.
+//!
+//! Thread exit with partially filled batches parks the leftovers in a
+//! global orphan list; the next batch seal or
+//! [`crate::flush_reclamation`] adopts them with its caller's guard.
+//! This keeps the debug-build live-record ledger exact: every allocated
+//! record is eventually dropped exactly once, pool or no pool.
+//!
+//! Set `LLX_SCX_POOL=0` to disable pooling and fall back to
+//! per-record defers (used for A/B benchmarking), and
+//! `LLX_SCX_POOL_CAP` to change the per-thread free-list capacity.
+
+use std::alloc::Layout;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crossbeam_epoch::Guard;
+
+use crate::reclaim;
+use crate::scx_record::ScxRecord;
+
+/// Number of records that trigger one batched defer, per stage.
+const LIMBO_BATCH: usize = 32;
+
+/// Maximum blocks cached per thread; beyond this, matured blocks are
+/// returned to the allocator. `LLX_SCX_POOL_CAP` overrides.
+fn free_cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("LLX_SCX_POOL_CAP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256)
+    })
+}
+
+/// The one block layout shared by every `ScxRecord<M, I>` instantiation
+/// (all fields are words or pointers; `I` never appears by value).
+fn pool_layout() -> Layout {
+    Layout::new::<ScxRecord<1, ()>>()
+}
+
+/// A record in one of the two epoch-deferred stages: the raw block plus
+/// the monomorphized action for its true `ScxRecord<M, I>` type.
+struct Pending {
+    ptr: *mut u8,
+    /// Dependency stage: `reclaim::mature_deps`. Destruction stage:
+    /// drop in place. Must only run after the stage's epoch expired.
+    /// Returns whether the block is now dead and reusable.
+    act: unsafe fn(*mut u8, &Guard) -> bool,
+}
+
+// Pending blocks are plain memory plus a fn pointer; ownership moves
+// with the struct (into deferred closures and the orphan list).
+unsafe impl Send for Pending {}
+
+unsafe fn dep_shim<const M: usize, I>(p: *mut u8, guard: &Guard) -> bool {
+    reclaim::mature_deps(p as *const ScxRecord<M, I>, guard);
+    false
+}
+
+unsafe fn drop_shim<const M: usize, I>(p: *mut u8, _guard: &Guard) -> bool {
+    use std::sync::atomic::Ordering::SeqCst;
+    let rec = p as *mut ScxRecord<M, I>;
+    let h = &(*rec).hdr;
+    if h.refs.load(SeqCst) != 0 {
+        // Between the claim (refs == 0) and this maturation, a straggler
+        // with a stale LLX handle captured this record in a new
+        // SCX-record's `info_fields` (`acquire_hold` resurrects the
+        // count). Re-arm the claim: the hold's release — which runs in
+        // the successor's dependency stage — will observe the final
+        // zero-crossing and re-stage destruction.
+        h.claimed.store(false, SeqCst);
+        // The hold's release may have raced us: it can drive refs to
+        // zero after our load above but before the re-arm store, see
+        // `claimed` still set, and skip the re-stage — orphaning the
+        // record. Re-check under the re-armed flag; whoever wins the
+        // swap owns the block (us: dispose below; the release:
+        // re-stage).
+        if h.refs.load(SeqCst) != 0 || h.claimed.swap(true, SeqCst) {
+            return false;
+        }
+    }
+    if !poolable::<M, I>() {
+        // Non-pooled block (pooling disabled, or a layout-divergent
+        // instantiation that arrived via the stage() fallback): dispose
+        // through `Box` so the allocator sees the true layout, and keep
+        // it out of the free list so `LLX_SCX_POOL=0` measures the real
+        // no-pool baseline.
+        drop(Box::from_raw(rec));
+        return false;
+    }
+    std::ptr::drop_in_place(rec);
+    true
+}
+
+struct ThreadPool {
+    free: Vec<*mut u8>,
+    deps: Vec<Pending>,
+    destroy: Vec<Pending>,
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Free blocks hold no record (already destroyed in place) and
+        // are past their epoch: return them to the allocator directly.
+        for &p in &self.free {
+            // SAFETY: blocks in `free` were allocated with `pool_layout`.
+            unsafe { std::alloc::dealloc(p, pool_layout()) };
+        }
+        // Staged blocks may still be visible to pinned peers and this
+        // thread can no longer pin (its epoch slot is being torn down):
+        // park them for the next thread that seals a batch.
+        let mut orphaned = std::mem::take(&mut self.deps);
+        orphaned.append(&mut self.destroy);
+        if !orphaned.is_empty() {
+            orphans().lock().unwrap().append(&mut orphaned);
+        }
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<ThreadPool> = const {
+        RefCell::new(ThreadPool {
+            free: Vec::new(),
+            deps: Vec::new(),
+            destroy: Vec::new(),
+        })
+    };
+}
+
+/// Records staged by threads that exited mid-batch; drained (with a
+/// live guard) by the next seal or by [`crate::flush_reclamation`].
+fn orphans() -> &'static Mutex<Vec<Pending>> {
+    static ORPHANS: OnceLock<Mutex<Vec<Pending>>> = OnceLock::new();
+    ORPHANS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn pooling_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        !matches!(
+            std::env::var("LLX_SCX_POOL").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        )
+    })
+}
+
+/// Monotone counters for observability (`llx_scx::pool_stats`).
+pub(crate) static POOL_HITS: AtomicU64 = AtomicU64::new(0);
+pub(crate) static POOL_MISSES: AtomicU64 = AtomicU64::new(0);
+pub(crate) static POOL_DEFERS: AtomicU64 = AtomicU64::new(0);
+
+fn poolable<const M: usize, I>() -> bool {
+    pooling_enabled() && Layout::new::<ScxRecord<M, I>>() == pool_layout()
+}
+
+/// Allocate a block for `record` — from the thread's free list when
+/// possible, from the global allocator otherwise — and move `record`
+/// into it.
+pub(crate) fn alloc<const M: usize, I>(record: ScxRecord<M, I>) -> *mut ScxRecord<M, I> {
+    debug_assert_eq!(
+        Layout::new::<ScxRecord<M, I>>(),
+        pool_layout(),
+        "ScxRecord layout must be instantiation-independent for pooling"
+    );
+    if poolable::<M, I>() {
+        let reused = POOL
+            .try_with(|pool| pool.borrow_mut().free.pop())
+            .ok()
+            .flatten();
+        if let Some(block) = reused {
+            POOL_HITS.fetch_add(1, Ordering::Relaxed);
+            let p = block as *mut ScxRecord<M, I>;
+            // SAFETY: the block is unaliased (popped from the free list,
+            // past its retirement epoch) and has the right layout.
+            unsafe { std::ptr::write(p, record) };
+            return p;
+        }
+        POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+    }
+    Box::into_raw(Box::new(record))
+}
+
+/// Stage a pending entry on one of the thread's lists; seal a batch
+/// when full. Falls back to one defer per record if the thread-local is
+/// gone (teardown) or pooling is disabled.
+fn stage<const M: usize, I>(
+    entry: Pending,
+    pick: fn(&mut ThreadPool) -> &mut Vec<Pending>,
+    guard: &Guard,
+) {
+    if !poolable::<M, I>() {
+        defer_batch(vec![entry], guard);
+        return;
+    }
+    let mut slot = Some(entry);
+    let sealed = POOL.try_with(|pool| {
+        let mut pool = pool.borrow_mut();
+        let list = pick(&mut pool);
+        list.push(slot.take().expect("entry staged at most once"));
+        if list.len() >= LIMBO_BATCH {
+            Some(std::mem::take(list))
+        } else {
+            None
+        }
+    });
+    match sealed {
+        Ok(None) => {}
+        Ok(Some(batch)) => {
+            defer_batch(batch, guard);
+            drain_orphans(guard);
+        }
+        // Thread-local already destroyed (staging during teardown of
+        // another TLS destructor): defer the entry individually.
+        Err(_) => {
+            if let Some(entry) = slot.take() {
+                defer_batch(vec![entry], guard);
+            }
+        }
+    }
+}
+
+/// Schedule stage 1 for `rec` (install count hit zero): one epoch from
+/// now, release its holds on its `info_fields` predecessors.
+///
+/// # Safety
+///
+/// `rec` must be a live `ScxRecord<M, I>` whose dependency stage is
+/// scheduled exactly once (guarded by `deps_scheduled`); the caller
+/// must hold the pinned `guard`.
+pub(crate) unsafe fn schedule_dep_release<const M: usize, I>(
+    rec: *mut ScxRecord<M, I>,
+    guard: &Guard,
+) {
+    stage::<M, I>(
+        Pending {
+            ptr: rec as *mut u8,
+            act: dep_shim::<M, I>,
+        },
+        |p| &mut p.deps,
+        guard,
+    );
+}
+
+/// Schedule stage 2 for `rec` (all references gone, dependencies
+/// released): one epoch from now, drop it and recycle its block.
+///
+/// # Safety
+///
+/// `rec` must be produced by [`alloc`], claimed exactly once (guarded
+/// by `claimed`), and the caller must hold the pinned `guard`.
+pub(crate) unsafe fn retire<const M: usize, I>(rec: *mut ScxRecord<M, I>, guard: &Guard) {
+    stage::<M, I>(
+        Pending {
+            ptr: rec as *mut u8,
+            act: drop_shim::<M, I>,
+        },
+        |p| &mut p.destroy,
+        guard,
+    );
+}
+
+/// Publish one batch; after the epoch expires, run each entry's action
+/// and recycle destruction-stage blocks.
+fn defer_batch(batch: Vec<Pending>, guard: &Guard) {
+    POOL_DEFERS.fetch_add(1, Ordering::Relaxed);
+    // SAFETY: each staged record passed its stage's zero-crossing; by
+    // the time the closure runs, no thread pinned at defer time remains
+    // pinned, so no stale holder — via `r.info` or a newer record's
+    // `info_fields` — can still act on these addresses.
+    unsafe {
+        guard.defer_unchecked(move || {
+            let g = crossbeam_epoch::pin();
+            for entry in batch {
+                if !(entry.act)(entry.ptr, &g) {
+                    continue;
+                }
+                let cached = POOL
+                    .try_with(|pool| {
+                        let mut pool = pool.borrow_mut();
+                        if pool.free.len() < free_cap() {
+                            pool.free.push(entry.ptr);
+                            true
+                        } else {
+                            false
+                        }
+                    })
+                    .unwrap_or(false);
+                if !cached {
+                    std::alloc::dealloc(entry.ptr, pool_layout());
+                }
+            }
+        });
+    }
+}
+
+/// Seal the current thread's partial batches (if any) with `guard`.
+pub(crate) fn seal_current_thread(guard: &Guard) {
+    let batches = POOL
+        .try_with(|pool| {
+            let mut pool = pool.borrow_mut();
+            (
+                std::mem::take(&mut pool.deps),
+                std::mem::take(&mut pool.destroy),
+            )
+        })
+        .unwrap_or_default();
+    for batch in [batches.0, batches.1] {
+        if !batch.is_empty() {
+            defer_batch(batch, guard);
+        }
+    }
+}
+
+/// Defer every parked orphan (records stranded by exited threads).
+pub(crate) fn drain_orphans(guard: &Guard) {
+    let parked = std::mem::take(&mut *orphans().lock().unwrap());
+    if !parked.is_empty() {
+        defer_batch(parked, guard);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_instantiations_share_one_layout() {
+        // The pooling scheme hands blocks between arbitrary domains; the
+        // record layout must not depend on the generic parameters.
+        assert_eq!(Layout::new::<ScxRecord<1, ()>>(), pool_layout());
+        assert_eq!(Layout::new::<ScxRecord<2, u64>>(), pool_layout());
+        assert_eq!(Layout::new::<ScxRecord<8, String>>(), pool_layout());
+        assert_eq!(
+            Layout::new::<ScxRecord<2, multiset_like::Payload>>(),
+            pool_layout()
+        );
+    }
+
+    mod multiset_like {
+        /// Stand-in for a fat immutable payload like the multiset's.
+        pub struct Payload(#[allow(dead_code)] pub [u64; 4]);
+    }
+}

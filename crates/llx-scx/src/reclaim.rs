@@ -4,58 +4,98 @@
 //! reallocated while any process can reach it by following pointers"
 //! (§1). For Data-records, `crossbeam-epoch` provides exactly that
 //! guarantee and the data-structure layer retires nodes it unlinks. For
-//! SCX-records the structure is subtler because a single SCX-record `U`
-//! may be pointed at by *several* records' `info` fields at once (every
-//! record it froze), so no single unlink event makes it garbage.
+//! SCX-records two distinct pointer paths keep a record reachable:
 //!
-//! We track reachability with a reference count in the header:
+//! 1. **`info` fields** — a record `U` may be pointed at by several
+//!    Data-records' `info` fields at once (every record it froze), plus
+//!    the creating invocation until it returns. LLX snapshots validate
+//!    by comparing these addresses.
+//! 2. **successor `info_fields`** — the *next* SCX-record on the same
+//!    Data-records stores `U`'s address as the expected value of its
+//!    freezing CASes. A helper of that successor — possibly stalled for
+//!    a long time — eventually executes `CAS(r.info, U, successor)`. If
+//!    `U`'s block were recycled into a fresh SCX-record installed in the
+//!    same `info` field, that stale CAS would succeed spuriously and
+//!    corrupt the structure. This path is easy to miss: it is
+//!    reachability through a *descriptor*, not through the structure.
 //!
-//! * **creation** — `refs = 1`, owned by the creating SCX invocation and
-//!   released when [`crate::Domain::scx`] returns;
-//! * **install** — a helper *pre-increments* `refs` before attempting a
-//!   freezing CAS that would install `U` into `r.info`, and decrements if
-//!   the CAS fails. Pre-incrementing closes the window in which an
-//!   installed pointer would be unaccounted;
+//! We track path 1 in [`ScxHeader::cas_refs`] (creator + installs) and
+//! the union of both paths in [`ScxHeader::refs`] (`cas_refs` + one per
+//! live successor holding `U` in its `info_fields`):
+//!
+//! * **creation** — `refs = cas_refs = 1`, owned by the creating SCX
+//!   invocation and released when [`crate::Domain::scx`] returns. The
+//!   creator also [`acquire_hold`]s every header it captured in the new
+//!   record's `info_fields`.
+//! * **install** — a helper *pre-increments* both counters before a
+//!   freezing CAS that would install `U` into `r.info`, and decrements
+//!   on CAS failure. Pre-incrementing closes the window in which an
+//!   installed pointer would be unaccounted.
 //! * **displace** — a successful freezing CAS that replaces `W` with a
-//!   different SCX-record decrements `W.refs` (by Lemma 14 only the first
-//!   freezing CAS per `(U, r)` succeeds, so each installed reference is
-//!   displaced at most once);
+//!   different SCX-record releases `W`'s install reference (by Lemma 14
+//!   only the first freezing CAS per `(U, r)` succeeds, so each
+//!   installed reference is displaced at most once).
 //! * **record drop** — a retired Data-record releases the reference held
 //!   by its `info` field.
+//! * **`cas_refs` hits zero** — no process can newly reach `U` from
+//!   shared memory, and (Lemma 25) no freezing CAS belonging to `U` will
+//!   ever again succeed. Processes already holding `U` — stalled helpers
+//!   included — are pinned, so one epoch later `U`'s freezing CASes can
+//!   no longer *execute* either: that is the moment `U`'s holds on its
+//!   `info_fields` predecessors are released (batched through the
+//!   `pool`'s dependency stage, which is exactly that epoch delay).
+//! * **`refs` hits zero with dependencies released** — `U` is
+//!   unreachable by every path; it is retired into the `pool`'s
+//!   destruction stage (another epoch-deferred batch) and its block
+//!   becomes reusable.
 //!
-//! Lemma 25 of the paper (no freezing CAS belonging to `U` succeeds after
-//! the first frozen or abort step) implies no *new* installs happen after
-//! the creator's `help` call has returned, so after the creator releases
-//! its reference the count exactly equals the number of `info` fields
-//! pointing at `U` and monotonically drains to zero.
+//! Destruction therefore happens at least one full epoch after the last
+//! pointer to `U` disappeared from shared memory, which restores the
+//! paper's GC assumption even though blocks are recycled. A debug-build
+//! generation stamp, checked by `Domain::llx`, asserts exactly that.
 //!
 //! One hazard remains: a *late* helper can pre-increment a count that
 //! already reached zero (it read `U` from `r.info` moments before the
 //! displacement, under its own pinned guard, so the memory is still
-//! live). Its freezing CAS then necessarily fails (`r.info` never returns
-//! to an old value — Lemma 12) and its decrement returns the count to
-//! zero a *second* time. The `claimed` flag makes the destroy decision
-//! idempotent, and destruction is epoch-deferred, so the late helper's
-//! accesses stay safe.
+//! live). Its freezing CAS then necessarily fails (`r.info` never
+//! returns to an old value — Lemma 12) and its decrement returns the
+//! count to zero a *second* time. The `deps_scheduled` and `claimed`
+//! flags make both zero-crossing decisions idempotent.
 
 use crossbeam_epoch::Guard;
 
 use crate::header::ScxHeader;
 use crate::scx_record::ScxRecord;
 
-/// Acquire a reference before attempting to install `hdr` into an `info`
-/// field. No-op for the dummy.
+use std::sync::atomic::Ordering;
+
+/// Acquire an install reference before attempting to install `hdr` into
+/// an `info` field. No-op for the dummy.
 #[inline]
 pub(crate) fn acquire(hdr: *const ScxHeader) {
     let h = unsafe { &*hdr };
     if h.is_dummy() {
         return;
     }
-    h.refs.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    h.refs.fetch_add(1, Ordering::SeqCst);
+    h.cas_refs.fetch_add(1, Ordering::SeqCst);
 }
 
-/// Release one reference; if this was the last, schedule destruction
-/// after the current epoch.
+/// Acquire a successor hold: `hdr` is being captured in a new
+/// SCX-record's `info_fields`. Counts into `refs` only. No-op for the
+/// dummy.
+#[inline]
+pub(crate) fn acquire_hold(hdr: *const ScxHeader) {
+    let h = unsafe { &*hdr };
+    if h.is_dummy() {
+        return;
+    }
+    h.refs.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Release one install reference (creator, `info` field, or a failed
+/// pre-increment); the two zero-crossings drive the two reclamation
+/// stages.
 ///
 /// # Safety
 ///
@@ -68,11 +108,61 @@ pub(crate) unsafe fn release<const M: usize, I>(hdr: *const ScxHeader, guard: &G
     if h.is_dummy() {
         return;
     }
-    if h.refs.fetch_sub(1, std::sync::atomic::Ordering::SeqCst) == 1
-        && !h.claimed.swap(true, std::sync::atomic::Ordering::SeqCst)
+    if h.cas_refs.fetch_sub(1, Ordering::SeqCst) == 1
+        && !h.deps_scheduled.swap(true, Ordering::SeqCst)
     {
-        let rec = hdr as *mut ScxRecord<M, I>;
-        guard.defer_unchecked(move || drop(Box::from_raw(rec)));
+        // Stage 1: schedule the epoch-deferred release of this record's
+        // holds on its `info_fields` predecessors.
+        crate::pool::schedule_dep_release(hdr as *mut ScxRecord<M, I>, guard);
+    }
+    release_common::<M, I>(h, hdr, guard);
+}
+
+/// Release one successor hold (from the dependency stage of the record
+/// that held `hdr`).
+///
+/// # Safety
+///
+/// As [`release`].
+#[inline]
+pub(crate) unsafe fn release_hold<const M: usize, I>(hdr: *const ScxHeader, guard: &Guard) {
+    let h = &*hdr;
+    if h.is_dummy() {
+        return;
+    }
+    release_common::<M, I>(h, hdr, guard);
+}
+
+/// Shared `refs` decrement: the last release with dependencies already
+/// released retires the record for destruction.
+#[inline]
+unsafe fn release_common<const M: usize, I>(h: &ScxHeader, hdr: *const ScxHeader, guard: &Guard) {
+    if h.refs.fetch_sub(1, Ordering::SeqCst) == 1
+        && h.deps_released.load(Ordering::SeqCst)
+        && !h.claimed.swap(true, Ordering::SeqCst)
+    {
+        crate::pool::retire(hdr as *mut ScxRecord<M, I>, guard);
+    }
+}
+
+/// Stage-1 maturation, run by the pool one epoch after `cas_refs` hit
+/// zero: release the record's holds on its `info_fields` predecessors,
+/// then retire the record itself if every reference is gone.
+///
+/// # Safety
+///
+/// `rec` must be a live `ScxRecord<M, I>` whose `cas_refs` reached zero
+/// and whose dependency stage was scheduled exactly once; the caller
+/// must hold a pinned guard.
+pub(crate) unsafe fn mature_deps<const M: usize, I>(rec: *const ScxRecord<M, I>, guard: &Guard) {
+    let r = &*rec;
+    for hdr in r.info_fields.iter() {
+        release_hold::<M, I>(hdr, guard);
+    }
+    let h = &r.hdr;
+    h.deps_released.store(true, Ordering::SeqCst);
+    if h.refs.load(Ordering::SeqCst) == 0 && !h.claimed.swap(true, Ordering::SeqCst) {
+        crate::pool::retire(rec as *mut ScxRecord<M, I>, guard);
     }
 }
 
@@ -106,7 +196,9 @@ mod tests {
         let guard = crossbeam_epoch::pin();
         // Must not underflow or attempt destruction.
         acquire(&DUMMY);
+        acquire_hold(&DUMMY);
         unsafe { release::<1, ()>(&DUMMY, &guard) };
+        unsafe { release_hold::<1, ()>(&DUMMY, &guard) };
         unsafe { release_from_record_drop::<1, ()>(&DUMMY) };
     }
 }

@@ -36,6 +36,11 @@ pub(crate) struct ScxRecord<const M: usize, I> {
     /// For each `r` in `v`, the value of `r.info` read by the linked
     /// LLX(`r`) (`infoFields`).
     pub(crate) info_fields: InlineVec<*const ScxHeader, 8>,
+    /// Debug builds: the generation of each `info_fields` entry at its
+    /// linked LLX; the freezing CAS asserts the record it displaces
+    /// still carries it (no recycled-address ABA).
+    #[cfg(debug_assertions)]
+    pub(crate) info_gens: InlineVec<u64, 8>,
 }
 
 /// Net count of live (allocated, not yet destroyed) SCX-records across
@@ -65,10 +70,18 @@ pub fn live_scx_records() -> Option<isize> {
 #[cfg(debug_assertions)]
 impl<const M: usize, I> Drop for ScxRecord<M, I> {
     fn drop(&mut self) {
-        LIVE_SCX_RECORDS.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+        use std::sync::atomic::Ordering::SeqCst;
+        LIVE_SCX_RECORDS.fetch_sub(1, SeqCst);
         debug_assert!(
-            self.hdr.refs.load(std::sync::atomic::Ordering::SeqCst) == 0,
-            "SCX-record destroyed with outstanding references"
+            self.hdr.refs.load(SeqCst) == 0,
+            "SCX-record destroyed with outstanding references: refs={} cas_refs={} \
+             deps_scheduled={} deps_released={} claimed={} state={:?}",
+            self.hdr.refs.load(SeqCst),
+            self.hdr.cas_refs.load(SeqCst),
+            self.hdr.deps_scheduled.load(SeqCst),
+            self.hdr.deps_released.load(SeqCst),
+            self.hdr.claimed.load(SeqCst),
+            self.hdr.state(),
         );
     }
 }
@@ -124,6 +137,8 @@ mod tests {
             old: 0,
             new: 0,
             info_fields: InlineVec::new(),
+            #[cfg(debug_assertions)]
+            info_gens: InlineVec::new(),
         };
         assert!(rec.finalizes(0));
         assert!(!rec.finalizes(1));

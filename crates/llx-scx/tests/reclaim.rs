@@ -15,11 +15,22 @@ impl Drop for DropCounter {
     }
 }
 
-/// Drive the epoch collector until deferred destructions have run.
+/// Drive the epoch collector until deferred destructions have run,
+/// including the SCX-record pool's batched retirements and any records
+/// stranded by exited threads.
 fn drain_epochs() {
+    llx_scx::flush_reclamation();
     for _ in 0..256 {
         crossbeam_epoch::pin().flush();
     }
+}
+
+/// A clean live-record baseline: drain residue from earlier tests (each
+/// test runs on its own thread, so a finished test's partial retirement
+/// batch is parked on the orphan list until adopted) before sampling.
+fn baseline() -> Option<isize> {
+    drain_epochs();
+    llx_scx::live_scx_records()
 }
 
 #[test]
@@ -42,7 +53,7 @@ fn every_data_record_dropped_exactly_once() {
 
 #[test]
 fn scx_records_do_not_leak_single_threaded() {
-    let baseline = llx_scx::live_scx_records();
+    let baseline = baseline();
     {
         let domain: Domain<1, u64> = Domain::new();
         let guard = llx_scx::pin();
@@ -67,7 +78,7 @@ fn scx_records_do_not_leak_single_threaded() {
 fn scx_records_do_not_leak_multi_threaded() {
     // Run a contended workload (helping, aborts, finalization), then
     // check the live SCX-record count returns to its baseline.
-    let baseline = llx_scx::live_scx_records();
+    let baseline = baseline();
     let drops = Arc::new(AtomicUsize::new(0));
     let allocs = Arc::new(AtomicUsize::new(0));
     {

@@ -250,7 +250,7 @@ impl Drop for Guard {
 /// Advance the global epoch and run the ready queued closures.
 fn collect() {
     let g = global();
-    g.epoch.fetch_add(1, Ordering::SeqCst);
+    let epoch_now = g.epoch.fetch_add(1, Ordering::SeqCst) + 1;
     let min_pinned = {
         let slots = g.slots.lock().unwrap();
         slots
@@ -259,6 +259,14 @@ fn collect() {
             .min()
             .unwrap_or(INACTIVE)
     };
+    // A closure may run only when its tag is strictly older than every
+    // pinned thread AND strictly older than the epoch this collection
+    // just created. The second bound closes a TOCTOU: a thread pinning
+    // concurrently with the slot scan above can be missed by it, but
+    // such a thread always publishes `epoch_now` (the pin verify loop
+    // re-checks the counter), so anything it could still reach was
+    // deferred with tag >= epoch_now and stays queued.
+    let limit = min_pinned.min(epoch_now);
     // Detach the ready closures first, then run them with no lock or
     // thread-local borrow held: closures may re-enter
     // pin/defer_unchecked/flush.
@@ -267,7 +275,7 @@ fn collect() {
         let mut ready = Vec::new();
         let mut keep = VecDeque::with_capacity(queue.len());
         while let Some((epoch, d)) = queue.pop_front() {
-            if epoch < min_pinned {
+            if epoch < limit {
                 ready.push(d);
             } else {
                 keep.push_back((epoch, d));

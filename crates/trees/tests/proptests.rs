@@ -1,11 +1,12 @@
-//! Property tests: both trees agree with a sequential model under
-//! arbitrary operation sequences, and the chromatic tree is balanced
-//! after every quiescent point.
+//! Property tests: all three search structures agree with a sequential
+//! model under arbitrary operation sequences; the chromatic tree is
+//! balanced and the Patricia trie structurally valid after every
+//! operation.
 
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;
-use trees::{Bst, ChromaticTree};
+use trees::{Bst, ChromaticTree, PatriciaTrie};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -77,5 +78,33 @@ proptest! {
         }
         prop_assert_eq!(t.to_vec(), model.into_iter().collect::<Vec<_>>());
         t.check_invariants().map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn patricia_agrees_with_model_and_stays_valid(ops in ops()) {
+        let t: PatriciaTrie<u16> = PatriciaTrie::new();
+        let mut model: BTreeMap<u64, u16> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k) => {
+                    let got = t.insert(k as u64, k.wrapping_mul(3));
+                    let want = !model.contains_key(&(k as u64));
+                    prop_assert_eq!(got, want);
+                    model.entry(k as u64).or_insert(k.wrapping_mul(3));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(t.remove(k as u64), model.remove(&(k as u64)));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(t.get(k as u64), model.get(&(k as u64)).copied());
+                }
+            }
+            // Branch bits strictly decreasing, leaves routed by their
+            // prefixes, no reachable finalized node — after every op.
+            t.check_invariants().map_err(TestCaseError::fail)?;
+        }
+        prop_assert_eq!(t.len(), model.len());
+        prop_assert_eq!(t.to_vec(), model.into_iter().collect::<Vec<_>>());
+        prop_assert!(t.depth() <= 17, "depth bounded by key width");
     }
 }

@@ -184,9 +184,22 @@ pub fn prefill_keys(n: u64) -> impl Iterator<Item = u64> {
     (0..n).step_by(2)
 }
 
-/// Environment-variable knobs shared by the workspace's stress and
-/// linearizability tests (documented in the repository README): CI runs
-/// use small defaults, soak runs scale up without editing tests.
+/// Environment-variable knobs shared across the workspace — the one
+/// place they are all documented. CI runs use small defaults; soak runs
+/// scale up without editing tests.
+///
+/// | Variable | Consumer | Effect |
+/// |---|---|---|
+/// | `LLX_STRESS_MILLIS` | stress/concurrent tests (`llx-scx`, `multiset`, `trees`, root `conc_stress`) | duration (ms) of each stop-flag churn phase (defaults 100–200) |
+/// | `LLX_STRESS_SCALE` | bounded stress loops | integer multiplier for iteration counts (default 1) |
+/// | `LLX_LIN_ROUNDS_SCALE` | root `linearizability` tests | integer multiplier for WGL-checked rounds per structure (default 1) |
+/// | `LLX_SCX_POOL` | `llx-scx` reclamation | `0`/`off`/`false` disables the SCX-record pool (per-record defers; A/B benchmarking) |
+/// | `LLX_SCX_POOL_CAP` | `llx-scx` reclamation | per-thread free-list capacity of the SCX-record pool (default 256) |
+/// | `PROPTEST_CASES` | every property test (proptest shim) | overrides the case count |
+/// | `PROPTEST_SEED` | every property test (proptest shim) | perturbs the otherwise deterministic streams |
+///
+/// Example soak:
+/// `LLX_STRESS_MILLIS=5000 LLX_LIN_ROUNDS_SCALE=20 PROPTEST_CASES=4096 cargo test --release`
 pub mod knobs {
     use std::time::Duration;
 

@@ -1,0 +1,138 @@
+//! Cross-structure stress through the `ConcurrentOrderedSet` trait,
+//! plus the SCX-record balance check for the reclamation pool.
+//!
+//! Lives in its own test binary because the balance test compares a
+//! process-global counter before and after the workload; the tests
+//! serialize on a mutex so in-binary test parallelism (one thread per
+//! core by default) cannot race it, and the balance test additionally
+//! drains to a clean baseline first.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use conc_set::stress;
+use workloads::{KeyDist, Mix};
+
+/// Serializes the tests in this binary: they all create SCX-records,
+/// and the balance test compares the process-global live-record count.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn stress_millis(default_ms: u64) -> Duration {
+    workloads::knobs::env_millis("LLX_STRESS_MILLIS", default_ms)
+}
+
+/// Every structure obeys the conservation law under concurrent churn:
+/// occurrences added − occurrences removed = `len()` at quiescence, and
+/// its own invariants validate.
+#[test]
+fn every_structure_balances_under_stress() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    for factory in conc_set::all_factories() {
+        let set = factory();
+        let pre = stress::prefill(&*set, 32);
+        let report = stress::run(
+            &*set,
+            4,
+            stress_millis(150),
+            KeyDist::uniform(32),
+            Mix::with_update_percent(60),
+            11,
+            pre,
+        );
+        assert!(report.ops > 0, "{}: no progress", set.name());
+        assert!(
+            report.balanced(),
+            "{}: net occurrences {} but len {}",
+            set.name(),
+            report.net_occurrences,
+            report.final_len
+        );
+        set.validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", set.name()));
+    }
+}
+
+/// The Zipf-skewed variant hammers a few hot keys, maximizing SCX
+/// conflicts, helping and the remove/reinsert churn that feeds the
+/// SCX-record pool.
+#[test]
+fn skewed_stress_balances() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    for factory in conc_set::all_factories() {
+        let set = factory();
+        let report = stress::run(
+            &*set,
+            4,
+            stress_millis(100),
+            KeyDist::zipf(64, 0.99),
+            Mix::with_update_percent(100),
+            23,
+            0,
+        );
+        assert!(
+            report.balanced(),
+            "{}: net occurrences {} but len {}",
+            set.name(),
+            report.net_occurrences,
+            report.final_len
+        );
+        set.validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", set.name()));
+    }
+}
+
+/// SCX-record pool balance: after stressing every LLX/SCX structure
+/// through the trait and dropping them, `llx_scx::live_scx_records()`
+/// returns to its baseline once reclamation is flushed — no record is
+/// leaked by the pool's limbo/free-list stages and none is freed twice
+/// (the debug drop asserts catch that side).
+#[test]
+fn scx_record_pool_drains_after_generic_stress() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // Clean baseline: adopt any residue from other tests' threads.
+    llx_scx::flush_reclamation();
+    let baseline = llx_scx::live_scx_records();
+    let scx_structures = ["scx-multiset", "chromatic", "bst", "patricia"];
+    for factory in conc_set::all_factories() {
+        let set = factory();
+        if !scx_structures.contains(&set.name()) {
+            continue;
+        }
+        let pre = stress::prefill(&*set, 24);
+        let report = stress::run(
+            &*set,
+            4,
+            stress_millis(120),
+            KeyDist::uniform(24),
+            Mix::with_update_percent(80),
+            31,
+            pre,
+        );
+        assert!(report.balanced(), "{}", set.name());
+        // Structures drop here: their nodes retire through the epoch
+        // queue, releasing the final SCX-record references.
+    }
+    llx_scx::flush_reclamation();
+    for _ in 0..256 {
+        crossbeam_epoch::pin().flush();
+    }
+    llx_scx::flush_reclamation();
+    if let (Some(before), Some(after)) = (baseline, llx_scx::live_scx_records()) {
+        assert_eq!(
+            after, before,
+            "SCX-records leaked through the pool (pool stats: {:?})",
+            llx_scx::pool_stats()
+        );
+    }
+    // The pool actually engaged — unless the A/B knob disabled it, in
+    // which case allocations bypass the counters by design.
+    let pool_disabled = matches!(
+        std::env::var("LLX_SCX_POOL").as_deref(),
+        Ok("0") | Ok("off") | Ok("false")
+    );
+    let stats = llx_scx::pool_stats();
+    assert!(
+        pool_disabled || stats.hits + stats.misses > 0,
+        "pool never allocated: {stats:?}"
+    );
+}

@@ -1,233 +1,88 @@
-//! Linearizability of the LLX/SCX multiset, checked on real concurrent
-//! executions with the WGL checker (paper Theorem 6 at the ADT level).
+//! Linearizability of every `ConcurrentOrderedSet` implementation,
+//! checked on real concurrent executions with the WGL checker (paper
+//! Theorem 6 for the multiset; the §6 trees by the same technique; the
+//! kCAS and lock-based structures by their own arguments).
+//!
+//! One parameterized test covers the whole zoo: the generic
+//! [`linearize::record_round`] driver records a history against each
+//! structure in the `conc-set` registry and checks it against the
+//! structure's own sequential spec
+//! ([`ConcurrentOrderedSet::spec`](conc_set::ConcurrentOrderedSet::spec)).
 //!
 //! Small key spaces and short per-thread scripts keep the histories
 //! inside the checker's search budget while maximizing real conflicts.
 
-use std::sync::{Arc, Barrier};
+use conc_set::ConcurrentOrderedSet;
+use linearize::{record_round, Event, OrderedSetOp};
 
-use linearize::{Clock, Event, History, MultisetOp, MultisetSpec};
-use multiset::Multiset;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
-/// Number of recorded rounds per test, scaled by `LLX_LIN_ROUNDS_SCALE`
-/// (integer multiplier, default 1). The defaults keep the WGL checker's
-/// exhaustive search inside CI-friendly time; scale up for a deep run.
+/// Number of recorded rounds per structure, scaled by
+/// `LLX_LIN_ROUNDS_SCALE` (integer multiplier, default 1). The defaults
+/// keep the WGL checker's exhaustive search inside CI-friendly time;
+/// scale up for a deep run.
 fn rounds(default_rounds: u64) -> u64 {
     default_rounds * workloads::knobs::env_scale("LLX_LIN_ROUNDS_SCALE")
 }
 
-fn record_round(seed: u64, threads: usize, ops_per_thread: usize) -> History<MultisetOp, u64> {
-    let set: Arc<Multiset<u8>> = Arc::new(Multiset::new());
-    let clock = Arc::new(Clock::new());
-    let barrier = Arc::new(Barrier::new(threads));
-    let mut handles = Vec::new();
-    for t in 0..threads {
-        let set = Arc::clone(&set);
-        let clock = Arc::clone(&clock);
-        let barrier = Arc::clone(&barrier);
-        handles.push(std::thread::spawn(move || {
-            let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(t as u64));
-            let mut log = Vec::new();
-            barrier.wait();
-            for _ in 0..ops_per_thread {
-                // Two hot keys force heavy overlap.
-                let key = rng.random_range(0..2u8);
-                let count = rng.random_range(1..3u64);
-                let invoked = clock.tick();
-                let (op, ret) = match rng.random_range(0..3u32) {
-                    0 => (MultisetOp::Insert(key, count), {
-                        set.insert(key, count);
-                        1
-                    }),
-                    1 => (
-                        MultisetOp::Delete(key, count),
-                        u64::from(set.remove(key, count)),
-                    ),
-                    _ => (MultisetOp::Get(key), set.get(key)),
-                };
-                let returned = clock.tick();
-                log.push(Event {
-                    thread: t,
-                    invoked,
-                    returned,
-                    op,
-                    ret,
-                });
-            }
-            log
-        }));
+/// Two hot keys and small counts force heavy overlap.
+fn gen_op(_thread: usize, _i: usize, r: u64) -> OrderedSetOp {
+    let key = r % 2;
+    let count = 1 + (r >> 8) % 2;
+    match (r >> 16) % 3 {
+        0 => OrderedSetOp::Insert(key, count),
+        1 => OrderedSetOp::Remove(key, count),
+        _ => OrderedSetOp::Get(key),
     }
-    History::from_threads(handles.into_iter().map(|h| h.join().unwrap()).collect())
+}
+
+fn run_op(set: &(dyn ConcurrentOrderedSet + 'static), op: &OrderedSetOp) -> u64 {
+    set.apply(op)
 }
 
 #[test]
-fn concurrent_multiset_histories_are_linearizable() {
-    for seed in 0..rounds(40) {
-        let h = record_round(seed, 3, 5);
-        assert!(
-            h.check(&MultisetSpec),
-            "history with seed {seed} not linearizable"
-        );
+fn every_structure_is_linearizable() {
+    for factory in conc_set::all_factories() {
+        let name = factory().name();
+        for seed in 0..rounds(15) {
+            let set = factory();
+            let h = record_round(&*set, 3, 5, seed, gen_op, run_op);
+            assert!(
+                h.check(&set.spec()),
+                "{name}: history with seed {seed} not linearizable"
+            );
+        }
     }
 }
 
 #[test]
-fn higher_contention_round_is_linearizable() {
-    for seed in 0..rounds(10) {
-        let h = record_round(1000 + seed, 4, 6);
-        assert!(
-            h.check(&MultisetSpec),
-            "history with seed {seed} not linearizable"
-        );
+fn higher_contention_rounds_are_linearizable() {
+    for factory in conc_set::all_factories() {
+        let name = factory().name();
+        for seed in 0..rounds(4) {
+            let set = factory();
+            let h = record_round(&*set, 4, 6, 1000 + seed, gen_op, run_op);
+            assert!(
+                h.check(&set.spec()),
+                "{name}: history with seed {seed} not linearizable"
+            );
+        }
     }
 }
 
 /// Sanity: the checker is not vacuous — a deliberately corrupted return
-/// value must be rejected.
+/// value must be rejected for every spec.
 #[test]
 fn checker_rejects_corrupted_history() {
-    let mut h = record_round(5, 2, 4);
-    // Append an impossible observation: a Get of 10_000 occurrences.
-    h.push(Event {
-        thread: 9,
-        invoked: 1_000_000,
-        returned: 1_000_001,
-        op: MultisetOp::Get(0),
-        ret: 10_000,
-    });
-    assert!(!h.check(&MultisetSpec));
-}
-
-// ---------------------------------------------------------------------
-// Set-level linearizability of the trees.
-
-/// Sequential set-of-keys specification shared by the trees.
-struct SetSpec;
-
-#[derive(Debug, Clone, PartialEq)]
-enum SetOp {
-    Insert(u8),
-    Remove(u8),
-    Contains(u8),
-}
-
-impl linearize::Spec for SetSpec {
-    type Op = SetOp;
-    type Ret = u64; // 0/1
-    type State = std::collections::BTreeSet<u8>;
-    fn initial(&self) -> Self::State {
-        Default::default()
-    }
-    fn apply(&self, s: &Self::State, op: &Self::Op) -> (Self::State, u64) {
-        let mut t = s.clone();
-        match op {
-            SetOp::Insert(k) => {
-                let r = t.insert(*k);
-                (t, u64::from(r))
-            }
-            SetOp::Remove(k) => {
-                let r = t.remove(k);
-                (t, u64::from(r))
-            }
-            SetOp::Contains(k) => {
-                let r = s.contains(k);
-                (s.clone(), u64::from(r))
-            }
-        }
-    }
-}
-
-fn record_tree_round<S>(
-    structure: Arc<S>,
-    do_op: fn(&S, &SetOp) -> u64,
-    seed: u64,
-    threads: usize,
-    ops_per_thread: usize,
-) -> History<SetOp, u64>
-where
-    S: Send + Sync + 'static,
-{
-    let clock = Arc::new(Clock::new());
-    let barrier = Arc::new(Barrier::new(threads));
-    let mut handles = Vec::new();
-    for t in 0..threads {
-        let structure = Arc::clone(&structure);
-        let clock = Arc::clone(&clock);
-        let barrier = Arc::clone(&barrier);
-        handles.push(std::thread::spawn(move || {
-            let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(131).wrapping_add(t as u64));
-            let mut log = Vec::new();
-            barrier.wait();
-            for _ in 0..ops_per_thread {
-                let key = rng.random_range(0..2u8);
-                let op = match rng.random_range(0..3u32) {
-                    0 => SetOp::Insert(key),
-                    1 => SetOp::Remove(key),
-                    _ => SetOp::Contains(key),
-                };
-                let invoked = clock.tick();
-                let ret = do_op(&structure, &op);
-                let returned = clock.tick();
-                log.push(Event {
-                    thread: t,
-                    invoked,
-                    returned,
-                    op,
-                    ret,
-                });
-            }
-            log
-        }));
-    }
-    History::from_threads(handles.into_iter().map(|h| h.join().unwrap()).collect())
-}
-
-#[test]
-fn chromatic_tree_histories_are_linearizable() {
-    fn op(t: &trees::ChromaticTree<u8, u8>, op: &SetOp) -> u64 {
-        match op {
-            SetOp::Insert(k) => u64::from(t.insert(*k, *k)),
-            SetOp::Remove(k) => u64::from(t.remove(*k).is_some()),
-            SetOp::Contains(k) => u64::from(t.contains(*k)),
-        }
-    }
-    for seed in 0..rounds(25) {
-        let tree = Arc::new(trees::ChromaticTree::<u8, u8>::new());
-        let h = record_tree_round(tree, op, seed, 3, 5);
-        assert!(h.check(&SetSpec), "chromatic history seed {seed}");
-    }
-}
-
-#[test]
-fn bst_histories_are_linearizable() {
-    fn op(t: &trees::Bst<u8, u8>, op: &SetOp) -> u64 {
-        match op {
-            SetOp::Insert(k) => u64::from(t.insert(*k, *k)),
-            SetOp::Remove(k) => u64::from(t.remove(*k).is_some()),
-            SetOp::Contains(k) => u64::from(t.contains(*k)),
-        }
-    }
-    for seed in 0..rounds(25) {
-        let tree = Arc::new(trees::Bst::<u8, u8>::new());
-        let h = record_tree_round(tree, op, seed, 3, 5);
-        assert!(h.check(&SetSpec), "bst history seed {seed}");
-    }
-}
-
-#[test]
-fn patricia_histories_are_linearizable() {
-    fn op(t: &trees::PatriciaTrie<u64>, op: &SetOp) -> u64 {
-        match op {
-            SetOp::Insert(k) => u64::from(t.insert(*k as u64, *k as u64)),
-            SetOp::Remove(k) => u64::from(t.remove(*k as u64).is_some()),
-            SetOp::Contains(k) => u64::from(t.contains(*k as u64)),
-        }
-    }
-    for seed in 0..rounds(25) {
-        let trie = Arc::new(trees::PatriciaTrie::<u64>::new());
-        let h = record_tree_round(trie, op, seed, 3, 5);
-        assert!(h.check(&SetSpec), "patricia history seed {seed}");
+    for factory in conc_set::all_factories() {
+        let set = factory();
+        let mut h = record_round(&*set, 2, 4, 5, gen_op, run_op);
+        // Append an impossible observation: a Get of 10 000 occurrences.
+        h.push(Event {
+            thread: 9,
+            invoked: 1_000_000,
+            returned: 1_000_001,
+            op: OrderedSetOp::Get(0),
+            ret: 10_000,
+        });
+        assert!(!h.check(&set.spec()), "{}", set.name());
     }
 }

@@ -47,7 +47,9 @@ fn no_scx_record_leak_across_structures() {
         set.check_invariants().unwrap();
         tree.check_balanced().unwrap();
     }
-    // Drain deferred destructions.
+    // Drain deferred destructions, including the SCX-record pool's
+    // batched retirements and batches stranded by the exited workers.
+    llx_scx::flush_reclamation();
     for _ in 0..512 {
         crossbeam_epoch::pin().flush();
     }
