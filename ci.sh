@@ -1,34 +1,178 @@
 #!/usr/bin/env bash
-# CI gate for the LLX/SCX reproduction workspace.
+# CI gate for the LLX/SCX reproduction workspace, organized as named
+# stages with per-stage wall-clock timing.
 #
-# Mirrors the tier-1 verify command (ROADMAP.md) and adds doctests,
-# example builds, benchmark compilation and a deny-warnings clippy pass.
+#   ./ci.sh                 run every stage
+#   ./ci.sh --quick         formatting + release build + tests only
+#   ./ci.sh --stage NAME    run a single stage (see `--list`)
+#   ./ci.sh --list          print the stage names and exit
+#
+# Stages (in order):
+#   fmt            cargo fmt --check
+#   build          tier-1 release build (ROADMAP.md)
+#   test           tier-1 test suite (debug profile, small default knobs)
+#   pool-off       generic linearizability/stress/scan harness with the
+#                  SCX-record pool disabled (A/B of both reclamation paths)
+#   debug-stress   llx-scx suite again with a longer churn phase: the
+#                  generation-stamp ABA detectors and reclamation
+#                  ledgers only exist under debug_assertions, and rare
+#                  races need soak time the tier-1 defaults don't give
+#   doctest        llx-scx doctests
+#   examples       example builds
+#   benches        criterion bench builds
+#   compare-smoke  bench-harness `compare` at tiny knobs (with a scan
+#                  mix); asserts the table parses and includes every
+#                  registered structure, so a broken registry or scan
+#                  knob cannot silently drop a column
+#   clippy         cargo clippy --workspace --all-targets -D warnings
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo build --release"
-cargo build --release
+ALL_STAGES=(fmt build test pool-off debug-stress doctest examples benches compare-smoke clippy)
+QUICK_STAGES=(fmt build test)
 
-echo "==> cargo test -q"
-cargo test -q
+QUICK=0
+ONLY=""
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --quick) QUICK=1 ;;
+        --stage)
+            ONLY="${2:?--stage requires a stage name}"
+            shift
+            ;;
+        --list)
+            printf '%s\n' "${ALL_STAGES[@]}"
+            exit 0
+            ;;
+        -h|--help)
+            # The header comment block, however long it grows.
+            awk 'NR == 1 { next } /^#/ { sub(/^# ?/, ""); print; next } { exit }' "$0"
+            exit 0
+            ;;
+        *)
+            echo "unknown argument: $1 (try --help)" >&2
+            exit 2
+            ;;
+    esac
+    shift
+done
 
-# The default `cargo test` above already runs the generic
-# linearizability + stress harness (root test binaries) with the pool
-# enabled; re-run them with the pool DISABLED so both reclamation paths
-# stay covered, at small knob values.
-echo "==> generic linearizability + stress harness, pool-off A/B (small knobs)"
-LLX_SCX_POOL=0 LLX_STRESS_MILLIS=80 cargo test -q -p llx-scx-repro --test linearizability --test conc_stress
+if [[ -n "$ONLY" ]]; then
+    case " ${ALL_STAGES[*]} " in
+        *" $ONLY "*) ;;
+        *)
+            echo "unknown stage: $ONLY (known: ${ALL_STAGES[*]})" >&2
+            exit 2
+            ;;
+    esac
+fi
 
-echo "==> cargo test --doc -p llx-scx"
-cargo test -q --doc -p llx-scx
+stage_fmt() {
+    cargo fmt --check
+}
 
-echo "==> cargo build --examples"
-cargo build --examples
+stage_build() {
+    cargo build --release
+}
 
-echo "==> cargo build --benches"
-cargo build -p bench --benches
+stage_test() {
+    cargo test -q
+}
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+stage_pool_off() {
+    # The default `cargo test` already runs the generic harness with the
+    # pool enabled; re-run it with the pool DISABLED so both reclamation
+    # paths stay covered, at small knob values.
+    LLX_SCX_POOL=0 LLX_STRESS_MILLIS=80 \
+        cargo test -q -p llx-scx-repro --test linearizability --test conc_stress --test scan
+}
 
+stage_debug_stress() {
+    # The `test` stage already runs this suite (debug profile) at the
+    # small default knobs; re-run it with a much longer churn phase so
+    # the debug-only detectors — the generation-stamp ABA asserts at
+    # LLX revalidation and freezing-CAS displacement — get enough soak
+    # to catch rare races, not just a smoke pass.
+    LLX_STRESS_MILLIS=600 cargo test -q -p llx-scx
+}
+
+stage_doctest() {
+    cargo test -q --doc -p llx-scx
+}
+
+stage_examples() {
+    cargo build --examples
+}
+
+stage_benches() {
+    cargo build -p bench --benches
+}
+
+stage_compare_smoke() {
+    local out structures s rows
+    out="$(LLX_BENCH_CELL_MILLIS=15 LLX_SCAN_PCT=10 LLX_SCAN_RANGE=8 \
+        cargo run -q --release -p bench-harness -- compare)"
+    structures=(scx-multiset chromatic bst patricia kcas-multiset hoh-multiset coarse-multiset)
+    for s in "${structures[@]}"; do
+        if ! grep -q "$s" <<<"$out"; then
+            echo "compare output is missing structure column '$s'" >&2
+            echo "$out" >&2
+            return 1
+        fi
+    done
+    rows=$(grep -cE '^ *(64|1024) ' <<<"$out" || true)
+    if [[ "$rows" -ne 14 ]]; then
+        echo "compare table has $rows data rows, expected 14" >&2
+        echo "$out" >&2
+        return 1
+    fi
+    # Every data row must carry range+upd+thr plus one cell per structure.
+    if ! awk -v want=$((3 + ${#structures[@]})) \
+        '/^ *(64|1024) / { if (NF != want) { print "malformed row (" NF " fields): " $0; exit 1 } }' \
+        <<<"$out"; then
+        return 1
+    fi
+    echo "    compare table: 14 rows x ${#structures[@]} structure columns, all present"
+}
+
+stage_clippy() {
+    cargo clippy --workspace --all-targets -- -D warnings
+}
+
+now_ms() {
+    date +%s%3N
+}
+
+SUMMARY=()
+run_stage() {
+    local name="$1" fn="$2"
+    if [[ -n "$ONLY" && "$ONLY" != "$name" ]]; then
+        return 0
+    fi
+    if [[ "$QUICK" == 1 && " ${QUICK_STAGES[*]} " != *" $name "* ]]; then
+        return 0
+    fi
+    echo "==> [$name]"
+    local start elapsed
+    start=$(now_ms)
+    "$fn"
+    elapsed=$(( $(now_ms) - start ))
+    SUMMARY+=("$(printf '%-14s %6d.%03ds' "$name" $((elapsed / 1000)) $((elapsed % 1000)))")
+    echo "    [$name] ok (${elapsed}ms)"
+}
+
+run_stage fmt stage_fmt
+run_stage build stage_build
+run_stage test stage_test
+run_stage pool-off stage_pool_off
+run_stage debug-stress stage_debug_stress
+run_stage doctest stage_doctest
+run_stage examples stage_examples
+run_stage benches stage_benches
+run_stage compare-smoke stage_compare_smoke
+run_stage clippy stage_clippy
+
+echo
+echo "stage timings:"
+printf '  %s\n' "${SUMMARY[@]}"
 echo "CI green."

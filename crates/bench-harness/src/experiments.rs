@@ -19,9 +19,20 @@ use workloads::{KeyDist, Mix, OpKind, WorkloadGen};
 use crate::runner::{fmt_ops, print_table, run_throughput};
 
 /// Duration of each throughput cell; short because the sweep is wide.
-const CELL: Duration = Duration::from_millis(300);
+/// `LLX_BENCH_CELL_MILLIS` overrides the 300 ms default (the CI smoke
+/// leg runs ~20 ms cells just to prove the plumbing).
+fn cell() -> Duration {
+    workloads::knobs::env_millis("LLX_BENCH_CELL_MILLIS", 300)
+}
 /// Thread counts for scaling sweeps.
 const THREADS: &[usize] = &[1, 2, 4, 8];
+
+/// The scan share requested via `LLX_SCAN_PCT` (default 0), folded
+/// into a base mix; scans cover `LLX_SCAN_RANGE` keys (default 16).
+fn mix_with_env_scans(base: Mix) -> Mix {
+    let pct = workloads::knobs::scan_percent().min(base.get);
+    base.with_scan_percent(pct)
+}
 
 /// A per-thread worker that drives `set` with a deterministic
 /// `(seed, thread)` workload stream, one operation per call.
@@ -31,6 +42,7 @@ fn set_worker<'a>(
     dist: KeyDist,
     mix: Mix,
 ) -> impl Fn(usize) -> Box<dyn FnMut() -> u64 + Send + 'a> + Sync + 'a {
+    let scan_width = workloads::knobs::scan_range();
     move |t| {
         let mut gen = WorkloadGen::new(seed, t, dist.clone(), mix);
         Box::new(move || {
@@ -44,6 +56,9 @@ fn set_worker<'a>(
                 }
                 OpKind::Remove => {
                     let _ = set.remove(key, 1);
+                }
+                OpKind::Scan => {
+                    let _ = set.range_count(key, key.saturating_add(scan_width - 1));
                 }
             }
             1
@@ -70,7 +85,7 @@ fn measure_cell(factory: conc_set::Factory, threads: usize, range: u64, mix: Mix
     }
     run_throughput(
         threads,
-        CELL,
+        cell(),
         set_worker(&*set, 42, KeyDist::uniform(range), mix),
     )
 }
@@ -88,7 +103,7 @@ pub fn compare() {
     // Thread scaling at a fixed moderate mix.
     for &range in &[64u64, 1024] {
         for &threads in THREADS {
-            let mix = Mix::with_update_percent(20);
+            let mix = mix_with_env_scans(Mix::with_update_percent(20));
             let mut row = vec![range.to_string(), "20%".into(), threads.to_string()];
             for &factory in factories {
                 row.push(fmt_ops(measure_cell(factory, threads, range, mix)));
@@ -99,7 +114,7 @@ pub fn compare() {
     // Mix sweep at a fixed thread count.
     for &range in &[64u64, 1024] {
         for &updates in &[0u32, 50, 100] {
-            let mix = Mix::with_update_percent(updates);
+            let mix = mix_with_env_scans(Mix::with_update_percent(updates));
             let mut row = vec![range.to_string(), format!("{updates}%"), "4".into()];
             for &factory in factories {
                 row.push(fmt_ops(measure_cell(factory, 4, range, mix)));
@@ -107,8 +122,17 @@ pub fn compare() {
             rows.push(row);
         }
     }
+    let scan_pct = workloads::knobs::scan_percent();
     print_table(
-        "compare: throughput (ops/s) across all ConcurrentOrderedSet structures",
+        &if scan_pct > 0 {
+            format!(
+                "compare: throughput (ops/s) across all ConcurrentOrderedSet structures \
+                 ({scan_pct}% snapshot scans of {} keys in the mix)",
+                workloads::knobs::scan_range()
+            )
+        } else {
+            "compare: throughput (ops/s) across all ConcurrentOrderedSet structures".to_string()
+        },
         &header,
         &rows,
     );
@@ -190,10 +214,12 @@ pub fn e2_disjoint_success() {
     for &threads in THREADS {
         // Disjoint: one private record per thread.
         let domain: Domain<1, usize> = Domain::new();
-        let records: Vec<usize> = (0..threads).map(|t| domain.alloc(t, [0]) as usize).collect();
+        let records: Vec<usize> = (0..threads)
+            .map(|t| domain.alloc(t, [0]) as usize)
+            .collect();
         let attempts = AtomicU64::new(0);
         let successes = AtomicU64::new(0);
-        run_throughput(threads, CELL, |t: usize| {
+        run_throughput(threads, cell(), |t: usize| {
             let domain = &domain;
             let attempts = &attempts;
             let successes = &successes;
@@ -222,7 +248,7 @@ pub fn e2_disjoint_success() {
         let shared = domain2.alloc(0, [0]) as usize;
         let attempts2 = AtomicU64::new(0);
         let successes2 = AtomicU64::new(0);
-        run_throughput(threads, CELL, |_t: usize| {
+        run_throughput(threads, cell(), |_t: usize| {
             let domain2 = &domain2;
             let attempts2 = &attempts2;
             let successes2 = &successes2;
@@ -308,7 +334,7 @@ pub fn e4_multiset_scaling() {
     let factories = factories_named(&names);
     let mut rows = Vec::new();
     for &updates in &[0u32, 20, 50, 100] {
-        let mix = Mix::with_update_percent(updates);
+        let mix = mix_with_env_scans(Mix::with_update_percent(updates));
         for &threads in THREADS {
             let mut row = vec![format!("{updates}%"), threads.to_string()];
             for &factory in &factories {
@@ -335,7 +361,7 @@ pub fn e5_tree_scaling() {
     let mut rows = Vec::new();
     for &range in &[1_024u64, 65_536] {
         for &updates in &[10u32, 50] {
-            let mix = Mix::with_update_percent(updates);
+            let mix = mix_with_env_scans(Mix::with_update_percent(updates));
             for &threads in THREADS {
                 let mut row = vec![
                     range.to_string(),
@@ -377,7 +403,7 @@ pub fn e7_search_ablation() {
         }
 
         // Read-based lookups (the paper's design).
-        let read_tp = run_throughput(1, CELL, |_t: usize| {
+        let read_tp = run_throughput(1, cell(), |_t: usize| {
             let set = &set;
             Box::new(move || {
                 let mut n = 0;
@@ -391,7 +417,7 @@ pub fn e7_search_ablation() {
 
         // LLX-per-node lookups: traverse with an LLX on every visited
         // node, the design Proposition 2 makes unnecessary.
-        let llx_tp = run_throughput(1, CELL, |_t: usize| {
+        let llx_tp = run_throughput(1, cell(), |_t: usize| {
             let set = &set;
             Box::new(move || {
                 let guard = llx_scx::pin();
@@ -446,7 +472,7 @@ pub fn e8_helping_stats() {
         for k in workloads::prefill_keys(8) {
             set.insert(k, 1);
         }
-        run_throughput(threads, CELL, |t: usize| {
+        run_throughput(threads, cell(), |t: usize| {
             let set = &set;
             let mut gen = WorkloadGen::new(
                 13 + t as u64,
@@ -464,6 +490,8 @@ pub fn e8_helping_stats() {
                     OpKind::Remove => {
                         let _ = set.remove(key, 1);
                     }
+                    // 100% updates: the generator never emits scans.
+                    OpKind::Scan => unreachable!("no scan share in E8"),
                 }
                 1
             })
@@ -491,7 +519,9 @@ pub fn e8_helping_stats() {
         ],
         &rows,
     );
-    println!("helps beyond own-SCX = other processes' operations completed cooperatively (paper §4)");
+    println!(
+        "helps beyond own-SCX = other processes' operations completed cooperatively (paper §4)"
+    );
 }
 
 /// E6 — progress: obstruction-free KCSS vs non-blocking SCX under heavy
@@ -505,7 +535,7 @@ pub fn e6_progress() {
         let a = Arc::new(kcss::KcssLoc::new(0));
         let gate = Arc::new(kcss::KcssLoc::new(1));
         let kcss_max_retries = AtomicU64::new(0);
-        let kcss_ops = run_throughput(threads, CELL, |_t: usize| {
+        let kcss_ops = run_throughput(threads, cell(), |_t: usize| {
             let a = Arc::clone(&a);
             let gate = Arc::clone(&gate);
             let maxr = &kcss_max_retries;
@@ -532,7 +562,7 @@ pub fn e6_progress() {
         let domain: Domain<1, ()> = Domain::new();
         let rec = domain.alloc((), [0]) as usize;
         let scx_max_retries = AtomicU64::new(0);
-        let scx_ops = run_throughput(threads, CELL, |_t: usize| {
+        let scx_ops = run_throughput(threads, cell(), |_t: usize| {
             let domain = &domain;
             let maxr = &scx_max_retries;
             Box::new(move || {

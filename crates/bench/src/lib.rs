@@ -17,9 +17,12 @@ pub fn factory(name: &str) -> Factory {
     conc_set::factory_by_name(name)
 }
 
-/// Bench `get` and `insert`+`remove` latency for the structure at each
-/// size in `sizes` (prefilled densely with `0..n`), grouped under the
-/// structure's registry name.
+/// Width of the sliding window the `range` benchmark scans.
+const SCAN_WIDTH: u64 = 16;
+
+/// Bench `get`, `insert`+`remove`, and snapshot `range` scan latency
+/// for the structure at each size in `sizes` (prefilled densely with
+/// `0..n`), grouped under the structure's registry name.
 pub fn bench_set_ops(c: &mut Criterion, make: Factory, sizes: &[u64]) {
     let name = make().name();
     let mut group = c.benchmark_group(name);
@@ -41,6 +44,21 @@ pub fn bench_set_ops(c: &mut Criterion, make: Factory, sizes: &[u64]) {
                 k = (k + 7) % n;
                 set.insert(k, 1);
                 assert!(set.remove(k, 1) > 0);
+            });
+        });
+        // Consistent-snapshot scan over a sliding 16-key window: the
+        // dense prefill makes the expected count checkable, so a torn
+        // snapshot would fail the bench rather than skew it.
+        group.bench_with_input(BenchmarkId::new("range", n), &n, |b, &n| {
+            let set = make();
+            prefill_dense(&*set, n);
+            let width = SCAN_WIDTH.min(n);
+            let mut k = 0;
+            b.iter(|| {
+                k = (k + 7) % (n - width + 1);
+                let got = set.range_count(black_box(k), k + width - 1);
+                assert_eq!(got, width);
+                black_box(got)
             });
         });
     }

@@ -24,6 +24,17 @@
 //! any quiescent run `Σ insert returns − Σ remove returns = len()`.
 //! The [`stress`] module exploits exactly that identity.
 //!
+//! Beyond point operations the trait carries a **scan surface** —
+//! [`fold_range`](ConcurrentOrderedSet::fold_range),
+//! [`range_count`](ConcurrentOrderedSet::range_count) and
+//! [`keys_with_prefix`](ConcurrentOrderedSet::keys_with_prefix) — with
+//! consistent-snapshot semantics on every structure: multi-record reads
+//! are exactly what the paper's VLX exists for (§1: a VLX over `k`
+//! Data-records costs `k` reads), and each structure realizes the
+//! snapshot with its own discipline (VLX, identity kCAS, or locks). At
+//! quiescence a full-range fold therefore equals `len()`, the second
+//! conservation law the [`stress`] harness checks.
+//!
 //! # Example
 //!
 //! ```
@@ -46,6 +57,38 @@ pub mod stress;
 
 use linearize::{OrderedSetOp, OrderedSetSpec};
 
+/// The largest key the trait accepts: [`u64::MAX`] is the kCAS
+/// multiset's tail-sentinel key and `u64::MAX - 1` is kept free as the
+/// exclusive upper bound, so every structure shares one key domain.
+pub const MAX_KEY: u64 = u64::MAX - 2;
+
+/// The largest occurrence count the trait accepts: kCAS cells steal the
+/// top two bits for descriptor tags, so counts are 62-bit
+/// ([`mwcas::MAX_VALUE`]).
+pub const MAX_COUNT: u64 = mwcas::MAX_VALUE;
+
+/// The uniform out-of-domain rejection shared by every trait
+/// implementation: one panic site and message for the whole zoo,
+/// instead of each structure failing in its own way (or, worse,
+/// silently corrupting a sentinel).
+#[track_caller]
+fn assert_in_domain(name: &str, key: u64, count: Option<u64>) {
+    assert!(
+        key <= MAX_KEY,
+        "{name}: key {key} is outside the ConcurrentOrderedSet domain \
+         (keys must be <= MAX_KEY = u64::MAX - 2; the kCAS multiset \
+         reserves the top keys for its tail sentinel)"
+    );
+    if let Some(count) = count {
+        assert!(
+            count <= MAX_COUNT,
+            "{name}: count {count} is outside the ConcurrentOrderedSet \
+             domain (counts must be <= MAX_COUNT = 2^62 - 1; kCAS \
+             values are 62-bit)"
+        );
+    }
+}
+
 /// A concurrent ordered set of `u64` keys with occurrence counts.
 ///
 /// # Contract
@@ -59,13 +102,30 @@ use linearize::{OrderedSetOp, OrderedSetSpec};
 /// * `len()` is the total occurrence count over all keys, with
 ///   traversal (not snapshot) semantics under concurrency; at
 ///   quiescence it equals the insert/remove return-value ledger.
-/// * Keys must stay below `u64::MAX - 1` (the kCAS multiset reserves
-///   the top key for its tail sentinel) and counts below `2^62` (kCAS
-///   values are 62-bit).
+/// * `fold_range(lo, hi, f)` visits every `(key, occurrences)` pair
+///   with `lo <= key <= hi` in ascending key order, and the visited
+///   pairs form a **consistent snapshot**: all of them held
+///   simultaneously at one linearization point during the call
+///   (VLX-validated traversals on the LLX/SCX structures, an identity
+///   kCAS on the kCAS multiset, range lock-crabbing / the global lock
+///   on the lock-based ones). `lo > hi` is the empty range.
+///
+/// # Key and count domain
+///
+/// The trait's shared domain is keys `<=` [`MAX_KEY`] (`u64::MAX` is
+/// the kCAS multiset's tail-sentinel key) and counts `<=` [`MAX_COUNT`]
+/// (kCAS values are 62-bit; see the ROADMAP item on tagged-pointer
+/// widening for lifting this). Out-of-domain arguments are rejected
+/// uniformly — every implementation panics with the same message from
+/// one shared check, rather than per-structure asserts with divergent
+/// behavior — and [`validate`](ConcurrentOrderedSet::validate) sweeps
+/// the live contents against the same bounds before running
+/// structure-specific invariants.
 ///
 /// All operations are linearizable for every implementation in this
 /// workspace; the root `tests/linearizability.rs` checks each one
-/// against [`OrderedSetSpec`] with the WGL checker.
+/// (range scans included, via [`OrderedSetOp::RangeSum`]) against
+/// [`OrderedSetSpec`] with the WGL checker.
 pub trait ConcurrentOrderedSet: Send + Sync {
     /// Short stable name for tables and test labels.
     fn name(&self) -> &'static str;
@@ -91,9 +151,82 @@ pub trait ConcurrentOrderedSet: Send + Sync {
         self.len() == 0
     }
 
-    /// Structure-specific invariant validation; call at quiescence.
-    /// Structures without internal invariants return `Ok(())`.
+    /// Fold over the `(key, occurrences)` pairs with keys in the
+    /// inclusive range `[lo, hi]`, calling `f` in ascending key order.
+    ///
+    /// The visited pairs are a **consistent snapshot**: they all held
+    /// simultaneously at one linearization point during the call (see
+    /// the trait-level contract for each structure's validation
+    /// discipline). Implementations retry internally on conflicting
+    /// updates; under sustained churn a scan may retry repeatedly but
+    /// never blocks writers. `lo > hi` denotes the empty range and
+    /// calls `f` zero times.
+    fn fold_range(&self, lo: u64, hi: u64, f: &mut dyn FnMut(u64, u64));
+
+    /// Total occurrences with keys in `[lo, hi]`, observed at a single
+    /// linearization point — the operation
+    /// [`OrderedSetOp::RangeSum`] models.
+    fn range_count(&self, lo: u64, hi: u64) -> u64 {
+        let mut total = 0u64;
+        self.fold_range(lo, hi, &mut |_k, c| total += c);
+        total
+    }
+
+    /// The keys whose high `bits` bits equal those of `prefix`,
+    /// ascending, over a consistent snapshot.
+    ///
+    /// A high-bit prefix is a contiguous key interval, so every
+    /// structure supports this through
+    /// [`fold_range`](ConcurrentOrderedSet::fold_range); on the
+    /// Patricia trie the scan's subtree pruning makes it the trie's
+    /// native `O(bits)` prefix descent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `1..=64`.
+    fn keys_with_prefix(&self, prefix: u64, bits: u32) -> Vec<u64> {
+        assert!((1..=64).contains(&bits), "prefix length must be in 1..=64");
+        let mask = if bits == 64 {
+            u64::MAX
+        } else {
+            !0u64 << (64 - bits)
+        };
+        let lo = prefix & mask;
+        let mut out = Vec::new();
+        self.fold_range(lo, lo | !mask, &mut |k, _c| out.push(k));
+        out
+    }
+
+    /// Validate the structure; call at quiescence.
+    ///
+    /// Uniform across the zoo: first sweeps the live contents against
+    /// the trait's key/count domain ([`MAX_KEY`] / [`MAX_COUNT`]), then
+    /// runs the structure-specific invariants
+    /// ([`validate_structure`](ConcurrentOrderedSet::validate_structure)).
     fn validate(&self) -> Result<(), String> {
+        let mut domain_err: Option<String> = None;
+        self.fold_range(0, u64::MAX, &mut |k, c| {
+            if domain_err.is_none() {
+                if k > MAX_KEY {
+                    domain_err = Some(format!("key {k} above the trait domain cap {MAX_KEY}"));
+                } else if c > MAX_COUNT {
+                    domain_err = Some(format!(
+                        "count {c} for key {k} above the 62-bit cap {MAX_COUNT}"
+                    ));
+                }
+            }
+        });
+        match domain_err {
+            Some(e) => Err(format!("{}: {e}", self.name())),
+            None => self.validate_structure(),
+        }
+    }
+
+    /// Structure-specific invariant validation; call at quiescence.
+    /// Structures without internal invariants return `Ok(())`. Callers
+    /// want [`validate`](ConcurrentOrderedSet::validate), which adds
+    /// the uniform domain sweep.
+    fn validate_structure(&self) -> Result<(), String> {
         Ok(())
     }
 
@@ -113,6 +246,7 @@ pub trait ConcurrentOrderedSet: Send + Sync {
             OrderedSetOp::Get(k) => self.get(*k),
             OrderedSetOp::Insert(k, c) => self.insert(*k, *c),
             OrderedSetOp::Remove(k, c) => self.remove(*k, *c),
+            OrderedSetOp::RangeSum(lo, hi) => self.range_count(*lo, *hi),
         }
     }
 }
@@ -131,13 +265,16 @@ impl ConcurrentOrderedSet for multiset::Multiset<u64> {
         true
     }
     fn get(&self, key: u64) -> u64 {
+        assert_in_domain(self.name(), key, None);
         multiset::Multiset::get(self, key)
     }
     fn insert(&self, key: u64, count: u64) -> u64 {
+        assert_in_domain(self.name(), key, Some(count));
         multiset::Multiset::insert(self, key, count);
         count
     }
     fn remove(&self, key: u64, count: u64) -> u64 {
+        assert_in_domain(self.name(), key, Some(count));
         if multiset::Multiset::remove(self, key, count) {
             count
         } else {
@@ -147,7 +284,11 @@ impl ConcurrentOrderedSet for multiset::Multiset<u64> {
     fn len(&self) -> u64 {
         multiset::Multiset::len(self)
     }
-    fn validate(&self) -> Result<(), String> {
+    fn fold_range(&self, lo: u64, hi: u64, f: &mut dyn FnMut(u64, u64)) {
+        // VLX-validated chain walk (paper §3); see `Multiset::fold_range`.
+        multiset::Multiset::fold_range(self, lo, hi, (), |(), k, c| f(k, c));
+    }
+    fn validate_structure(&self) -> Result<(), String> {
         self.check_invariants()
     }
 }
@@ -160,13 +301,16 @@ impl ConcurrentOrderedSet for mwcas::KcasMultiset {
         true
     }
     fn get(&self, key: u64) -> u64 {
+        assert_in_domain(self.name(), key, None);
         mwcas::KcasMultiset::get(self, key)
     }
     fn insert(&self, key: u64, count: u64) -> u64 {
+        assert_in_domain(self.name(), key, Some(count));
         mwcas::KcasMultiset::insert(self, key, count);
         count
     }
     fn remove(&self, key: u64, count: u64) -> u64 {
+        assert_in_domain(self.name(), key, Some(count));
         if mwcas::KcasMultiset::remove(self, key, count) {
             count
         } else {
@@ -175,6 +319,10 @@ impl ConcurrentOrderedSet for mwcas::KcasMultiset {
     }
     fn len(&self) -> u64 {
         mwcas::KcasMultiset::len(self)
+    }
+    fn fold_range(&self, lo: u64, hi: u64, f: &mut dyn FnMut(u64, u64)) {
+        // Identity-kCAS-validated walk; see `KcasMultiset::fold_range`.
+        mwcas::KcasMultiset::fold_range(self, lo, hi, (), |(), k, c| f(k, c));
     }
 }
 
@@ -186,13 +334,16 @@ impl ConcurrentOrderedSet for lockbased::CoarseMultiset<u64> {
         true
     }
     fn get(&self, key: u64) -> u64 {
+        assert_in_domain(self.name(), key, None);
         lockbased::CoarseMultiset::get(self, key)
     }
     fn insert(&self, key: u64, count: u64) -> u64 {
+        assert_in_domain(self.name(), key, Some(count));
         lockbased::CoarseMultiset::insert(self, key, count);
         count
     }
     fn remove(&self, key: u64, count: u64) -> u64 {
+        assert_in_domain(self.name(), key, Some(count));
         if lockbased::CoarseMultiset::remove(self, key, count) {
             count
         } else {
@@ -201,6 +352,10 @@ impl ConcurrentOrderedSet for lockbased::CoarseMultiset<u64> {
     }
     fn len(&self) -> u64 {
         lockbased::CoarseMultiset::len(self)
+    }
+    fn fold_range(&self, lo: u64, hi: u64, f: &mut dyn FnMut(u64, u64)) {
+        // Atomic under the structure's single mutex.
+        lockbased::CoarseMultiset::fold_range(self, lo, hi, (), |(), k, c| f(*k, c));
     }
 }
 
@@ -212,13 +367,16 @@ impl ConcurrentOrderedSet for lockbased::HandOverHandMultiset<u64> {
         true
     }
     fn get(&self, key: u64) -> u64 {
+        assert_in_domain(self.name(), key, None);
         lockbased::HandOverHandMultiset::get(self, key)
     }
     fn insert(&self, key: u64, count: u64) -> u64 {
+        assert_in_domain(self.name(), key, Some(count));
         lockbased::HandOverHandMultiset::insert(self, key, count);
         count
     }
     fn remove(&self, key: u64, count: u64) -> u64 {
+        assert_in_domain(self.name(), key, Some(count));
         if lockbased::HandOverHandMultiset::remove(self, key, count) {
             count
         } else {
@@ -227,6 +385,10 @@ impl ConcurrentOrderedSet for lockbased::HandOverHandMultiset<u64> {
     }
     fn len(&self) -> u64 {
         lockbased::HandOverHandMultiset::len(self)
+    }
+    fn fold_range(&self, lo: u64, hi: u64, f: &mut dyn FnMut(u64, u64)) {
+        // Range lock-crabbing; see `HandOverHandMultiset::fold_range`.
+        lockbased::HandOverHandMultiset::fold_range(self, lo, hi, (), |(), k, c| f(k, c));
     }
 }
 
@@ -238,18 +400,25 @@ impl ConcurrentOrderedSet for trees::Bst<u64, u64> {
         false
     }
     fn get(&self, key: u64) -> u64 {
+        assert_in_domain(self.name(), key, None);
         u64::from(self.contains(key))
     }
-    fn insert(&self, key: u64, _count: u64) -> u64 {
+    fn insert(&self, key: u64, count: u64) -> u64 {
+        assert_in_domain(self.name(), key, Some(count));
         u64::from(trees::Bst::insert(self, key, key))
     }
-    fn remove(&self, key: u64, _count: u64) -> u64 {
+    fn remove(&self, key: u64, count: u64) -> u64 {
+        assert_in_domain(self.name(), key, Some(count));
         u64::from(trees::Bst::remove(self, key).is_some())
     }
     fn len(&self) -> u64 {
         trees::Bst::len(self) as u64
     }
-    fn validate(&self) -> Result<(), String> {
+    fn fold_range(&self, lo: u64, hi: u64, f: &mut dyn FnMut(u64, u64)) {
+        // VLX-validated in-order walk; see `Bst::fold_range`.
+        trees::Bst::fold_range(self, lo, hi, (), |(), k, _v| f(k, 1));
+    }
+    fn validate_structure(&self) -> Result<(), String> {
         self.check_invariants()
     }
 }
@@ -262,18 +431,25 @@ impl ConcurrentOrderedSet for trees::ChromaticTree<u64, u64> {
         false
     }
     fn get(&self, key: u64) -> u64 {
+        assert_in_domain(self.name(), key, None);
         u64::from(self.contains(key))
     }
-    fn insert(&self, key: u64, _count: u64) -> u64 {
+    fn insert(&self, key: u64, count: u64) -> u64 {
+        assert_in_domain(self.name(), key, Some(count));
         u64::from(trees::ChromaticTree::insert(self, key, key))
     }
-    fn remove(&self, key: u64, _count: u64) -> u64 {
+    fn remove(&self, key: u64, count: u64) -> u64 {
+        assert_in_domain(self.name(), key, Some(count));
         u64::from(trees::ChromaticTree::remove(self, key).is_some())
     }
     fn len(&self) -> u64 {
         trees::ChromaticTree::len(self) as u64
     }
-    fn validate(&self) -> Result<(), String> {
+    fn fold_range(&self, lo: u64, hi: u64, f: &mut dyn FnMut(u64, u64)) {
+        // VLX-validated in-order walk; see `ChromaticTree::fold_range`.
+        trees::ChromaticTree::fold_range(self, lo, hi, (), |(), k, _v| f(k, 1));
+    }
+    fn validate_structure(&self) -> Result<(), String> {
         self.check_invariants()?;
         self.check_balanced()
     }
@@ -287,18 +463,25 @@ impl ConcurrentOrderedSet for trees::PatriciaTrie<u64> {
         false
     }
     fn get(&self, key: u64) -> u64 {
+        assert_in_domain(self.name(), key, None);
         u64::from(self.contains(key))
     }
-    fn insert(&self, key: u64, _count: u64) -> u64 {
+    fn insert(&self, key: u64, count: u64) -> u64 {
+        assert_in_domain(self.name(), key, Some(count));
         u64::from(trees::PatriciaTrie::insert(self, key, key))
     }
-    fn remove(&self, key: u64, _count: u64) -> u64 {
+    fn remove(&self, key: u64, count: u64) -> u64 {
+        assert_in_domain(self.name(), key, Some(count));
         u64::from(trees::PatriciaTrie::remove(self, key).is_some())
     }
     fn len(&self) -> u64 {
         trees::PatriciaTrie::len(self) as u64
     }
-    fn validate(&self) -> Result<(), String> {
+    fn fold_range(&self, lo: u64, hi: u64, f: &mut dyn FnMut(u64, u64)) {
+        // Prefix-pruned, VLX-validated walk; see `PatriciaTrie::fold_range`.
+        trees::PatriciaTrie::fold_range(self, lo, hi, (), |(), k, _v| f(k, 1));
+    }
+    fn validate_structure(&self) -> Result<(), String> {
         self.check_invariants()
     }
 }
@@ -369,7 +552,8 @@ mod tests {
             assert_eq!(set.remove(5, 4), 0, "short remove fails whole");
             assert_eq!(set.get(5), 1);
             assert_eq!(set.len(), 1);
-            set.validate().unwrap_or_else(|e| panic!("{}: {e}", set.name()));
+            set.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", set.name()));
         }
     }
 
@@ -386,7 +570,115 @@ mod tests {
             assert_eq!(set.remove(5, 9), 1);
             assert_eq!(set.remove(5, 1), 0);
             assert_eq!(set.len(), 0);
-            set.validate().unwrap_or_else(|e| panic!("{}: {e}", set.name()));
+            set.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", set.name()));
+        }
+    }
+
+    #[test]
+    fn range_scans_cover_the_whole_zoo() {
+        for factory in all_factories() {
+            let set = factory();
+            let name = set.name();
+            for k in [2u64, 5, 9, 11] {
+                set.insert(k, 1);
+            }
+            let collect = |lo, hi| {
+                let mut v = Vec::new();
+                set.fold_range(lo, hi, &mut |k, c| v.push((k, c)));
+                v
+            };
+            assert_eq!(
+                collect(0, 20),
+                vec![(2, 1), (5, 1), (9, 1), (11, 1)],
+                "{name}: full range, ascending"
+            );
+            assert_eq!(collect(3, 9), vec![(5, 1), (9, 1)], "{name}: interior");
+            assert_eq!(collect(5, 5), vec![(5, 1)], "{name}: single key");
+            assert_eq!(collect(6, 8), vec![], "{name}: empty interval");
+            assert_eq!(collect(9, 3), vec![], "{name}: lo > hi");
+            assert_eq!(set.range_count(0, MAX_KEY), set.len(), "{name}");
+            assert_eq!(set.range_count(5, 11), 3, "{name}");
+        }
+    }
+
+    #[test]
+    fn prefix_scan_is_a_range_scan() {
+        for factory in all_factories() {
+            let set = factory();
+            let name = set.name();
+            // Keys sharing the 60-bit prefix of 0x10 (i.e. 16..=31),
+            // plus outliers on both sides.
+            for k in [3u64, 16, 17, 29, 31, 32, 400] {
+                set.insert(k, 1);
+            }
+            assert_eq!(set.keys_with_prefix(16, 60), vec![16, 17, 29, 31], "{name}");
+            assert_eq!(
+                set.keys_with_prefix(0, 64),
+                vec![],
+                "{name}: exact absent key"
+            );
+            assert_eq!(
+                set.keys_with_prefix(3, 64),
+                vec![3],
+                "{name}: exact present key"
+            );
+            assert_eq!(
+                set.keys_with_prefix(0, 1),
+                vec![3, 16, 17, 29, 31, 32, 400],
+                "{name}: 1-bit prefix covers the low half"
+            );
+        }
+    }
+
+    /// Swaps in a silent panic hook and restores the original on drop,
+    /// so a failing assertion below cannot leave the silencer installed
+    /// for the rest of the test process.
+    type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+    struct PanicHookGuard(Option<PanicHook>);
+
+    impl PanicHookGuard {
+        fn silence() -> Self {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            PanicHookGuard(Some(prev))
+        }
+    }
+
+    impl Drop for PanicHookGuard {
+        fn drop(&mut self) {
+            std::panic::set_hook(self.0.take().expect("hook present"));
+        }
+    }
+
+    #[test]
+    fn out_of_domain_keys_are_rejected_uniformly() {
+        // Quiet the expected panics' backtrace spam.
+        let _hook = PanicHookGuard::silence();
+        for factory in all_factories() {
+            let set = factory();
+            let name = set.name();
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                set.insert(MAX_KEY + 1, 1);
+            }))
+            .expect_err(&format!("{name}: out-of-domain insert must panic"));
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(
+                msg.contains("outside the ConcurrentOrderedSet domain"),
+                "{name}: non-uniform panic message: {msg}"
+            );
+            // Oversized counts too — even the distinct structures,
+            // which otherwise ignore the count argument, reject them
+            // so the zoo behaves identically.
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                set.insert(1, MAX_COUNT + 1);
+            }))
+            .expect_err(&format!("{name}: out-of-domain count must panic"));
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(
+                msg.contains("outside the ConcurrentOrderedSet domain"),
+                "{name}: non-uniform count panic message: {msg}"
+            );
         }
     }
 
@@ -413,7 +705,8 @@ mod tests {
                 assert_eq!(got, want, "{}: {op:?}", set.name());
                 state = next;
             }
-            set.validate().unwrap_or_else(|e| panic!("{}: {e}", set.name()));
+            set.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", set.name()));
         }
     }
 }

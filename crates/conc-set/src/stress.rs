@@ -9,9 +9,18 @@
 //!
 //! > total occurrences added − total removed = `len()`
 //!
-//! plus the structure's own [`validate`](ConcurrentOrderedSet::validate)
-//! invariants. Any lost update, duplicated insert, resurrected node or
-//! broken traversal shows up as a ledger mismatch.
+//! plus a second, scan-side law — a full-range
+//! [`range_count`](ConcurrentOrderedSet::range_count) at quiescence
+//! must equal `len()` — plus the structure's own
+//! [`validate`](ConcurrentOrderedSet::validate) invariants. Any lost
+//! update, duplicated insert, resurrected node, broken traversal or
+//! torn snapshot shows up as a ledger mismatch.
+//!
+//! When the [`Mix`] includes scans ([`Mix::with_scan_percent`]), each
+//! scan op performs a consistent-snapshot `range_count` over a window
+//! of `scan_width` keys starting at the sampled key, exercising the
+//! retry paths of every structure's snapshot discipline *during* the
+//! churn, not just at quiescence.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -25,18 +34,61 @@ use crate::ConcurrentOrderedSet;
 pub struct StressReport {
     /// Operations completed across all threads.
     pub ops: u64,
+    /// Range scans completed across all threads (included in `ops`).
+    pub scans: u64,
     /// Σ insert returns − Σ remove returns over the whole run
     /// (including the prefill if it was tallied by the caller).
     pub net_occurrences: i64,
     /// `len()` observed after all threads joined.
     pub final_len: u64,
+    /// Full-range `range_count` observed after all threads joined.
+    pub final_range_count: u64,
 }
 
 impl StressReport {
-    /// The conservation law: the final length equals the net occurrence
-    /// delta reported by the operations themselves.
+    /// The conservation laws: at quiescence the final length equals the
+    /// net occurrence delta reported by the operations themselves, and
+    /// the full-range snapshot scan agrees with the traversal `len()`.
     pub fn balanced(&self) -> bool {
-        self.net_occurrences >= 0 && self.final_len == self.net_occurrences as u64
+        self.net_occurrences >= 0
+            && self.final_len == self.net_occurrences as u64
+            && self.final_range_count == self.final_len
+    }
+}
+
+/// The workload shape one [`run`] drives: key distribution, operation
+/// mix, and the width of each scan window (ignored unless the mix
+/// generates scans).
+#[derive(Debug, Clone)]
+pub struct Load {
+    /// Key distribution for every generated op.
+    pub dist: KeyDist,
+    /// Operation mix (see [`Mix::with_scan_percent`] for scans).
+    pub mix: Mix,
+    /// Keys covered by each scan: `[key, key + scan_width)`.
+    pub scan_width: u64,
+}
+
+impl Load {
+    /// A load over `dist` with the given mix and the default 8-key scan
+    /// window.
+    pub fn new(dist: KeyDist, mix: Mix) -> Self {
+        Load {
+            dist,
+            mix,
+            scan_width: 8,
+        }
+    }
+
+    /// This load with a different scan window width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scan_width == 0`.
+    pub fn scan_width(mut self, scan_width: u64) -> Self {
+        assert!(scan_width > 0, "scan width must be at least 1");
+        self.scan_width = scan_width;
+        self
     }
 }
 
@@ -52,32 +104,38 @@ pub fn prefill(set: &dyn ConcurrentOrderedSet, range: u64) -> i64 {
 }
 
 /// Run `threads` workers against `set` for `duration`, each driving a
-/// deterministic `(seed, thread)` workload stream of the given mix over
-/// `dist`. Returns the combined ledger; `prefill_delta` (from
-/// [`prefill`]) is folded into `net_occurrences` so
-/// [`StressReport::balanced`] holds for a correct structure.
+/// deterministic `(seed, thread)` stream of the given [`Load`]. Returns
+/// the combined ledger; `prefill_delta` (from [`prefill`]) is folded
+/// into `net_occurrences` so [`StressReport::balanced`] holds for a
+/// correct structure.
 ///
 /// Counting structures get per-op counts in `1..=2` to exercise the
-/// partial-remove paths; distinct structures get count 1.
+/// partial-remove paths; distinct structures get count 1. Scan ops
+/// (if the mix generates any) cover `load.scan_width` keys from the
+/// sampled key upward; a mid-churn scan's result is unpredictable, but
+/// its snapshot machinery must neither wedge nor panic, and the scan
+/// still counts toward `ops`.
 pub fn run(
     set: &dyn ConcurrentOrderedSet,
     threads: usize,
     duration: Duration,
-    dist: KeyDist,
-    mix: Mix,
+    load: Load,
     seed: u64,
     prefill_delta: i64,
 ) -> StressReport {
+    let scan_width = load.scan_width;
+    assert!(scan_width > 0, "scan width must be at least 1");
     let stop = AtomicBool::new(false);
     let counting = set.counting();
-    let (ops, net) = std::thread::scope(|scope| {
+    let (ops, scans, net) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let stop = &stop;
-                let dist = dist.clone();
+                let load = load.clone();
                 scope.spawn(move || {
-                    let mut gen = WorkloadGen::new(seed, t, dist, mix);
+                    let mut gen = WorkloadGen::new(seed, t, load.dist, load.mix);
                     let mut ops = 0u64;
+                    let mut scans = 0u64;
                     let mut net = 0i64;
                     while !stop.load(Ordering::Relaxed) {
                         let (kind, key) = gen.next_op();
@@ -88,10 +146,15 @@ pub fn run(
                             }
                             OpKind::Insert => net += set.insert(key, count) as i64,
                             OpKind::Remove => net -= set.remove(key, count) as i64,
+                            OpKind::Scan => {
+                                let hi = key.saturating_add(scan_width - 1);
+                                std::hint::black_box(set.range_count(key, hi));
+                                scans += 1;
+                            }
                         }
                         ops += 1;
                     }
-                    (ops, net)
+                    (ops, scans, net)
                 })
             })
             .collect();
@@ -100,12 +163,16 @@ pub fn run(
         handles
             .into_iter()
             .map(|h| h.join().unwrap())
-            .fold((0u64, 0i64), |(o, n), (po, pn)| (o + po, n + pn))
+            .fold((0u64, 0u64, 0i64), |(o, s, n), (po, ps, pn)| {
+                (o + po, s + ps, n + pn)
+            })
     });
     StressReport {
         ops,
+        scans,
         net_occurrences: prefill_delta + net,
         final_len: set.len(),
+        final_range_count: set.range_count(0, crate::MAX_KEY),
     }
 }
 
@@ -122,18 +189,23 @@ mod tests {
                 &*set,
                 2,
                 Duration::from_millis(40),
-                KeyDist::uniform(16),
-                Mix::with_update_percent(60),
+                Load::new(
+                    KeyDist::uniform(16),
+                    Mix::with_update_percent(60).with_scan_percent(10),
+                )
+                .scan_width(4),
                 7,
                 pre,
             );
             assert!(report.ops > 0, "{} made progress", set.name());
+            assert!(report.scans > 0, "{} completed scans mid-churn", set.name());
             assert!(
                 report.balanced(),
-                "{}: net {} vs len {}",
+                "{}: net {} vs len {} vs full-range {}",
                 set.name(),
                 report.net_occurrences,
-                report.final_len
+                report.final_len,
+                report.final_range_count
             );
             set.validate()
                 .unwrap_or_else(|e| panic!("{}: {e}", set.name()));

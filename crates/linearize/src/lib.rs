@@ -176,7 +176,13 @@ impl<O: Clone + Debug, R: PartialEq + Clone + Debug> History<O, R> {
         self.dfs(spec, full, spec.initial(), &mut memo)
     }
 
-    fn dfs<S>(&self, spec: &S, pending: u64, state: S::State, memo: &mut HashSet<(u64, S::State)>) -> bool
+    fn dfs<S>(
+        &self,
+        spec: &S,
+        pending: u64,
+        state: S::State,
+        memo: &mut HashSet<(u64, S::State)>,
+    ) -> bool
     where
         S: Spec<Op = O, Ret = R>,
         S::State: Clone + Hash + Eq,
@@ -293,6 +299,10 @@ pub enum OrderedSetOp {
     Insert(u64, u64),
     /// Remove occurrences of the key.
     Remove(u64, u64),
+    /// Total occurrences over the inclusive key range `[lo, hi]`,
+    /// observed at a single linearization point (the trait's
+    /// `range_count`). `lo > hi` denotes the empty range.
+    RangeSum(u64, u64),
 }
 
 impl Spec for OrderedSetSpec {
@@ -338,6 +348,14 @@ impl Spec for OrderedSetSpec {
                 } else {
                     (t, 0)
                 }
+            }
+            OrderedSetOp::RangeSum(lo, hi) => {
+                let sum = if lo > hi {
+                    0
+                } else {
+                    s.range(lo..=hi).map(|(_, c)| c).sum()
+                };
+                (s.clone(), sum)
             }
         }
     }
@@ -435,18 +453,54 @@ mod tests {
     #[test]
     fn sequential_multiset_history_checks() {
         let mut h = History::new();
-        h.push(Event { thread: 0, invoked: 0, returned: 1, op: MultisetOp::Insert(1, 2), ret: 1 });
-        h.push(Event { thread: 0, invoked: 2, returned: 3, op: MultisetOp::Get(1), ret: 2 });
-        h.push(Event { thread: 0, invoked: 4, returned: 5, op: MultisetOp::Delete(1, 2), ret: 1 });
-        h.push(Event { thread: 0, invoked: 6, returned: 7, op: MultisetOp::Get(1), ret: 0 });
+        h.push(Event {
+            thread: 0,
+            invoked: 0,
+            returned: 1,
+            op: MultisetOp::Insert(1, 2),
+            ret: 1,
+        });
+        h.push(Event {
+            thread: 0,
+            invoked: 2,
+            returned: 3,
+            op: MultisetOp::Get(1),
+            ret: 2,
+        });
+        h.push(Event {
+            thread: 0,
+            invoked: 4,
+            returned: 5,
+            op: MultisetOp::Delete(1, 2),
+            ret: 1,
+        });
+        h.push(Event {
+            thread: 0,
+            invoked: 6,
+            returned: 7,
+            op: MultisetOp::Get(1),
+            ret: 0,
+        });
         assert!(h.check(&MultisetSpec));
     }
 
     #[test]
     fn wrong_sequential_value_rejected() {
         let mut h = History::new();
-        h.push(Event { thread: 0, invoked: 0, returned: 1, op: MultisetOp::Insert(1, 2), ret: 1 });
-        h.push(Event { thread: 0, invoked: 2, returned: 3, op: MultisetOp::Get(1), ret: 3 });
+        h.push(Event {
+            thread: 0,
+            invoked: 0,
+            returned: 1,
+            op: MultisetOp::Insert(1, 2),
+            ret: 1,
+        });
+        h.push(Event {
+            thread: 0,
+            invoked: 2,
+            returned: 3,
+            op: MultisetOp::Get(1),
+            ret: 3,
+        });
         assert!(!h.check(&MultisetSpec));
     }
 
@@ -455,14 +509,38 @@ mod tests {
         // Get overlaps Insert: may see 0 or 2.
         for seen in [0u64, 2] {
             let mut h = History::new();
-            h.push(Event { thread: 0, invoked: 0, returned: 10, op: MultisetOp::Insert(1, 2), ret: 1 });
-            h.push(Event { thread: 1, invoked: 5, returned: 6, op: MultisetOp::Get(1), ret: seen });
+            h.push(Event {
+                thread: 0,
+                invoked: 0,
+                returned: 10,
+                op: MultisetOp::Insert(1, 2),
+                ret: 1,
+            });
+            h.push(Event {
+                thread: 1,
+                invoked: 5,
+                returned: 6,
+                op: MultisetOp::Get(1),
+                ret: seen,
+            });
             assert!(h.check(&MultisetSpec), "seen = {seen}");
         }
         // But 1 is impossible.
         let mut h = History::new();
-        h.push(Event { thread: 0, invoked: 0, returned: 10, op: MultisetOp::Insert(1, 2), ret: 1 });
-        h.push(Event { thread: 1, invoked: 5, returned: 6, op: MultisetOp::Get(1), ret: 1 });
+        h.push(Event {
+            thread: 0,
+            invoked: 0,
+            returned: 10,
+            op: MultisetOp::Insert(1, 2),
+            ret: 1,
+        });
+        h.push(Event {
+            thread: 1,
+            invoked: 5,
+            returned: 6,
+            op: MultisetOp::Get(1),
+            ret: 1,
+        });
         assert!(!h.check(&MultisetSpec));
     }
 
@@ -470,17 +548,47 @@ mod tests {
     fn real_time_order_is_enforced() {
         // Get(1) = 2 strictly before the only Insert: not linearizable.
         let mut h = History::new();
-        h.push(Event { thread: 1, invoked: 0, returned: 1, op: MultisetOp::Get(1), ret: 2 });
-        h.push(Event { thread: 0, invoked: 2, returned: 3, op: MultisetOp::Insert(1, 2), ret: 1 });
+        h.push(Event {
+            thread: 1,
+            invoked: 0,
+            returned: 1,
+            op: MultisetOp::Get(1),
+            ret: 2,
+        });
+        h.push(Event {
+            thread: 0,
+            invoked: 2,
+            returned: 3,
+            op: MultisetOp::Insert(1, 2),
+            ret: 1,
+        });
         assert!(!h.check(&MultisetSpec));
     }
 
     #[test]
     fn failed_delete_requires_insufficient_count() {
         let mut h = History::new();
-        h.push(Event { thread: 0, invoked: 0, returned: 1, op: MultisetOp::Insert(1, 1), ret: 1 });
-        h.push(Event { thread: 0, invoked: 2, returned: 3, op: MultisetOp::Delete(1, 2), ret: 0 });
-        h.push(Event { thread: 0, invoked: 4, returned: 5, op: MultisetOp::Delete(1, 1), ret: 1 });
+        h.push(Event {
+            thread: 0,
+            invoked: 0,
+            returned: 1,
+            op: MultisetOp::Insert(1, 1),
+            ret: 1,
+        });
+        h.push(Event {
+            thread: 0,
+            invoked: 2,
+            returned: 3,
+            op: MultisetOp::Delete(1, 2),
+            ret: 0,
+        });
+        h.push(Event {
+            thread: 0,
+            invoked: 4,
+            returned: 5,
+            op: MultisetOp::Delete(1, 1),
+            ret: 1,
+        });
         assert!(h.check(&MultisetSpec));
     }
 
@@ -496,7 +604,70 @@ mod tests {
         let (s3, r) = spec.apply(&s2, &OrderedSetOp::Remove(3, 3));
         assert_eq!(r, 3);
         assert_eq!(spec.apply(&s3, &OrderedSetOp::Get(3)).1, 1);
-        assert_eq!(spec.apply(&s3, &OrderedSetOp::Remove(3, 2)).1, 0, "short count fails whole");
+        assert_eq!(
+            spec.apply(&s3, &OrderedSetOp::Remove(3, 2)).1,
+            0,
+            "short count fails whole"
+        );
+    }
+
+    #[test]
+    fn ordered_set_spec_range_sum() {
+        let spec = OrderedSetSpec { counting: true };
+        let mut s = spec.initial();
+        for (k, c) in [(1u64, 2u64), (3, 1), (7, 4)] {
+            s = spec.apply(&s, &OrderedSetOp::Insert(k, c)).0;
+        }
+        assert_eq!(spec.apply(&s, &OrderedSetOp::RangeSum(0, 10)).1, 7);
+        assert_eq!(spec.apply(&s, &OrderedSetOp::RangeSum(2, 6)).1, 1);
+        assert_eq!(
+            spec.apply(&s, &OrderedSetOp::RangeSum(3, 3)).1,
+            1,
+            "single key"
+        );
+        assert_eq!(
+            spec.apply(&s, &OrderedSetOp::RangeSum(4, 6)).1,
+            0,
+            "empty interval"
+        );
+        assert_eq!(
+            spec.apply(&s, &OrderedSetOp::RangeSum(9, 2)).1,
+            0,
+            "lo > hi"
+        );
+        // A RangeSum overlapping an insert may or may not see it.
+        let mut h = History::new();
+        h.push(Event {
+            thread: 0,
+            invoked: 0,
+            returned: 10,
+            op: OrderedSetOp::Insert(5, 2),
+            ret: 2,
+        });
+        h.push(Event {
+            thread: 1,
+            invoked: 5,
+            returned: 6,
+            op: OrderedSetOp::RangeSum(0, 9),
+            ret: 2,
+        });
+        assert!(h.check(&spec));
+        let mut h = History::new();
+        h.push(Event {
+            thread: 0,
+            invoked: 0,
+            returned: 10,
+            op: OrderedSetOp::Insert(5, 2),
+            ret: 2,
+        });
+        h.push(Event {
+            thread: 1,
+            invoked: 5,
+            returned: 6,
+            op: OrderedSetOp::RangeSum(0, 9),
+            ret: 1,
+        });
+        assert!(!h.check(&spec), "a torn scan sum is not linearizable");
     }
 
     #[test]
@@ -505,7 +676,11 @@ mod tests {
         let s0 = spec.initial();
         let (s1, r) = spec.apply(&s0, &OrderedSetOp::Insert(3, 2));
         assert_eq!(r, 1, "insert-if-absent adds one occurrence");
-        assert_eq!(spec.apply(&s1, &OrderedSetOp::Insert(3, 5)).1, 0, "already present");
+        assert_eq!(
+            spec.apply(&s1, &OrderedSetOp::Insert(3, 5)).1,
+            0,
+            "already present"
+        );
         assert_eq!(spec.apply(&s1, &OrderedSetOp::Get(3)).1, 1);
         let (s2, r) = spec.apply(&s1, &OrderedSetOp::Remove(3, 7));
         assert_eq!(r, 1);
@@ -522,9 +697,10 @@ mod tests {
             3,
             5,
             42,
-            |_, _, r| match r % 3 {
+            |_, _, r| match r % 4 {
                 0 => OrderedSetOp::Insert(r % 2, 1 + r % 2),
                 1 => OrderedSetOp::Remove(r % 2, 1),
+                2 => OrderedSetOp::RangeSum(0, r % 3),
                 _ => OrderedSetOp::Get(r % 2),
             },
             |s, op| {
@@ -545,6 +721,13 @@ mod tests {
                         }
                         _ => 0,
                     },
+                    OrderedSetOp::RangeSum(lo, hi) => {
+                        if lo > hi {
+                            0
+                        } else {
+                            m.range(lo..=hi).map(|(_, c)| c).sum()
+                        }
+                    }
                 }
             },
         );

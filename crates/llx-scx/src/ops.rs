@@ -139,6 +139,7 @@ impl<const M: usize, I> Domain<M, I> {
         bump!(self, llx_attempts);
         let marked1 = r.marked.load(Ordering::SeqCst); // line 3
         let rinfo = r.load_info(); // line 4
+
         // SAFETY: `rinfo` was read from `r.info` under our pinned guard;
         // SCX-record destruction is epoch-deferred (see `reclaim`).
         let rinfo_hdr: &ScxHeader = unsafe { &*rinfo };
@@ -230,8 +231,7 @@ impl<const M: usize, I> Domain<M, I> {
         let v = crate::inline_vec::InlineVec::from_iter(
             req.v.iter().map(|h| h.record as *const DataRecord<M, I>),
         );
-        let info_fields =
-            crate::inline_vec::InlineVec::from_iter(req.v.iter().map(|h| h.info));
+        let info_fields = crate::inline_vec::InlineVec::from_iter(req.v.iter().map(|h| h.info));
         // The new SCX-record makes the old SCX-records in `info_fields`
         // reachable (its freezing CASes use their addresses as expected
         // values), so it must hold a reference on each: otherwise a
@@ -263,9 +263,7 @@ impl<const M: usize, I> Domain<M, I> {
             new: req.new,
             info_fields,
             #[cfg(debug_assertions)]
-            info_gens: crate::inline_vec::InlineVec::from_iter(
-                req.v.iter().map(|h| h.info_gen),
-            ),
+            info_gens: crate::inline_vec::InlineVec::from_iter(req.v.iter().map(|h| h.info_gen)),
         });
         // SAFETY: freshly allocated, uniquely reachable through `u`.
         let u_ref = unsafe { &*u };
@@ -304,6 +302,7 @@ impl<const M: usize, I> Domain<M, I> {
         // lines 24–35: freeze all Data-records in u.v in order.
         for (i, r_ptr) in u.v.iter().enumerate() {
             let rinfo = u.info_fields.get(i) as *mut ScxHeader; // line 25
+
             // SAFETY: records in V were reachable at their linked LLXs
             // and are protected by the caller's guard.
             let r = unsafe { &*r_ptr };
@@ -373,9 +372,8 @@ impl<const M: usize, I> Domain<M, I> {
         // (Lemma 54); failures by other helpers are benign.
         bump!(self, update_cas);
         // SAFETY: `fld` points into a record in V, protected as above.
-        let _ = unsafe {
-            (*u.fld).compare_exchange(u.old, u.new, Ordering::SeqCst, Ordering::SeqCst)
-        };
+        let _ =
+            unsafe { (*u.fld).compare_exchange(u.old, u.new, Ordering::SeqCst, Ordering::SeqCst) };
 
         // commit step (line 41): finalize all r in R, unfreeze the rest.
         bump!(self, state_writes);
@@ -394,11 +392,7 @@ mod tests {
     use super::*;
     use crate::handle::FieldId;
 
-    fn snap<'g>(
-        d: &Domain<2, u32>,
-        r: &'g DataRecord<2, u32>,
-        g: &'g Guard,
-    ) -> Llx<'g, 2, u32> {
+    fn snap<'g>(d: &Domain<2, u32>, r: &'g DataRecord<2, u32>, g: &'g Guard) -> Llx<'g, 2, u32> {
         d.llx(r, g).snapshot().expect("uncontended LLX")
     }
 

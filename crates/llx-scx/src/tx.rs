@@ -85,7 +85,10 @@ impl<'d, 'g, const M: usize, I> Tx<'d, 'g, M, I> {
     ///
     /// Panics if nothing has been read.
     pub fn validate(&self) -> bool {
-        assert!(!self.reads.is_empty(), "validate requires at least one read");
+        assert!(
+            !self.reads.is_empty(),
+            "validate requires at least one read"
+        );
         self.domain.vlx(&self.reads)
     }
 
@@ -134,8 +137,7 @@ impl<'d, 'g, const M: usize, I> Commit<'d, 'g, M, I> {
     /// write and the finalizations. Returns whether it committed.
     pub fn run(self) -> bool {
         self.tx.domain.scx(
-            ScxRequest::new(&self.tx.reads, self.fld, self.new)
-                .finalize_mask(self.finalize_mask),
+            ScxRequest::new(&self.tx.reads, self.fld, self.new).finalize_mask(self.finalize_mask),
             self.tx.guard,
         )
     }

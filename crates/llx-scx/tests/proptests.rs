@@ -25,9 +25,8 @@ enum Op {
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (1u8..16).prop_map(Op::Llx),
-        (0u8..RECORDS as u8, 0u8..FIELDS as u8, 0u8..16).prop_map(|(rec, field, fin)| {
-            Op::Scx { rec, field, fin }
-        }),
+        (0u8..RECORDS as u8, 0u8..FIELDS as u8, 0u8..16)
+            .prop_map(|(rec, field, fin)| { Op::Scx { rec, field, fin } }),
         Just(Op::Vlx),
         (0u8..RECORDS as u8, 0u8..FIELDS as u8).prop_map(|(rec, field)| Op::Read { rec, field }),
     ]

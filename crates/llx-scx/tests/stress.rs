@@ -145,10 +145,7 @@ fn disjoint_scxs_all_succeed() {
                     .snapshot()
                     .expect("no contention on private record");
                 // Value strictly increases: no ABA.
-                assert!(domain.scx(
-                    ScxRequest::new(&[s], FieldId::new(0, 0), i),
-                    &guard
-                ));
+                assert!(domain.scx(ScxRequest::new(&[s], FieldId::new(0, 0), i), &guard));
             }
             let _ = t;
         }));
@@ -188,10 +185,7 @@ fn contended_counter_is_exact() {
                     continue;
                 };
                 let cur = s.value(0);
-                if domain.scx(
-                    ScxRequest::new(&[s], FieldId::new(0, 0), cur + 1),
-                    &guard,
-                ) {
+                if domain.scx(ScxRequest::new(&[s], FieldId::new(0, 0), cur + 1), &guard) {
                     successes.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -294,7 +288,11 @@ fn overlapping_scx_transfers_conserve_sum() {
                 }
                 // Consistent freezing order (paper §4.1 constraint):
                 // order V by cell index.
-                let (src, dst, v_order) = if a < b { (a, b, (a, b)) } else { (b, a, (b, a)) };
+                let (src, dst, v_order) = if a < b {
+                    (a, b, (a, b))
+                } else {
+                    (b, a, (b, a))
+                };
                 let _ = (src, dst);
                 let guard = llx_scx::pin();
                 let ra = unsafe { &*(cells[v_order.0] as *const llx_scx::DataRecord<1, usize>) };

@@ -120,6 +120,67 @@ impl<K: Ord + Copy> HandOverHandMultiset<K> {
         }
     }
 
+    /// Fold over the `(key, count)` pairs with keys in the inclusive
+    /// range `[lo, hi]`, ascending, over a **consistent snapshot**.
+    ///
+    /// Lock-coupling alone cannot give a linearizable range scan (an
+    /// insert behind the cursor plus one ahead of it would be observed
+    /// inconsistently), so the scan escalates from coupling to *range
+    /// crabbing*: it couples up to the predecessor of `lo`, then keeps
+    /// every lock from there through the first node beyond `hi`. With
+    /// all of those locks held the range is frozen — the snapshot's
+    /// linearization point is the moment the last lock is acquired.
+    /// Deadlock-free because all operations acquire locks in key order.
+    /// `lo > hi` folds nothing.
+    pub fn fold_range<A, F: FnMut(A, K, u64) -> A>(&self, lo: K, hi: K, init: A, mut f: F) -> A {
+        let mut acc = init;
+        if lo > hi {
+            return acc;
+        }
+        // Phase 1: hand-over-hand to the predecessor of `lo`, holding
+        // at most two locks.
+        let mut prev: NodeGuard<K> = Mutex::lock_arc(&self.head);
+        loop {
+            let Some(next_arc) = prev.next.clone() else {
+                return acc; // every key is below lo
+            };
+            let next: NodeGuard<K> = Mutex::lock_arc(&next_arc);
+            match next.key {
+                Some(k) if k < lo => prev = next, // release previous
+                _ => {
+                    // Phase 2: crab over the range, keeping all locks.
+                    let mut held: Vec<NodeGuard<K>> = vec![prev, next];
+                    loop {
+                        let last = held.last().expect("non-empty");
+                        match last.key {
+                            Some(k) if k <= hi => {}
+                            _ => break, // first node beyond the range
+                        }
+                        let Some(next_arc) = last.next.clone() else {
+                            break; // range runs to the end of the list
+                        };
+                        let g = Mutex::lock_arc(&next_arc);
+                        held.push(g);
+                    }
+                    for n in &held[1..] {
+                        if let Some(k) = n.key {
+                            if lo <= k && k <= hi {
+                                acc = f(acc, k, n.count);
+                            }
+                        }
+                    }
+                    return acc;
+                }
+            }
+        }
+    }
+
+    /// Total occurrences with keys in `[lo, hi]` at a single
+    /// linearization point. See [`HandOverHandMultiset::fold_range`].
+    pub fn range_count(&self, lo: K, hi: K) -> u64 {
+        self.fold_range(lo, hi, 0u64, |acc, _k, c| acc + c)
+    }
+
     /// Collect `(key, count)` pairs in ascending key order.
     pub fn to_vec(&self) -> Vec<(K, u64)> {
         let mut out = Vec::new();

@@ -90,6 +90,25 @@ impl<K: Ord> CoarseMultiset<K> {
         self.inner.lock().is_empty()
     }
 
+    /// Fold over the `(key, count)` pairs with keys in the inclusive
+    /// range `[lo, hi]`, ascending. Atomic by construction: the fold
+    /// runs under the structure's single mutex. `lo > hi` folds
+    /// nothing.
+    pub fn fold_range<A, F: FnMut(A, &K, u64) -> A>(&self, lo: K, hi: K, init: A, mut f: F) -> A {
+        if lo > hi {
+            return init;
+        }
+        self.inner
+            .lock()
+            .range(lo..=hi)
+            .fold(init, |acc, (k, &c)| f(acc, k, c))
+    }
+
+    /// Total occurrences with keys in `[lo, hi]`, atomically.
+    pub fn range_count(&self, lo: K, hi: K) -> u64 {
+        self.fold_range(lo, hi, 0u64, |acc, _k, c| acc + c)
+    }
+
     /// Collect `(key, count)` pairs in ascending key order.
     pub fn to_vec(&self) -> Vec<(K, u64)>
     where

@@ -226,8 +226,7 @@ impl<K: Copy + Ord> Multiset<K> {
                 // rnext by a copy to avoid the ABA problem in p.next
                 // (Fig. 5(c)); finalizes r and rnext.
                 // r.key == key != +∞, so r.next is a node (Invariant 3).
-                let rnext: &Node<K> =
-                    unsafe { self.domain.deref(localr.value(NEXT), &guard) };
+                let rnext: &Node<K> = unsafe { self.domain.deref(localr.value(NEXT), &guard) };
                 let LlxResult::Snapshot(localrnext) = self.domain.llx(rnext, &guard) else {
                     continue; // line 35
                 };
@@ -355,6 +354,85 @@ impl<K: Copy + Ord> Multiset<K> {
             }
             cur = next;
         }
+    }
+
+    /// Fold over the `(key, count)` pairs with keys in the inclusive
+    /// range `[lo, hi]`, in ascending key order, over a **consistent
+    /// snapshot**: unlike [`Multiset::fold`], all visited pairs held
+    /// *simultaneously* at one linearization point.
+    ///
+    /// This generalizes [`Multiset::get_many`] from a key set to a key
+    /// interval, using the same VLX discipline (paper §3): LLX the
+    /// predecessor of `lo` and every node in the range, walking the
+    /// *snapshotted* `next` pointers, then validate the whole set with
+    /// one VLX and retry on failure. Any insert into the range must
+    /// change a snapshotted `next` field and any removal must finalize a
+    /// snapshotted node, so a successful VLX certifies the collected
+    /// pairs as the exact range contents at its linearization point.
+    ///
+    /// `lo > hi` denotes the empty range and folds nothing.
+    pub fn fold_range<A, F: FnMut(A, K, u64) -> A>(&self, lo: K, hi: K, init: A, mut f: F) -> A {
+        if lo > hi {
+            return init;
+        }
+        let pairs = loop {
+            let guard = llx_scx::pin();
+            if let Some(pairs) = self.try_snapshot_range(&lo, &hi, &guard) {
+                break pairs;
+            }
+        };
+        pairs.into_iter().fold(init, |acc, (k, c)| f(acc, k, c))
+    }
+
+    /// One optimistic attempt of [`Multiset::fold_range`]: collect the
+    /// range following LLX-snapshot `next` pointers, then VLX. `None`
+    /// means a conflicting update was detected; retry.
+    fn try_snapshot_range(&self, lo: &K, hi: &K, guard: &Guard) -> Option<Vec<(K, u64)>> {
+        let (_r, p) = self.search(lo, guard);
+        let LlxResult::Snapshot(mut cur) = self.domain.llx(p, guard) else {
+            return None;
+        };
+        let mut snaps = vec![cur];
+        let mut out = Vec::new();
+        loop {
+            let next_word = cur.value(NEXT);
+            if next_word == llx_scx::NULL {
+                break; // walked onto the +inf sentinel
+            }
+            // SAFETY: reached via a snapshotted next pointer under
+            // `guard`; node reclamation is epoch-deferred.
+            let next: &Node<K> = unsafe { self.domain.deref(next_word, guard) };
+            match next.immutable() {
+                SentinelKey::Key(k) if *k <= *hi => {
+                    let LlxResult::Snapshot(s) = self.domain.llx(next, guard) else {
+                        return None;
+                    };
+                    // Nodes below `lo` can appear if an insert raced the
+                    // initial search; they extend the validated chain
+                    // but are not part of the answer.
+                    if *k >= *lo {
+                        out.push((*k, s.value(COUNT)));
+                    }
+                    snaps.push(s);
+                    cur = s;
+                }
+                // First node beyond the range: its immutable key bounds
+                // the walk and `cur`'s validated next pointer pins its
+                // identity; no LLX needed.
+                _ => break,
+            }
+        }
+        if self.domain.vlx(&snaps) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Total occurrences with keys in `[lo, hi]` at a single
+    /// linearization point. See [`Multiset::fold_range`].
+    pub fn range_count(&self, lo: K, hi: K) -> u64 {
+        self.fold_range(lo, hi, 0u64, |acc, _k, c| acc + c)
     }
 
     /// Traversal that performs an **LLX on every visited node** instead
@@ -589,6 +667,27 @@ mod tests {
         }
         assert!(s.is_empty());
         s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fold_range_snapshots_subranges() {
+        let s = Multiset::new();
+        for (k, c) in [(1i64, 2u64), (3, 1), (5, 4), (9, 1)] {
+            s.insert(k, c);
+        }
+        let collect = |lo, hi| {
+            s.fold_range(lo, hi, Vec::new(), |mut v, k, c| {
+                v.push((k, c));
+                v
+            })
+        };
+        assert_eq!(collect(0, 10), vec![(1, 2), (3, 1), (5, 4), (9, 1)]);
+        assert_eq!(collect(2, 5), vec![(3, 1), (5, 4)]);
+        assert_eq!(collect(3, 3), vec![(3, 1)], "single-key range");
+        assert_eq!(collect(4, 4), vec![], "empty interior range");
+        assert_eq!(collect(10, 2), vec![], "lo > hi is the empty range");
+        assert_eq!(s.range_count(0, i64::MAX), s.len());
+        assert_eq!(s.range_count(3, 5), 5);
     }
 
     #[test]

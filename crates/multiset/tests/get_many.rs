@@ -12,7 +12,10 @@ fn get_many_sequential_matches_get() {
         s.insert(k, c);
     }
     assert_eq!(s.get_many(&[1, 5, 9]), vec![3, 1, 7]);
-    assert_eq!(s.get_many(&[0, 1, 2, 5, 6, 9, 10]), vec![0, 3, 0, 1, 0, 7, 0]);
+    assert_eq!(
+        s.get_many(&[0, 1, 2, 5, 6, 9, 10]),
+        vec![0, 3, 0, 1, 0, 7, 0]
+    );
     assert_eq!(s.get_many(&[100]), vec![0]);
 }
 

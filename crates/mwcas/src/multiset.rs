@@ -193,6 +193,81 @@ impl KcasMultiset {
         }
     }
 
+    /// Fold over the `(key, count)` pairs with keys in the inclusive
+    /// range `[lo, hi]`, ascending, over a **consistent snapshot**.
+    ///
+    /// This is the kCAS analogue of the LLX/SCX multiset's VLX-validated
+    /// scan, and it showcases the paper's §2 cost argument from the read
+    /// side: lacking LLX/VLX, the only way to validate a multi-record
+    /// snapshot here is an *identity kCAS* (every `new == expected`)
+    /// over the predecessor's `next` plus both mutable fields of every
+    /// node in the range — `2m+1` descriptor installs for an `m`-node
+    /// range, each a CAS, versus VLX's `2m+1` plain reads. A successful
+    /// identity kCAS certifies all the cells held their expected values
+    /// simultaneously at its linearization point; removed nodes fail it
+    /// through their `DEAD` poison, and inserts through the snapshotted
+    /// `next` chain. Retries on conflict. `lo > hi` folds nothing.
+    pub fn fold_range<A, F: FnMut(A, u64, u64) -> A>(
+        &self,
+        lo: u64,
+        hi: u64,
+        init: A,
+        mut f: F,
+    ) -> A {
+        if lo > hi {
+            return init;
+        }
+        let pairs = 'retry: loop {
+            let guard = crossbeam_epoch::pin();
+            // Plain-read traversal to the predecessor of `lo`.
+            // SAFETY: head never retired; successors epoch-protected.
+            let mut p: &KNode = unsafe { &*self.head };
+            let mut r_word = p.next.read(&guard);
+            loop {
+                if r_word == DEAD {
+                    continue 'retry;
+                }
+                let r: &KNode = unsafe { &*(r_word as usize as *const KNode) };
+                if r.key >= lo {
+                    break;
+                }
+                p = r;
+                r_word = r.next.read(&guard);
+            }
+            // Collect the range, recording every cell the snapshot
+            // depends on as an identity entry.
+            let mut entries: Vec<crate::KcasEntry<'_>> = vec![(&p.next, r_word, r_word)];
+            let mut out = Vec::new();
+            let mut cur_word = r_word;
+            loop {
+                let cur: &KNode = unsafe { &*(cur_word as usize as *const KNode) };
+                if cur.key == u64::MAX || cur.key > hi {
+                    break; // the terminator's identity is pinned by the
+                           // predecessor's validated `next` cell
+                }
+                let c = cur.count.read(&guard);
+                let next_word = cur.next.read(&guard);
+                if c == DEAD || next_word == DEAD {
+                    continue 'retry; // removed mid-walk
+                }
+                entries.push((&cur.count, c, c));
+                entries.push((&cur.next, next_word, next_word));
+                out.push((cur.key, c));
+                cur_word = next_word;
+            }
+            if kcas(&entries, &guard) {
+                break out;
+            }
+        };
+        pairs.into_iter().fold(init, |acc, (k, c)| f(acc, k, c))
+    }
+
+    /// Total occurrences with keys in `[lo, hi]` at a single
+    /// linearization point. See [`KcasMultiset::fold_range`].
+    pub fn range_count(&self, lo: u64, hi: u64) -> u64 {
+        self.fold_range(lo, hi, 0u64, |acc, _k, c| acc + c)
+    }
+
     /// Collect `(key, count)` pairs in ascending key order (traversal
     /// semantics, not a snapshot).
     pub fn to_vec(&self) -> Vec<(u64, u64)> {

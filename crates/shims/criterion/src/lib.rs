@@ -79,7 +79,9 @@ impl Criterion {
     fn effective_times(&self) -> (Duration, Duration) {
         if self.quick {
             (
-                self.warm_up_time.div_f64(5.0).max(Duration::from_millis(10)),
+                self.warm_up_time
+                    .div_f64(5.0)
+                    .max(Duration::from_millis(10)),
                 self.measurement_time
                     .div_f64(5.0)
                     .max(Duration::from_millis(20)),
@@ -248,7 +250,10 @@ impl Bencher {
         }
         let ns = self.elapsed.as_nanos() as f64 / self.iters as f64;
         let per_sec = 1e9 / ns;
-        println!("{id:<40} {ns:>12.1} ns/iter {per_sec:>16.0} ops/s   ({} iters)", self.iters);
+        println!(
+            "{id:<40} {ns:>12.1} ns/iter {per_sec:>16.0} ops/s   ({} iters)",
+            self.iters
+        );
     }
 }
 

@@ -234,7 +234,10 @@ mod tests {
             value: u32,
             next: Option<Arc<Mutex<Node>>>,
         }
-        let tail = Arc::new(Mutex::new(Node { value: 2, next: None }));
+        let tail = Arc::new(Mutex::new(Node {
+            value: 2,
+            next: None,
+        }));
         let head = Arc::new(Mutex::new(Node {
             value: 1,
             next: Some(tail),

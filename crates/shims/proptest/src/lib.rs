@@ -362,7 +362,9 @@ pub mod strategy {
 
     impl<V> std::fmt::Debug for Union<V> {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-            f.debug_struct("Union").field("arms", &self.arms.len()).finish()
+            f.debug_struct("Union")
+                .field("arms", &self.arms.len())
+                .finish()
         }
     }
 }

@@ -83,8 +83,7 @@ pub(crate) fn search_leaf<'g, K: Copy + Ord, V>(
     // protected by `guard`.
     let mut gp: Option<&'g Node<K, V>> = None;
     let mut p: &'g Node<K, V> = unsafe { &*root };
-    let mut l: &'g Node<K, V> =
-        unsafe { domain.deref(p.read(dir_of(key, p)), guard) };
+    let mut l: &'g Node<K, V> = unsafe { domain.deref(p.read(dir_of(key, p)), guard) };
     while !is_leaf(l) {
         gp = Some(p);
         p = l;
@@ -277,6 +276,22 @@ impl<K: Copy + Ord, V: Clone> Bst<K, V> {
             }
         }
         acc
+    }
+
+    /// Fold over the `(key, value)` pairs with keys in the inclusive
+    /// range `[lo, hi]`, ascending, over a **consistent snapshot**: an
+    /// in-order walk that LLXs every visited node, prunes subtrees
+    /// disjoint from the range, and validates the visited set with one
+    /// VLX, retrying on conflict (see `scan` module docs). `lo > hi`
+    /// folds nothing.
+    pub fn fold_range<A, F: FnMut(A, K, &V) -> A>(&self, lo: K, hi: K, init: A, f: F) -> A {
+        crate::scan::fold_range_snapshot(&self.domain, self.root, lo, hi, init, f)
+    }
+
+    /// Number of keys in `[lo, hi]` at a single linearization point.
+    /// See [`Bst::fold_range`].
+    pub fn range_count(&self, lo: K, hi: K) -> u64 {
+        self.fold_range(lo, hi, 0u64, |acc, _, _| acc + 1)
     }
 
     /// Collect `(key, value)` pairs in ascending key order (traversal

@@ -108,8 +108,14 @@ impl<K: Copy + Ord, V: Clone> ChromaticTree<K, V> {
         right: u64,
     ) -> *const Node<K, V> {
         debug_assert!(left != llx_scx::NULL && right != llx_scx::NULL);
-        self.domain
-            .alloc(NodeInfo { key, weight, value: None }, [left, right])
+        self.domain.alloc(
+            NodeInfo {
+                key,
+                weight,
+                value: None,
+            },
+            [left, right],
+        )
     }
 
     /// A copy of `n` (children from its snapshot) with a new weight.
@@ -160,12 +166,8 @@ impl<K: Copy + Ord, V: Clone> ChromaticTree<K, V> {
             } else {
                 (l_copy, new_leaf, k)
             };
-            let internal = self.alloc_internal(
-                ikey,
-                weight,
-                llx_scx::pack_ptr(lc),
-                llx_scx::pack_ptr(rc),
-            );
+            let internal =
+                self.alloc_internal(ikey, weight, llx_scx::pack_ptr(lc), llx_scx::pack_ptr(rc));
             let p_red = res.p.immutable().weight == 0;
             if self.domain.scx(
                 ScxRequest::new(&[sp, sl], FieldId::new(0, d), llx_scx::pack_ptr(internal))
@@ -218,8 +220,7 @@ impl<K: Copy + Ord, V: Clone> ChromaticTree<K, V> {
             {
                 continue;
             }
-            let s: &Node<K, V> =
-                unsafe { self.domain.deref(sp.value(1 - pd), &guard) };
+            let s: &Node<K, V> = unsafe { self.domain.deref(sp.value(1 - pd), &guard) };
             let Some(ss) = self.domain.llx(s, &guard).snapshot() else {
                 continue;
             };
@@ -248,8 +249,7 @@ impl<K: Copy + Ord, V: Clone> ChromaticTree<K, V> {
                     self.domain.retire(res.l as *const Node<K, V>, &guard);
                     self.domain.retire(s as *const Node<K, V>, &guard);
                 }
-                let needs_cleanup =
-                    weight >= 2 || (weight == 0 && gp.immutable().weight == 0);
+                let needs_cleanup = weight >= 2 || (weight == 0 && gp.immutable().weight == 0);
                 drop(guard);
                 if needs_cleanup {
                     self.cleanup(&k);
@@ -332,8 +332,7 @@ impl<K: Copy + Ord, V: Clone> ChromaticTree<K, V> {
         }
         let copy = self.copy_with_weight(&su, 1);
         if self.domain.scx(
-            ScxRequest::new(&[sr, su], FieldId::new(0, LEFT), llx_scx::pack_ptr(copy))
-                .finalize(1),
+            ScxRequest::new(&[sr, su], FieldId::new(0, LEFT), llx_scx::pack_ptr(copy)).finalize(1),
             guard,
         ) {
             unsafe { self.domain.retire(u as *const Node<K, V>, guard) };
@@ -480,8 +479,7 @@ impl<K: Copy + Ord, V: Clone> ChromaticTree<K, V> {
                 };
                 unsafe {
                     self.domain.dealloc(n);
-                    self.domain
-                        .dealloc(inner as usize as *const Node<K, V>);
+                    self.domain.dealloc(inner as usize as *const Node<K, V>);
                 }
                 false
             }
@@ -494,25 +492,13 @@ impl<K: Copy + Ord, V: Clone> ChromaticTree<K, V> {
             let c_w = sp.value(1 - ud); // p's other child (outer)
             let (n1, n2) = if pd == LEFT {
                 // p left of gp, u right of p.
-                let n1 =
-                    self.alloc_internal(p.immutable().key, 0, c_w, su.value(LEFT));
-                let n2 = self.alloc_internal(
-                    gp.immutable().key,
-                    0,
-                    su.value(RIGHT),
-                    uncle_w,
-                );
+                let n1 = self.alloc_internal(p.immutable().key, 0, c_w, su.value(LEFT));
+                let n2 = self.alloc_internal(gp.immutable().key, 0, su.value(RIGHT), uncle_w);
                 (n1, n2)
             } else {
                 // p right of gp, u left of p.
-                let n1 = self.alloc_internal(
-                    gp.immutable().key,
-                    0,
-                    uncle_w,
-                    su.value(LEFT),
-                );
-                let n2 =
-                    self.alloc_internal(p.immutable().key, 0, su.value(RIGHT), c_w);
+                let n1 = self.alloc_internal(gp.immutable().key, 0, uncle_w, su.value(LEFT));
+                let n2 = self.alloc_internal(p.immutable().key, 0, su.value(RIGHT), c_w);
                 (n1, n2)
             };
             let n = self.alloc_internal(
@@ -522,10 +508,14 @@ impl<K: Copy + Ord, V: Clone> ChromaticTree<K, V> {
                 llx_scx::pack_ptr(n2),
             );
             if self.domain.scx(
-                ScxRequest::new(&[sh, sgp, sp, su], FieldId::new(0, hd), llx_scx::pack_ptr(n))
-                    .finalize(1)
-                    .finalize(2)
-                    .finalize(3),
+                ScxRequest::new(
+                    &[sh, sgp, sp, su],
+                    FieldId::new(0, hd),
+                    llx_scx::pack_ptr(n),
+                )
+                .finalize(1)
+                .finalize(2)
+                .finalize(3),
                 guard,
             ) {
                 unsafe {
@@ -824,12 +814,8 @@ impl<K: Copy + Ord, V: Clone> ChromaticTree<K, V> {
                         llx_scx::pack_ptr(u_copy),
                         snear.value(LEFT),
                     );
-                    let n2 = self.alloc_internal(
-                        s.immutable().key,
-                        1,
-                        snear.value(RIGHT),
-                        far_word,
-                    );
+                    let n2 =
+                        self.alloc_internal(s.immutable().key, 1, snear.value(RIGHT), far_word);
                     let t = self.alloc_internal(
                         near.immutable().key,
                         clamp(wp),
@@ -838,12 +824,7 @@ impl<K: Copy + Ord, V: Clone> ChromaticTree<K, V> {
                     );
                     (n1, n2, t)
                 } else {
-                    let n1 = self.alloc_internal(
-                        s.immutable().key,
-                        1,
-                        far_word,
-                        snear.value(LEFT),
-                    );
+                    let n1 = self.alloc_internal(s.immutable().key, 1, far_word, snear.value(LEFT));
                     let n2 = self.alloc_internal(
                         p.immutable().key,
                         1,
@@ -932,6 +913,23 @@ impl<K: Copy + Ord, V: Clone> ChromaticTree<K, V> {
             }
         }
         acc
+    }
+
+    /// Fold over the `(key, value)` pairs with keys in the inclusive
+    /// range `[lo, hi]`, ascending, over a **consistent snapshot**: an
+    /// in-order walk that LLXs every visited node, prunes subtrees
+    /// disjoint from the range, and validates the visited set with one
+    /// VLX, retrying on conflict (see `scan` module docs). Rebalancing
+    /// SCXs on visited nodes also trigger retries. `lo > hi` folds
+    /// nothing.
+    pub fn fold_range<A, F: FnMut(A, K, &V) -> A>(&self, lo: K, hi: K, init: A, f: F) -> A {
+        crate::scan::fold_range_snapshot(&self.domain, self.root, lo, hi, init, f)
+    }
+
+    /// Number of keys in `[lo, hi]` at a single linearization point.
+    /// See [`ChromaticTree::fold_range`].
+    pub fn range_count(&self, lo: K, hi: K) -> u64 {
+        self.fold_range(lo, hi, 0u64, |acc, _, _| acc + 1)
     }
 
     /// Collect `(key, value)` pairs in ascending key order (traversal

@@ -38,6 +38,7 @@ mod bst;
 mod chromatic;
 mod node;
 mod patricia;
+mod scan;
 pub mod validate;
 
 pub use bst::Bst;

@@ -341,8 +341,7 @@ impl<V: Clone> PatriciaTrie<V> {
         let guard = llx_scx::pin();
         let mut acc = init;
         let root: &Node<V> = unsafe { &*self.root };
-        let mut stack: Vec<&Node<V>> =
-            vec![unsafe { self.domain.deref(root.read(LEFT), &guard) }];
+        let mut stack: Vec<&Node<V>> = vec![unsafe { self.domain.deref(root.read(LEFT), &guard) }];
         while let Some(n) = stack.pop() {
             match &n.immutable().kind {
                 PatKind::Empty => {}
@@ -354,6 +353,96 @@ impl<V: Clone> PatriciaTrie<V> {
             }
         }
         acc
+    }
+
+    /// Fold over the `(key, value)` pairs with keys in the inclusive
+    /// range `[lo, hi]`, ascending, over a **consistent snapshot**.
+    ///
+    /// The walk descends by *prefix pruning*: an internal node branching
+    /// on `bit` covers exactly the keys that agree with its
+    /// (immutable) representative key above `bit`, a contiguous
+    /// interval, so disjoint subtrees are skipped without being read —
+    /// for a range that is a prefix interval this is precisely the
+    /// trie's `O(bits)` prefix descent. Every node actually visited is
+    /// LLXed, children are followed through the snapshots, and the
+    /// visited set is validated with one VLX (retrying on conflict), so
+    /// the collected pairs all held at the VLX's linearization point.
+    /// `lo > hi` folds nothing.
+    pub fn fold_range<A, F: FnMut(A, u64, &V) -> A>(
+        &self,
+        lo: u64,
+        hi: u64,
+        init: A,
+        mut f: F,
+    ) -> A {
+        if lo > hi {
+            return init;
+        }
+        let pairs = loop {
+            let guard = llx_scx::pin();
+            if let Some(pairs) = self.try_snapshot_range(lo, hi, &guard) {
+                break pairs;
+            }
+        };
+        pairs.into_iter().fold(init, |acc, (k, v)| f(acc, k, &v))
+    }
+
+    /// One optimistic attempt of [`PatriciaTrie::fold_range`]; `None`
+    /// means an LLX failed, a visited node was finalized, or the VLX
+    /// rejected the visited set.
+    fn try_snapshot_range(&self, lo: u64, hi: u64, guard: &Guard) -> Option<Vec<(u64, V)>> {
+        // SAFETY: the root entry point is never retired.
+        let root: &Node<V> = unsafe { &*self.root };
+        let sr = self.domain.llx(root, guard).snapshot()?;
+        let mut snaps = vec![sr];
+        let mut out = Vec::new();
+        // SAFETY: snapshotted children of validated nodes, protected by
+        // `guard`, throughout the walk.
+        let mut stack: Vec<&Node<V>> = vec![unsafe { self.domain.deref(sr.value(LEFT), guard) }];
+        while let Some(n) = stack.pop() {
+            match &n.immutable().kind {
+                PatKind::Empty => {
+                    snaps.push(self.domain.llx(n, guard).snapshot()?);
+                }
+                PatKind::Leaf(v) => {
+                    let s = self.domain.llx(n, guard).snapshot()?;
+                    let k = n.immutable().key;
+                    if lo <= k && k <= hi {
+                        out.push((k, v.clone()));
+                    }
+                    snaps.push(s);
+                }
+                PatKind::Internal { bit } => {
+                    // The subtree holds exactly the keys agreeing with
+                    // the representative above `bit`: the interval
+                    // [min, max]. Skip it (unread) if disjoint from the
+                    // query; the trie invariant on immutable keys makes
+                    // the pruning decision stable.
+                    let hi_mask = if *bit >= 63 { 0 } else { !0u64 << (bit + 1) };
+                    let min = n.immutable().key & hi_mask;
+                    let max = min | !hi_mask;
+                    if max < lo || min > hi {
+                        continue;
+                    }
+                    let s = self.domain.llx(n, guard).snapshot()?;
+                    // Right after left so lefts pop first (ascending).
+                    stack.push(unsafe { self.domain.deref(s.value(RIGHT), guard) });
+                    stack.push(unsafe { self.domain.deref(s.value(LEFT), guard) });
+                    snaps.push(s);
+                }
+            }
+        }
+        if self.domain.vlx(&snaps) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Number of keys in `[lo, hi]` at a single linearization point.
+    /// See [`PatriciaTrie::fold_range`].
+    pub fn range_count(&self, lo: u64, hi: u64) -> u64 {
+        self.fold_range(lo, hi, 0u64, |acc, _, _| acc + 1)
     }
 
     /// Collect `(key, value)` pairs in ascending key order.

@@ -1,0 +1,93 @@
+//! Snapshot range scans for the leaf-oriented LLX/SCX trees.
+//!
+//! [`Bst`](crate::Bst) and [`ChromaticTree`](crate::ChromaticTree)
+//! share the same node layout, so they share one scan routine: an
+//! in-order walk that LLXs every node it visits, follows the
+//! *snapshotted* child pointers, prunes subtrees disjoint from the
+//! range, and validates the whole visited set with a single VLX
+//! (paper §3). A successful VLX certifies that every visited node was
+//! simultaneously unchanged at the VLX's linearization point; since
+//! every insert or delete of an in-range key must perform an SCX on at
+//! least one visited node (the leaf's parent is always on the walked
+//! path, and SCXs change the node's `info` pointer, which is exactly
+//! what VLX checks), the collected leaves are the exact range contents
+//! at that point. Pruned subtrees cannot contain in-range keys by the
+//! BST routing invariant on the (immutable) keys of validated nodes.
+
+use llx_scx::{Guard, Llx};
+
+use crate::node::{is_leaf, Node, NodeInfo, TreeDomain, TreeKey, LEFT, RIGHT};
+
+type Snap<'g, K, V> = Llx<'g, 2, NodeInfo<K, V>>;
+
+/// One optimistic snapshot attempt: collect the `(key, value)` pairs in
+/// `[lo, hi]` (ascending), or `None` if an LLX failed, a visited node
+/// was finalized, or the final VLX rejected the visited set.
+fn try_collect_range<'g, K: Copy + Ord + 'g, V: Clone + 'g>(
+    domain: &TreeDomain<K, V>,
+    root: *const Node<K, V>,
+    lo: &K,
+    hi: &K,
+    guard: &'g Guard,
+) -> Option<Vec<(K, V)>> {
+    let klo = TreeKey::Key(*lo);
+    let khi = TreeKey::Key(*hi);
+    let mut snaps: Vec<Snap<'g, K, V>> = Vec::new();
+    let mut out = Vec::new();
+    // SAFETY: the root entry point is never retired.
+    let mut stack: Vec<&Node<K, V>> = vec![unsafe { &*root }];
+    while let Some(n) = stack.pop() {
+        let s = domain.llx(n, guard).snapshot()?;
+        snaps.push(s);
+        if is_leaf(n) {
+            let info = n.immutable();
+            if let (TreeKey::Key(k), Some(v)) = (&info.key, &info.value) {
+                if *lo <= *k && *k <= *hi {
+                    out.push((*k, v.clone()));
+                }
+            }
+            continue;
+        }
+        let nk = &n.immutable().key;
+        // Right subtree holds keys >= nk, left holds keys < nk; push
+        // right first so lefts pop first (ascending order). Children
+        // come from the snapshot, so the visited subgraph is exactly
+        // the one the VLX validates.
+        if khi >= *nk {
+            // SAFETY: snapshotted child of a reachable internal node,
+            // protected by `guard`.
+            stack.push(unsafe { domain.deref(s.value(RIGHT), guard) });
+        }
+        if klo < *nk {
+            stack.push(unsafe { domain.deref(s.value(LEFT), guard) });
+        }
+    }
+    if domain.vlx(&snaps) {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// Fold over the `(key, value)` pairs with keys in the inclusive range
+/// `[lo, hi]`, ascending, over a VLX-validated consistent snapshot.
+/// Retries on conflicting updates; `lo > hi` folds nothing.
+pub(crate) fn fold_range_snapshot<K: Copy + Ord, V: Clone, A, F: FnMut(A, K, &V) -> A>(
+    domain: &TreeDomain<K, V>,
+    root: *const Node<K, V>,
+    lo: K,
+    hi: K,
+    init: A,
+    mut f: F,
+) -> A {
+    if lo > hi {
+        return init;
+    }
+    let pairs = loop {
+        let guard = llx_scx::pin();
+        if let Some(pairs) = try_collect_range(domain, root, &lo, &hi, &guard) {
+            break pairs;
+        }
+    };
+    pairs.into_iter().fold(init, |acc, (k, v)| f(acc, k, &v))
+}

@@ -36,7 +36,14 @@ pub fn check_structure<K: Copy + Ord, V>(
             return Err("root's left child must not be red".into());
         }
     }
-    check_range(domain, root_ref, None, Some(TreeKey::Inf2), chromatic, &guard)?;
+    check_range(
+        domain,
+        root_ref,
+        None,
+        Some(TreeKey::Inf2),
+        chromatic,
+        &guard,
+    )?;
     Ok(())
 }
 

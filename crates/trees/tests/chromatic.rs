@@ -133,8 +133,7 @@ fn concurrent_mixed_ops_balanced_after_quiescence() {
     stop.store(true, Ordering::Relaxed);
     let net: i64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
     t.check_invariants().unwrap();
-    t.check_balanced()
-        .expect("tree balanced after quiescence");
+    t.check_balanced().expect("tree balanced after quiescence");
     assert_eq!(t.len() as i64, net);
 }
 

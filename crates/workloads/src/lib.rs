@@ -26,6 +26,9 @@ pub enum OpKind {
     Insert,
     /// A deletion.
     Remove,
+    /// A range scan starting at the sampled key; the consumer chooses
+    /// the scan width (see `LLX_SCAN_RANGE` in [`knobs`]).
+    Scan,
 }
 
 /// An operation mix in percent; must sum to 100.
@@ -37,11 +40,13 @@ pub struct Mix {
     pub insert: u32,
     /// Percent of deletions.
     pub remove: u32,
+    /// Percent of range scans.
+    pub scan: u32,
 }
 
 impl Mix {
     /// A mix with `updates`% updates (split evenly between inserts and
-    /// removes) and the rest lookups.
+    /// removes), no scans, and the rest lookups.
     ///
     /// # Panics
     ///
@@ -52,15 +57,34 @@ impl Mix {
             get: 100 - updates,
             insert: updates / 2 + updates % 2,
             remove: updates / 2,
+            scan: 0,
         }
+    }
+
+    /// This mix with `scan`% of the lookup share converted into range
+    /// scans (updates are untouched, so ledger-based conservation tests
+    /// keep their insert/remove balance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scan` exceeds the mix's lookup percentage.
+    pub fn with_scan_percent(mut self, scan: u32) -> Self {
+        assert!(
+            scan <= self.get + self.scan,
+            "scan percentage exceeds the lookup share"
+        );
+        self.get = self.get + self.scan - scan;
+        self.scan = scan;
+        self
     }
 
     /// Validate that the mix sums to 100.
     pub fn validate(&self) -> Result<(), String> {
-        if self.get + self.insert + self.remove == 100 {
+        let total = self.get + self.insert + self.remove + self.scan;
+        if total == 100 {
             Ok(())
         } else {
-            Err(format!("mix sums to {}", self.get + self.insert + self.remove))
+            Err(format!("mix sums to {total}"))
         }
     }
 }
@@ -163,15 +187,18 @@ impl WorkloadGen {
         WorkloadGen { rng, dist, mix }
     }
 
-    /// The next `(operation, key)` pair.
+    /// The next `(operation, key)` pair. For [`OpKind::Scan`] the key is
+    /// the inclusive lower bound of the scanned range.
     pub fn next_op(&mut self) -> (OpKind, u64) {
         let roll = self.rng.random_range(0..100u32);
         let kind = if roll < self.mix.get {
             OpKind::Get
         } else if roll < self.mix.get + self.mix.insert {
             OpKind::Insert
-        } else {
+        } else if roll < self.mix.get + self.mix.insert + self.mix.remove {
             OpKind::Remove
+        } else {
+            OpKind::Scan
         };
         (kind, self.dist.sample(&mut self.rng))
     }
@@ -193,6 +220,9 @@ pub fn prefill_keys(n: u64) -> impl Iterator<Item = u64> {
 /// | `LLX_STRESS_MILLIS` | stress/concurrent tests (`llx-scx`, `multiset`, `trees`, root `conc_stress`) | duration (ms) of each stop-flag churn phase (defaults 100–200) |
 /// | `LLX_STRESS_SCALE` | bounded stress loops | integer multiplier for iteration counts (default 1) |
 /// | `LLX_LIN_ROUNDS_SCALE` | root `linearizability` tests | integer multiplier for WGL-checked rounds per structure (default 1) |
+/// | `LLX_SCAN_PCT` | `bench-harness` (`compare`, E4, E5) | percent of generated operations that are range scans, taken from the lookup share (default 0; see [`Mix::with_scan_percent`]) |
+/// | `LLX_SCAN_RANGE` | `bench-harness`, scan-mix stress tests | width (number of keys) of each scanned range (default 16) |
+/// | `LLX_BENCH_CELL_MILLIS` | `bench-harness` throughput experiments | duration (ms) of each measured throughput cell (default 300; CI smoke runs use ~20) |
 /// | `LLX_SCX_POOL` | `llx-scx` reclamation | `0`/`off`/`false` disables the SCX-record pool (per-record defers; A/B benchmarking) |
 /// | `LLX_SCX_POOL_CAP` | `llx-scx` reclamation | per-thread free-list capacity of the SCX-record pool (default 256) |
 /// | `PROPTEST_CASES` | every property test (proptest shim) | overrides the case count |
@@ -220,6 +250,26 @@ pub mod knobs {
             .and_then(|v| v.parse().ok())
             .unwrap_or(1)
             .max(1)
+    }
+
+    /// A plain integer knob: `var` overrides `default`.
+    pub fn env_u64(var: &str, default: u64) -> u64 {
+        std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// `LLX_SCAN_PCT`: percent of generated operations that are range
+    /// scans (default 0, clamped to 100).
+    pub fn scan_percent() -> u32 {
+        env_u64("LLX_SCAN_PCT", 0).min(100) as u32
+    }
+
+    /// `LLX_SCAN_RANGE`: width in keys of each scanned range (default
+    /// 16, clamped to at least 1).
+    pub fn scan_range() -> u64 {
+        env_u64("LLX_SCAN_RANGE", 16).max(1)
     }
 
     #[cfg(test)]
@@ -263,7 +313,42 @@ mod tests {
             let m = Mix::with_update_percent(u);
             m.validate().unwrap();
             assert_eq!(m.insert + m.remove, u);
+            assert_eq!(m.scan, 0);
         }
+    }
+
+    #[test]
+    fn scan_percent_comes_out_of_the_lookup_share() {
+        let m = Mix::with_update_percent(40).with_scan_percent(25);
+        m.validate().unwrap();
+        assert_eq!(m.get, 35);
+        assert_eq!(m.scan, 25);
+        assert_eq!(m.insert + m.remove, 40);
+        // Re-applying replaces rather than stacks.
+        let m2 = m.with_scan_percent(10);
+        m2.validate().unwrap();
+        assert_eq!(m2.get, 50);
+        assert_eq!(m2.scan, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookup share")]
+    fn scan_cannot_exceed_lookups() {
+        Mix::with_update_percent(80).with_scan_percent(30);
+    }
+
+    #[test]
+    fn scan_ops_are_generated() {
+        let mut g = WorkloadGen::new(
+            9,
+            0,
+            KeyDist::uniform(32),
+            Mix::with_update_percent(20).with_scan_percent(30),
+        );
+        let scans = (0..10_000)
+            .filter(|_| g.next_op().0 == OpKind::Scan)
+            .count();
+        assert!((2_500..3_500).contains(&scans), "scans: {scans}");
     }
 
     #[test]
@@ -308,12 +393,7 @@ mod tests {
     #[test]
     fn generator_is_deterministic_per_thread() {
         let mk = |t| {
-            let mut g = WorkloadGen::new(
-                1,
-                t,
-                KeyDist::uniform(100),
-                Mix::with_update_percent(40),
-            );
+            let mut g = WorkloadGen::new(1, t, KeyDist::uniform(100), Mix::with_update_percent(40));
             (0..50).map(|_| g.next_op()).collect::<Vec<_>>()
         };
         assert_eq!(mk(0), mk(0), "same thread, same stream");
@@ -326,7 +406,12 @@ mod tests {
             3,
             0,
             KeyDist::uniform(10),
-            Mix { get: 80, insert: 10, remove: 10 },
+            Mix {
+                get: 80,
+                insert: 10,
+                remove: 10,
+                scan: 0,
+            },
         );
         let mut counts = [0u32; 3];
         for _ in 0..10_000 {
@@ -334,6 +419,7 @@ mod tests {
                 OpKind::Get => counts[0] += 1,
                 OpKind::Insert => counts[1] += 1,
                 OpKind::Remove => counts[2] += 1,
+                OpKind::Scan => unreachable!("scan percent is 0"),
             }
         }
         assert!((7_500..8_500).contains(&counts[0]), "gets: {}", counts[0]);

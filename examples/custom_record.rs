@@ -89,9 +89,13 @@ impl Stack {
             };
             let succ_copy = self.domain.alloc(*succ.immutable(), [ss.value(NEXT)]);
             if self.domain.scx(
-                ScxRequest::new(&[sh, st, ss], FieldId::new(0, NEXT), llx_scx::pack_ptr(succ_copy))
-                    .finalize(1)
-                    .finalize(2),
+                ScxRequest::new(
+                    &[sh, st, ss],
+                    FieldId::new(0, NEXT),
+                    llx_scx::pack_ptr(succ_copy),
+                )
+                .finalize(1)
+                .finalize(2),
                 &guard,
             ) {
                 // SAFETY: both unlinked by the committed SCX.

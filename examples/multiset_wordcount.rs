@@ -19,10 +19,9 @@ const CORPUS: &str = "the quick brown fox jumps over the lazy dog \
 /// Stable tiny hash so words map to u64 keys (a real application would
 /// intern strings; the multiset key type only needs `Copy + Ord`).
 fn key_of(word: &str) -> u64 {
-    word.bytes()
-        .fold(0xcbf29ce484222325u64, |h, b| {
-            (h ^ b as u64).wrapping_mul(0x100000001b3)
-        })
+    word.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
 }
 
 fn main() {
@@ -30,7 +29,10 @@ fn main() {
     let set: Arc<Multiset<u64>> = Arc::new(Multiset::new());
 
     // Shard the corpus across 4 tally threads.
-    let chunks: Vec<Vec<&'static str>> = words.chunks(words.len().div_ceil(4)).map(|c| c.to_vec()).collect();
+    let chunks: Vec<Vec<&'static str>> = words
+        .chunks(words.len().div_ceil(4))
+        .map(|c| c.to_vec())
+        .collect();
     let mut handles = Vec::new();
     for chunk in chunks {
         let set = Arc::clone(&set);

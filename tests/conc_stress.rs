@@ -21,9 +21,11 @@ fn stress_millis(default_ms: u64) -> Duration {
     workloads::knobs::env_millis("LLX_STRESS_MILLIS", default_ms)
 }
 
-/// Every structure obeys the conservation law under concurrent churn:
-/// occurrences added − occurrences removed = `len()` at quiescence, and
-/// its own invariants validate.
+/// Every structure obeys both conservation laws under concurrent churn
+/// with a scan mix: occurrences added − occurrences removed = `len()`
+/// at quiescence, the full-range snapshot scan agrees with `len()`,
+/// and its own invariants validate. The 10% scan share exercises each
+/// structure's snapshot-retry machinery *during* the churn.
 #[test]
 fn every_structure_balances_under_stress() {
     let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
@@ -34,18 +36,23 @@ fn every_structure_balances_under_stress() {
             &*set,
             4,
             stress_millis(150),
-            KeyDist::uniform(32),
-            Mix::with_update_percent(60),
+            stress::Load::new(
+                KeyDist::uniform(32),
+                Mix::with_update_percent(60).with_scan_percent(10),
+            )
+            .scan_width(workloads::knobs::scan_range()),
             11,
             pre,
         );
         assert!(report.ops > 0, "{}: no progress", set.name());
+        assert!(report.scans > 0, "{}: no scan completed", set.name());
         assert!(
             report.balanced(),
-            "{}: net occurrences {} but len {}",
+            "{}: net occurrences {} but len {} (full-range scan {})",
             set.name(),
             report.net_occurrences,
-            report.final_len
+            report.final_len,
+            report.final_range_count
         );
         set.validate()
             .unwrap_or_else(|e| panic!("{}: {e}", set.name()));
@@ -64,8 +71,7 @@ fn skewed_stress_balances() {
             &*set,
             4,
             stress_millis(100),
-            KeyDist::zipf(64, 0.99),
-            Mix::with_update_percent(100),
+            stress::Load::new(KeyDist::zipf(64, 0.99), Mix::with_update_percent(100)),
             23,
             0,
         );
@@ -103,8 +109,11 @@ fn scx_record_pool_drains_after_generic_stress() {
             &*set,
             4,
             stress_millis(120),
-            KeyDist::uniform(24),
-            Mix::with_update_percent(80),
+            stress::Load::new(
+                KeyDist::uniform(24),
+                Mix::with_update_percent(80).with_scan_percent(10),
+            )
+            .scan_width(6),
             31,
             pre,
         );
@@ -119,7 +128,8 @@ fn scx_record_pool_drains_after_generic_stress() {
     llx_scx::flush_reclamation();
     if let (Some(before), Some(after)) = (baseline, llx_scx::live_scx_records()) {
         assert_eq!(
-            after, before,
+            after,
+            before,
             "SCX-records leaked through the pool (pool stats: {:?})",
             llx_scx::pool_stats()
         );

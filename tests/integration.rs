@@ -3,7 +3,6 @@
 //! domain machinery interoperate; reclamation stays balanced across a
 //! whole-workspace workload.
 
-
 use lockbased::{CoarseMultiset, HandOverHandMultiset};
 use multiset::Multiset;
 use mwcas::KcasMultiset;
@@ -91,7 +90,12 @@ fn workload_generator_drives_all_structures() {
     use workloads::{KeyDist, Mix, OpKind, WorkloadGen};
     let set = Multiset::<u64>::new();
     let tree = trees::ChromaticTree::<u64, u64>::new();
-    let mut gen = WorkloadGen::new(5, 0, KeyDist::zipf(128, 0.99), Mix::with_update_percent(50));
+    let mut gen = WorkloadGen::new(
+        5,
+        0,
+        KeyDist::zipf(128, 0.99),
+        Mix::with_update_percent(50).with_scan_percent(10),
+    );
     for _ in 0..20_000 {
         let (kind, key) = gen.next_op();
         match kind {
@@ -106,6 +110,10 @@ fn workload_generator_drives_all_structures() {
             OpKind::Remove => {
                 let _ = set.remove(key, 1);
                 let _ = tree.remove(key);
+            }
+            OpKind::Scan => {
+                let _ = set.range_count(key, key.saturating_add(15));
+                let _ = tree.range_count(key, key.saturating_add(15));
             }
         }
     }

@@ -23,14 +23,19 @@ fn rounds(default_rounds: u64) -> u64 {
     default_rounds * workloads::knobs::env_scale("LLX_LIN_ROUNDS_SCALE")
 }
 
-/// Two hot keys and small counts force heavy overlap.
+/// Two hot keys and small counts force heavy overlap; one op in six is
+/// a range scan, so every structure's consistent-snapshot machinery is
+/// WGL-checked against [`linearize::OrderedSetSpec`]'s `RangeSum` too.
 fn gen_op(_thread: usize, _i: usize, r: u64) -> OrderedSetOp {
     let key = r % 2;
     let count = 1 + (r >> 8) % 2;
-    match (r >> 16) % 3 {
-        0 => OrderedSetOp::Insert(key, count),
-        1 => OrderedSetOp::Remove(key, count),
-        _ => OrderedSetOp::Get(key),
+    match (r >> 16) % 6 {
+        0 | 1 => OrderedSetOp::Insert(key, count),
+        2 | 3 => OrderedSetOp::Remove(key, count),
+        4 => OrderedSetOp::Get(key),
+        // Scans over both hot keys, one of them, or (1, 0) = lo > hi,
+        // the empty range.
+        _ => OrderedSetOp::RangeSum(key, (r >> 24) % 2),
     }
 }
 

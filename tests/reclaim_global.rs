@@ -57,4 +57,3 @@ fn no_scx_record_leak_across_structures() {
         assert_eq!(after, before, "SCX-records leaked");
     }
 }
-

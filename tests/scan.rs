@@ -1,0 +1,150 @@
+//! Range-scan edge cases and churn behavior for every structure behind
+//! the `ConcurrentOrderedSet` trait.
+//!
+//! The scan surface claims consistent-snapshot semantics
+//! (`fold_range` / `range_count` / `keys_with_prefix`); these tests pin
+//! down its boundary behavior (empty ranges, inverted bounds,
+//! single-key windows, empty structures) and its central law — a
+//! full-range fold equals `len()` at quiescence — after real
+//! multi-threaded churn that ran scans *while* updates were in flight.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use conc_set::ConcurrentOrderedSet;
+
+fn collect(set: &dyn ConcurrentOrderedSet, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+    let mut v = Vec::new();
+    set.fold_range(lo, hi, &mut |k, c| v.push((k, c)));
+    v
+}
+
+#[test]
+fn empty_structure_scans_are_empty() {
+    for factory in conc_set::all_factories() {
+        let set = factory();
+        let name = set.name();
+        assert_eq!(collect(&*set, 0, conc_set::MAX_KEY), vec![], "{name}");
+        assert_eq!(set.range_count(0, u64::MAX), 0, "{name}");
+        assert_eq!(set.keys_with_prefix(0, 1), vec![], "{name}");
+        assert_eq!(
+            set.keys_with_prefix(0xFF00_0000_0000_0000, 8),
+            vec![],
+            "{name}: prefix scan on an empty structure"
+        );
+    }
+}
+
+#[test]
+fn inverted_and_degenerate_bounds() {
+    for factory in conc_set::all_factories() {
+        let set = factory();
+        let name = set.name();
+        for k in [10u64, 20, 30] {
+            set.insert(k, 2);
+        }
+        assert_eq!(collect(&*set, 25, 15), vec![], "{name}: lo > hi");
+        assert_eq!(set.range_count(u64::MAX, 0), 0, "{name}: extreme inversion");
+        assert_eq!(collect(&*set, 11, 19), vec![], "{name}: gap between keys");
+        let c = if set.counting() { 2 } else { 1 };
+        assert_eq!(collect(&*set, 20, 20), vec![(20, c)], "{name}: single key");
+        assert_eq!(collect(&*set, 0, 0), vec![], "{name}: single absent key");
+        assert_eq!(
+            collect(&*set, 30, u64::MAX),
+            vec![(30, c)],
+            "{name}: range running past the largest key"
+        );
+    }
+}
+
+/// Scans run concurrently with churn must complete (no wedged retry
+/// loops), and once the writers stop, the full-range fold must agree
+/// with `len()` and with the per-key `get` view.
+#[test]
+fn full_range_fold_matches_len_after_concurrent_churn() {
+    const RANGE: u64 = 48;
+    let millis = workloads::knobs::env_millis("LLX_STRESS_MILLIS", 120);
+    for factory in conc_set::all_factories() {
+        let set = factory();
+        let name = set.name();
+        for k in workloads::prefill_keys(RANGE) {
+            set.insert(k, 1);
+        }
+        let stop = AtomicBool::new(false);
+        let scans_done = std::thread::scope(|scope| {
+            // Two writers churn; one scanner sweeps windows throughout.
+            for t in 0..2u64 {
+                let set = &*set;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut rng = (t + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    while !stop.load(Ordering::Relaxed) {
+                        rng ^= rng << 13;
+                        rng ^= rng >> 7;
+                        rng ^= rng << 17;
+                        let key = rng % RANGE;
+                        if rng & 1 == 0 {
+                            set.insert(key, 1);
+                        } else {
+                            let _ = set.remove(key, 1);
+                        }
+                    }
+                });
+            }
+            let scanner = scope.spawn(|| {
+                let mut scans = 0u64;
+                let mut window = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    window = (window + 5) % RANGE;
+                    let _ = set.range_count(window, window + 7);
+                    scans += 1;
+                }
+                scans
+            });
+            std::thread::sleep(millis);
+            stop.store(true, Ordering::Relaxed);
+            scanner.join().unwrap()
+        });
+        assert!(scans_done > 0, "{name}: scanner never completed a scan");
+        // Quiescent: the three views must agree exactly.
+        let len = set.len();
+        assert_eq!(set.range_count(0, conc_set::MAX_KEY), len, "{name}");
+        let by_scan: u64 = collect(&*set, 0, conc_set::MAX_KEY)
+            .into_iter()
+            .map(|(k, c)| {
+                assert_eq!(set.get(k), c, "{name}: key {k}");
+                c
+            })
+            .sum();
+        assert_eq!(by_scan, len, "{name}");
+        set.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+/// The default prefix scan agrees with the Patricia trie's native
+/// prefix descent, including on the empty trie.
+#[test]
+fn prefix_scan_matches_patricia_native() {
+    let trie = trees::PatriciaTrie::<u64>::new();
+    assert_eq!(trie.keys_with_prefix(0, 8), vec![]);
+    let set: &dyn ConcurrentOrderedSet = &trie;
+    assert_eq!(set.keys_with_prefix(0, 8), vec![]);
+    for k in [0x1000u64, 0x1001, 0x10FF, 0x1100, 0x2000, 7] {
+        assert_eq!(set.insert(k, 1), 1);
+    }
+    for (prefix, bits) in [(0x1000u64, 56u32), (0x1000, 64), (0, 1), (0x2000, 50)] {
+        let native: Vec<u64> = trie
+            .keys_with_prefix(prefix, bits)
+            .into_iter()
+            .map(|(k, _v)| k)
+            .collect();
+        assert_eq!(
+            set.keys_with_prefix(prefix, bits),
+            native,
+            "prefix {prefix:#x}/{bits}"
+        );
+    }
+    assert_eq!(
+        set.keys_with_prefix(0x1000, 56),
+        vec![0x1000, 0x1001, 0x10FF]
+    );
+}
