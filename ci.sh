@@ -20,15 +20,20 @@
 #   doctest        llx-scx doctests
 #   examples       example builds
 #   benches        criterion bench builds
-#   compare-smoke  bench-harness `compare` at tiny knobs (with a scan
-#                  mix); asserts the table parses and includes every
-#                  registered structure, so a broken registry or scan
-#                  knob cannot silently drop a column
+#   scanwin        windowed scan cursors under churn: a release leg
+#                  running the long windowed-scan stress/cursor tests
+#                  (per-window conservation laws checked mid-churn) and
+#                  a debug leg so the generation-stamp ABA detectors
+#                  soak the new cursor paths
+#   compare-smoke  bench-harness `compare` and `scanwin` at tiny knobs
+#                  (with a scan mix); asserts both tables parse and
+#                  include every registered structure, so a broken
+#                  registry or scan knob cannot silently drop a column
 #   clippy         cargo clippy --workspace --all-targets -D warnings
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(fmt build test pool-off debug-stress doctest examples benches compare-smoke clippy)
+ALL_STAGES=(fmt build test pool-off debug-stress scanwin doctest examples benches compare-smoke clippy)
 QUICK_STAGES=(fmt build test)
 
 QUICK=0
@@ -84,7 +89,8 @@ stage_pool_off() {
     # pool enabled; re-run it with the pool DISABLED so both reclamation
     # paths stay covered, at small knob values.
     LLX_SCX_POOL=0 LLX_STRESS_MILLIS=80 \
-        cargo test -q -p llx-scx-repro --test linearizability --test conc_stress --test scan
+        cargo test -q -p llx-scx-repro \
+        --test linearizability --test conc_stress --test scan --test scan_cursor
 }
 
 stage_debug_stress() {
@@ -94,6 +100,25 @@ stage_debug_stress() {
     # LLX revalidation and freezing-CAS displacement — get enough soak
     # to catch rare races, not just a smoke pass.
     LLX_STRESS_MILLIS=600 cargo test -q -p llx-scx
+}
+
+stage_scanwin() {
+    # Release leg: long windowed scans under real churn. The stress
+    # harness asserts the per-window conservation laws on every emitted
+    # window (tiling, in-window ascent and bounds, key budget, positive
+    # counts) plus the quiescent windowed-scan = len() law; two window
+    # sizes cover tiny windows (maximal boundary count) and mid-size.
+    LLX_SCAN_WINDOW=3 LLX_STRESS_MILLIS=350 cargo test -q --release -p llx-scx-repro \
+        --test conc_stress every_structure_balances_under_windowed_scans
+    LLX_SCAN_WINDOW=3 LLX_STRESS_MILLIS=350 cargo test -q --release -p llx-scx-repro \
+        --test scan_cursor
+    LLX_SCAN_WINDOW=16 LLX_STRESS_MILLIS=250 cargo test -q --release -p llx-scx-repro \
+        --test scan_cursor windowed_scans_survive_concurrent_churn
+    # Debug leg: the generation-stamp ABA detectors and reclamation
+    # ledgers only exist under debug_assertions — soak the cursor's
+    # LLX-revalidation paths with them armed.
+    LLX_SCAN_WINDOW=4 LLX_STRESS_MILLIS=250 cargo test -q -p llx-scx-repro \
+        --test scan_cursor windowed_scans_survive_concurrent_churn
 }
 
 stage_doctest() {
@@ -133,6 +158,29 @@ stage_compare_smoke() {
         return 1
     fi
     echo "    compare table: 14 rows x ${#structures[@]} structure columns, all present"
+
+    # The scanwin table: one row per structure (LLX_SCAN_WINDOW pins a
+    # single window size, 2 ranges), every structure present, and the
+    # windowed columns well-formed (9 fields per data row).
+    out="$(LLX_BENCH_CELL_MILLIS=15 LLX_SCAN_WINDOW=8 \
+        cargo run -q --release -p bench-harness -- scanwin)"
+    for s in "${structures[@]}"; do
+        if [[ "$(grep -cE "^ *$s " <<<"$out")" -ne 2 ]]; then
+            echo "scanwin output is missing rows for structure '$s'" >&2
+            echo "$out" >&2
+            return 1
+        fi
+    done
+    if ! awk '/^ *[a-z-]+-?multiset |^ *(chromatic|bst|patricia) / \
+        { if (NF != 9) { print "malformed scanwin row (" NF " fields): " $0; exit 1 } }' \
+        <<<"$out"; then
+        return 1
+    fi
+    if ! grep -q "SCX-record pool:" <<<"$out"; then
+        echo "scanwin output is missing the pool-stats line" >&2
+        return 1
+    fi
+    echo "    scanwin table: $((2 * ${#structures[@]})) rows, all structures present, pool line printed"
 }
 
 stage_clippy() {
@@ -166,6 +214,7 @@ run_stage build stage_build
 run_stage test stage_test
 run_stage pool-off stage_pool_off
 run_stage debug-stress stage_debug_stress
+run_stage scanwin stage_scanwin
 run_stage doctest stage_doctest
 run_stage examples stage_examples
 run_stage benches stage_benches

@@ -5,18 +5,18 @@
 //! one worker definition covers the whole zoo and adding a structure to
 //! the registry adds it to the sweeps.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use conc_set::ConcurrentOrderedSet;
+use conc_set::{ConcurrentOrderedSet, ScanOpts, ScanStep};
 use llx_scx::{Domain, FieldId, ScxRequest};
 use multiset::Multiset;
 use mwcas::{kcas, KcasCell};
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use workloads::{KeyDist, Mix, OpKind, WorkloadGen};
 
-use crate::runner::{fmt_ops, print_table, run_throughput};
+use crate::runner::{fmt_ops, print_table, run_cells, run_throughput};
 
 /// Duration of each throughput cell; short because the sweep is wide.
 /// `LLX_BENCH_CELL_MILLIS` overrides the 300 ms default (the CI smoke
@@ -92,36 +92,54 @@ fn measure_cell(factory: conc_set::Factory, threads: usize, range: u64, mix: Mix
 
 /// `compare` — every structure in the registry through one sweep
 /// (threads × update-mix × key-range), the cross-structure table the
-/// unified trait exists to enable.
+/// unified trait exists to enable. Cells are independent structures,
+/// so `LLX_BENCH_PAR` fans them out across scoped worker threads
+/// ([`run_cells`]); the default stays sequential so single-core
+/// baseline numbers remain comparable across PRs.
 pub fn compare() {
     let factories = conc_set::all_factories();
     let names: Vec<String> = factories.iter().map(|f| f().name().to_string()).collect();
     let mut header = vec!["range".to_string(), "upd".to_string(), "thr".to_string()];
     header.extend(names.iter().cloned());
 
-    let mut rows = Vec::new();
-    // Thread scaling at a fixed moderate mix.
+    // The row grid: thread scaling at a fixed moderate mix, then a mix
+    // sweep at a fixed thread count.
+    let mut specs: Vec<(u64, u32, usize)> = Vec::new();
     for &range in &[64u64, 1024] {
         for &threads in THREADS {
-            let mix = mix_with_env_scans(Mix::with_update_percent(20));
-            let mut row = vec![range.to_string(), "20%".into(), threads.to_string()];
-            for &factory in factories {
-                row.push(fmt_ops(measure_cell(factory, threads, range, mix)));
-            }
-            rows.push(row);
+            specs.push((range, 20, threads));
         }
     }
-    // Mix sweep at a fixed thread count.
     for &range in &[64u64, 1024] {
         for &updates in &[0u32, 50, 100] {
-            let mix = mix_with_env_scans(Mix::with_update_percent(updates));
-            let mut row = vec![range.to_string(), format!("{updates}%"), "4".into()];
-            for &factory in factories {
-                row.push(fmt_ops(measure_cell(factory, 4, range, mix)));
-            }
-            rows.push(row);
+            specs.push((range, updates, 4));
         }
     }
+    let jobs: Vec<_> = specs
+        .iter()
+        .flat_map(|&(range, updates, threads)| {
+            factories.iter().map(move |&factory| {
+                move || {
+                    let mix = mix_with_env_scans(Mix::with_update_percent(updates));
+                    measure_cell(factory, threads, range, mix)
+                }
+            })
+        })
+        .collect();
+    let cells = run_cells(jobs);
+    let rows: Vec<Vec<String>> = specs
+        .iter()
+        .zip(cells.chunks(factories.len()))
+        .map(|(&(range, updates, threads), tps)| {
+            let mut row = vec![
+                range.to_string(),
+                format!("{updates}%"),
+                threads.to_string(),
+            ];
+            row.extend(tps.iter().map(|&t| fmt_ops(t)));
+            row
+        })
+        .collect();
     let scan_pct = workloads::knobs::scan_percent();
     print_table(
         &if scan_pct > 0 {
@@ -607,4 +625,197 @@ pub fn e6_progress() {
         &rows,
     );
     println!("expected shape: both complete on a preemptive scheduler, but KCSS worst-case retries grow much faster (obstruction freedom vs non-blocking helping)");
+}
+
+/// One `scanwin` measurement: full-structure scans racing a fixed-rate
+/// writer, first through the atomic (`window = ∞`) cursor, then
+/// through the bounded-window cursor. Returns
+/// `(writes/s, atomic scans, atomic retries, windowed scans,
+/// windowed retries, windowed windows)`.
+fn scanwin_cell(
+    factory: conc_set::Factory,
+    range: u64,
+    window: u64,
+    write_rate: u64,
+) -> (f64, u64, u64, u64, u64, u64) {
+    let set = factory();
+    let mut keys: Vec<u64> = workloads::prefill_keys(range).collect();
+    use rand::seq::SliceRandom;
+    keys.shuffle(&mut rand::rngs::SmallRng::seed_from_u64(99));
+    for k in keys {
+        set.insert(k, 1);
+    }
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // The fixed-rate writer: `write_rate` balanced updates per
+        // second, paced in 1 ms ticks (a flat-out writer would starve
+        // the single-core scanner and turn the atomic column into a
+        // pure livelock demo; a *rate* shows retry growth while scans
+        // still complete).
+        let writer = {
+            let set = &*set;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+                let tick = Duration::from_millis(1);
+                // Fractional pacing: carry the writes owed per tick as
+                // a remainder so any rate is honored exactly on
+                // average, not just multiples of 1000/s.
+                let mut owed = 0u64; // in units of 1/1000 write
+                let mut writes = 0u64;
+                let mut next = Instant::now() + tick;
+                while !stop.load(Ordering::Relaxed) {
+                    let now = Instant::now();
+                    if now < next {
+                        std::thread::sleep(next - now);
+                        continue;
+                    }
+                    next += tick;
+                    owed += write_rate;
+                    for _ in 0..owed / 1000 {
+                        let k = rng.random_range(0..range);
+                        if writes.is_multiple_of(2) {
+                            set.insert(k, 1);
+                        } else {
+                            let _ = set.remove(k, 1);
+                        }
+                        writes += 1;
+                    }
+                    owed %= 1000;
+                }
+                writes
+            })
+        };
+        // One measured phase: repeat full-range scans through a cursor
+        // until the deadline; a scan caught mid-retry at the deadline
+        // is abandoned (its retries still count — that unfinished work
+        // is exactly the atomic path's failure mode).
+        let scan_phase = |opts: ScanOpts| -> (u64, u64, u64) {
+            let deadline = Instant::now() + cell();
+            let (mut scans, mut retries, mut windows) = (0u64, 0u64, 0u64);
+            'phase: while Instant::now() < deadline {
+                let mut cursor = set.scan(0, range - 1, opts);
+                loop {
+                    match cursor.next_window(&mut |_k, _c| {}) {
+                        ScanStep::Emitted { .. } => {}
+                        ScanStep::Retry => {
+                            if Instant::now() >= deadline {
+                                retries += cursor.retries();
+                                windows += cursor.windows();
+                                break 'phase;
+                            }
+                        }
+                        ScanStep::Done => break,
+                    }
+                }
+                retries += cursor.retries();
+                windows += cursor.windows();
+                scans += 1;
+            }
+            (scans, retries, windows)
+        };
+        let start = Instant::now();
+        let (a_scans, a_retries, _) = scan_phase(ScanOpts::atomic());
+        let (w_scans, w_retries, w_windows) = scan_phase(ScanOpts::windowed(window));
+        let elapsed = start.elapsed().as_secs_f64();
+        stop.store(true, Ordering::Relaxed);
+        let writes = writer.join().unwrap();
+        (
+            writes as f64 / elapsed,
+            a_scans,
+            a_retries,
+            w_scans,
+            w_retries,
+            w_windows,
+        )
+    })
+}
+
+/// `scanwin` — bounded retry work: full-structure windowed scans vs
+/// whole-range atomic scans under a fixed-rate writer, swept over
+/// window size × range, for every registered structure, both retry
+/// columns in one table.
+///
+/// The atomic cursor must revalidate the *entire* range after any
+/// conflict, so its retries/scan grow with the range (compare the two
+/// range rows of one structure); the windowed cursor revalidates only
+/// the dirty window, so its retries/window stay flat — the ROADMAP's
+/// bounded-retry claim, measured. `LLX_SCAN_WINDOW` (when > 0) pins a
+/// single window size, `LLX_SCANWIN_WRITE_RATE` sets the writer's
+/// target rate, and `LLX_BENCH_PAR` fans the independent cells out in
+/// parallel.
+pub fn scanwin() {
+    let window_knob = workloads::knobs::scan_window();
+    let windows: Vec<u64> = if window_knob > 0 {
+        vec![window_knob]
+    } else {
+        vec![16, 64]
+    };
+    let ranges: &[u64] = &[256, 1024];
+    let write_rate = workloads::knobs::env_u64("LLX_SCANWIN_WRITE_RATE", 2000);
+    let factories = conc_set::all_factories();
+
+    let mut specs: Vec<(u64, u64, conc_set::Factory, String)> = Vec::new();
+    for &range in ranges {
+        for &window in &windows {
+            for &factory in factories {
+                specs.push((range, window, factory, factory().name().to_string()));
+            }
+        }
+    }
+    let jobs: Vec<_> = specs
+        .iter()
+        .map(|&(range, window, factory, _)| {
+            move || scanwin_cell(factory, range, window, write_rate)
+        })
+        .collect();
+    let cells = run_cells(jobs);
+
+    // Single-token cells (CI greps field counts); `12r/0` = 12 retries
+    // with nothing completed — the livelock end of the atomic path.
+    let per = |num: u64, den: u64| -> String {
+        if den == 0 {
+            format!("{num}r/0")
+        } else {
+            format!("{:.2}", num as f64 / den as f64)
+        }
+    };
+    let rows: Vec<Vec<String>> = specs
+        .iter()
+        .zip(&cells)
+        .map(
+            |((range, window, _, name), &(wps, a_scans, a_retries, w_scans, w_retries, w_wins))| {
+                vec![
+                    name.clone(),
+                    range.to_string(),
+                    window.to_string(),
+                    format!("{wps:.0}"),
+                    a_scans.to_string(),
+                    per(a_retries, a_scans),
+                    w_scans.to_string(),
+                    per(w_retries, w_wins),
+                    per(w_wins, w_scans),
+                ]
+            },
+        )
+        .collect();
+    print_table(
+        &format!(
+            "scanwin: full-structure scan retries under a ~{write_rate}/s writer \
+             (atomic = whole-range revalidation, windowed = per-window)"
+        ),
+        &[
+            "structure".into(),
+            "range".into(),
+            "win".into(),
+            "wr/s".into(),
+            "atomic scans".into(),
+            "a-retry/scan".into(),
+            "win scans".into(),
+            "w-retry/win".into(),
+            "win/scan".into(),
+        ],
+        &rows,
+    );
+    println!("atomic retries/scan grow with range (one conflict restarts the whole validation); windowed retries/window stay flat (only the dirty window restarts, the cursor resumes from the last emitted key); lock-based structures never retry by construction");
 }

@@ -25,7 +25,15 @@ EXPERIMENTS:
     e8       helping statistics under contention
     compare  every ConcurrentOrderedSet structure through one sweep
              (threads x update-mix x key-range), one column per structure
+    scanwin  windowed scan cursors vs atomic scans under a fixed-rate
+             writer: retry work per scan/window, every structure,
+             window-size x range sweep (LLX_SCAN_WINDOW pins one size)
     all      run every experiment in order (default)
+
+ENVIRONMENT:
+    LLX_BENCH_PAR=1 runs compare/scanwin sweep cells on parallel scoped
+    threads (default off so 1-core baselines stay comparable); see
+    workloads::knobs for the full knob list
 
 OPTIONS:
     -h, --help    print this help and exit\
@@ -56,6 +64,7 @@ fn main() {
         "e7" => experiments::e7_search_ablation(),
         "e8" => experiments::e8_helping_stats(),
         "compare" => experiments::compare(),
+        "scanwin" => experiments::scanwin(),
         "all" => {
             experiments::e1_step_complexity();
             experiments::e2_disjoint_success();
@@ -66,10 +75,34 @@ fn main() {
             experiments::e7_search_ablation();
             experiments::e8_helping_stats();
             experiments::compare();
+            experiments::scanwin();
         }
         other => {
             eprintln!("unknown experiment {other:?}\n\n{USAGE}");
             std::process::exit(2);
         }
     }
+    print_pool_stats();
+}
+
+/// The SCX-record pool's process-global counters (also carried in
+/// `llx_scx::StatsSnapshot`), printed after every run: pool efficacy
+/// used to be invisible outside dedicated A/B benches, and the
+/// handoff counter is the baseline for the planned cross-thread
+/// shard handoff.
+fn print_pool_stats() {
+    let p = llx_scx::pool_stats();
+    let allocs = p.hits + p.misses;
+    if allocs == 0 {
+        println!("\nSCX-record pool: no SCX allocations in this run");
+        return;
+    }
+    println!(
+        "\nSCX-record pool: {} block reuses / {} allocator hits ({:.1}% reuse), {} batched defers, {} cross-thread handoffs",
+        p.hits,
+        p.misses,
+        100.0 * p.hits as f64 / allocs as f64,
+        p.defers,
+        p.handoffs,
+    );
 }

@@ -1,8 +1,45 @@
 //! Fixed-duration throughput runner.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Barrier;
+use std::sync::{Barrier, Mutex};
 use std::time::{Duration, Instant};
+
+/// Run independent sweep cells — sequentially by default, or across
+/// scoped worker threads when `LLX_BENCH_PAR` is set (each cell builds
+/// its own structure, so cells are embarrassingly parallel; parallel
+/// runs measure contention between cells and are for wall-clock, not
+/// for baseline numbers). Results come back in job order either way.
+pub fn run_cells<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    if !workloads::knobs::bench_parallel() || jobs.len() <= 1 {
+        return jobs.into_iter().map(|j| j()).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(jobs.len());
+    let results: Vec<Mutex<Option<T>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    // A shared work queue: cells vary wildly in duration, so dynamic
+    // stealing beats static chunking.
+    let queue: Mutex<Vec<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().rev().collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let Some((i, job)) = queue.lock().unwrap().pop() else {
+                    break;
+                };
+                *results[i].lock().unwrap() = Some(job());
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("every cell ran"))
+        .collect()
+}
 
 /// Run `threads` workers for `duration`, returning total operations per
 /// second.

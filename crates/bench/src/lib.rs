@@ -61,6 +61,22 @@ pub fn bench_set_ops(c: &mut Criterion, make: Factory, sizes: &[u64]) {
                 black_box(got)
             });
         });
+        // The same sliding scan through the windowed cursor (4-key
+        // validated windows): measures the per-window overhead
+        // (re-descending to each window's start, one validation per
+        // window) against the single whole-range validation above.
+        group.bench_with_input(BenchmarkId::new("range_windowed", n), &n, |b, &n| {
+            let set = make();
+            prefill_dense(&*set, n);
+            let mut k = 0;
+            b.iter(|| {
+                k = (k + 7) % n;
+                let hi = (k + SCAN_WIDTH - 1).min(n - 1);
+                let got = set.range_count_windowed(black_box(k), hi, SCAN_WIDTH / 4);
+                assert_eq!(got, hi - k + 1);
+                black_box(got)
+            });
+        });
     }
     group.finish();
 }

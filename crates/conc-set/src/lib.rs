@@ -24,16 +24,27 @@
 //! any quiescent run `Σ insert returns − Σ remove returns = len()`.
 //! The [`stress`] module exploits exactly that identity.
 //!
-//! Beyond point operations the trait carries a **scan surface** —
-//! [`fold_range`](ConcurrentOrderedSet::fold_range),
-//! [`range_count`](ConcurrentOrderedSet::range_count) and
-//! [`keys_with_prefix`](ConcurrentOrderedSet::keys_with_prefix) — with
-//! consistent-snapshot semantics on every structure: multi-record reads
-//! are exactly what the paper's VLX exists for (§1: a VLX over `k`
-//! Data-records costs `k` reads), and each structure realizes the
-//! snapshot with its own discipline (VLX, identity kCAS, or locks). At
-//! quiescence a full-range fold therefore equals `len()`, the second
-//! conservation law the [`stress`] harness checks.
+//! Beyond point operations the trait carries a **two-tier scan
+//! surface** (see the [`scan`] module):
+//!
+//! * **atomic** — [`fold_range`](ConcurrentOrderedSet::fold_range),
+//!   [`range_count`](ConcurrentOrderedSet::range_count) and
+//!   [`keys_with_prefix`](ConcurrentOrderedSet::keys_with_prefix)
+//!   visit a consistent snapshot of the whole range: multi-record
+//!   reads are exactly what the paper's VLX exists for (§1: a VLX over
+//!   `k` Data-records costs `k` reads), and each structure realizes
+//!   the snapshot with its own discipline (VLX, identity kCAS, or
+//!   locks). At quiescence a full-range fold therefore equals `len()`,
+//!   the second conservation law the [`stress`] harness checks.
+//! * **windowed** — [`scan`](ConcurrentOrderedSet::scan) returns a
+//!   [`ScanCursor`] that validates and emits the range in bounded
+//!   windows, each internally snapshot-consistent, restarting only the
+//!   dirty window on conflict and resuming from the last emitted key.
+//!   `fold_range` is the cursor's `window = ∞` special case;
+//!   [`fold_range_windowed`](ConcurrentOrderedSet::fold_range_windowed)
+//!   and
+//!   [`range_count_windowed`](ConcurrentOrderedSet::range_count_windowed)
+//!   drive a bounded cursor to completion.
 //!
 //! # Example
 //!
@@ -53,7 +64,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod scan;
 pub mod stress;
+
+pub use scan::{ScanConsistency, ScanCursor, ScanOpts, ScanStats, ScanStep};
 
 use linearize::{OrderedSetOp, OrderedSetSpec};
 
@@ -109,6 +123,12 @@ fn assert_in_domain(name: &str, key: u64, count: Option<u64>) {
 ///   (VLX-validated traversals on the LLX/SCX structures, an identity
 ///   kCAS on the kCAS multiset, range lock-crabbing / the global lock
 ///   on the lock-based ones). `lo > hi` is the empty range.
+/// * `scan(lo, hi, opts)` opens a [`ScanCursor`]: the same per-window
+///   validation disciplines applied to bounded chunks. Every emitted
+///   window is internally snapshot-consistent and certifies its own
+///   sub-interval; a conflict retries only the dirty window and the
+///   cursor resumes from the last emitted key. `fold_range` is the
+///   cursor's `window = ∞` special case.
 ///
 /// # Key and count domain
 ///
@@ -151,17 +171,69 @@ pub trait ConcurrentOrderedSet: Send + Sync {
         self.len() == 0
     }
 
+    /// Open a [`ScanCursor`] over the inclusive key range `[lo, hi]`
+    /// with the given [`ScanOpts`] — the primitive both scan tiers are
+    /// built on.
+    ///
+    /// Each [`next_window`](ScanCursor::next_window) call makes exactly
+    /// one validation attempt (the structure's own discipline: LLX the
+    /// window and VLX it, identity-kCAS it, or crab its lock span) and
+    /// either emits a validated window, reports a [`ScanStep::Retry`]
+    /// for the caller to re-attempt **only that window**, or reports
+    /// [`ScanStep::Done`]. The cursor resumes from the last emitted
+    /// key, never from `lo`, so retry work is bounded by the window
+    /// size rather than the range size. `lo > hi` denotes the empty
+    /// range (the cursor is immediately done).
+    fn scan(&self, lo: u64, hi: u64, opts: ScanOpts) -> Box<dyn ScanCursor + '_>;
+
     /// Fold over the `(key, occurrences)` pairs with keys in the
     /// inclusive range `[lo, hi]`, calling `f` in ascending key order.
     ///
     /// The visited pairs are a **consistent snapshot**: they all held
     /// simultaneously at one linearization point during the call (see
     /// the trait-level contract for each structure's validation
-    /// discipline). Implementations retry internally on conflicting
-    /// updates; under sustained churn a scan may retry repeatedly but
-    /// never blocks writers. `lo > hi` denotes the empty range and
-    /// calls `f` zero times.
-    fn fold_range(&self, lo: u64, hi: u64, f: &mut dyn FnMut(u64, u64));
+    /// discipline). This is the `window = ∞` special case of
+    /// [`scan`](ConcurrentOrderedSet::scan): one atomic window, retried
+    /// until it validates — under sustained churn over a *large* range
+    /// that whole-range retry is exactly what
+    /// [`fold_range_windowed`](ConcurrentOrderedSet::fold_range_windowed)
+    /// bounds. Never blocks writers. `lo > hi` denotes the empty range
+    /// and calls `f` zero times.
+    ///
+    /// The in-repo implementations override this default with their
+    /// equivalent inherent whole-range loops, skipping the
+    /// boxed-cursor allocations on the atomic hot path; the semantics
+    /// are identical.
+    fn fold_range(&self, lo: u64, hi: u64, f: &mut dyn FnMut(u64, u64)) {
+        let mut cursor = self.scan(lo, hi, ScanOpts::atomic());
+        while cursor.next_window(f) != ScanStep::Done {}
+    }
+
+    /// Drive a windowed cursor over `[lo, hi]` to completion, calling
+    /// `f` in ascending key order with **per-window** consistency: each
+    /// window of up to `window` keys is internally
+    /// snapshot-consistent and certifies its own sub-interval, but
+    /// different windows may linearize at different points (writers
+    /// interleave at window boundaries). Returns the cursor's window
+    /// and retry totals. `lo > hi` folds nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    fn fold_range_windowed(
+        &self,
+        lo: u64,
+        hi: u64,
+        window: u64,
+        f: &mut dyn FnMut(u64, u64),
+    ) -> ScanStats {
+        let mut cursor = self.scan(lo, hi, ScanOpts::windowed(window));
+        while cursor.next_window(f) != ScanStep::Done {}
+        ScanStats {
+            windows: cursor.windows(),
+            retries: cursor.retries(),
+        }
+    }
 
     /// Total occurrences with keys in `[lo, hi]`, observed at a single
     /// linearization point — the operation
@@ -169,6 +241,21 @@ pub trait ConcurrentOrderedSet: Send + Sync {
     fn range_count(&self, lo: u64, hi: u64) -> u64 {
         let mut total = 0u64;
         self.fold_range(lo, hi, &mut |_k, c| total += c);
+        total
+    }
+
+    /// Total occurrences with keys in `[lo, hi]` as observed by a
+    /// windowed scan — the weaker, bounded-retry operation
+    /// [`OrderedSetOp::WindowedRangeSum`] models: each window's
+    /// contribution is atomic, the total need not correspond to any
+    /// single state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    fn range_count_windowed(&self, lo: u64, hi: u64, window: u64) -> u64 {
+        let mut total = 0u64;
+        self.fold_range_windowed(lo, hi, window, &mut |_k, c| total += c);
         total
     }
 
@@ -184,6 +271,9 @@ pub trait ConcurrentOrderedSet: Send + Sync {
     /// # Panics
     ///
     /// Panics if `bits` is not in `1..=64`.
+    /// Panics if the prefix's covered interval starts outside the
+    /// trait's key domain, through the same shared check (and message)
+    /// as every other operation.
     fn keys_with_prefix(&self, prefix: u64, bits: u32) -> Vec<u64> {
         assert!((1..=64).contains(&bits), "prefix length must be in 1..=64");
         let mask = if bits == 64 {
@@ -192,6 +282,10 @@ pub trait ConcurrentOrderedSet: Send + Sync {
             !0u64 << (64 - bits)
         };
         let lo = prefix & mask;
+        // An out-of-domain prefix fails through the one shared panic
+        // site, like every other op (the interval's upper end may
+        // exceed MAX_KEY — that tail is simply empty).
+        assert_in_domain(self.name(), lo, None);
         let mut out = Vec::new();
         self.fold_range(lo, lo | !mask, &mut |k, _c| out.push(k));
         out
@@ -247,6 +341,7 @@ pub trait ConcurrentOrderedSet: Send + Sync {
             OrderedSetOp::Insert(k, c) => self.insert(*k, *c),
             OrderedSetOp::Remove(k, c) => self.remove(*k, *c),
             OrderedSetOp::RangeSum(lo, hi) => self.range_count(*lo, *hi),
+            OrderedSetOp::WindowedRangeSum(lo, hi, w) => self.range_count_windowed(*lo, *hi, *w),
         }
     }
 }
@@ -284,8 +379,17 @@ impl ConcurrentOrderedSet for multiset::Multiset<u64> {
     fn len(&self) -> u64 {
         multiset::Multiset::len(self)
     }
+    fn scan(&self, lo: u64, hi: u64, opts: ScanOpts) -> Box<dyn ScanCursor + '_> {
+        // VLX-validated chain windows (paper §3); see
+        // `Multiset::try_scan_window`.
+        scan::cursor_over(lo, hi, opts, move |from, hi, max| {
+            multiset::Multiset::try_scan_window(self, from, hi, max)
+        })
+    }
     fn fold_range(&self, lo: u64, hi: u64, f: &mut dyn FnMut(u64, u64)) {
-        // VLX-validated chain walk (paper §3); see `Multiset::fold_range`.
+        // Same semantics as the provided cursor-driven default; the
+        // inherent whole-range loop skips the boxed-cursor allocations
+        // on the atomic hot path.
         multiset::Multiset::fold_range(self, lo, hi, (), |(), k, c| f(k, c));
     }
     fn validate_structure(&self) -> Result<(), String> {
@@ -320,8 +424,14 @@ impl ConcurrentOrderedSet for mwcas::KcasMultiset {
     fn len(&self) -> u64 {
         mwcas::KcasMultiset::len(self)
     }
+    fn scan(&self, lo: u64, hi: u64, opts: ScanOpts) -> Box<dyn ScanCursor + '_> {
+        // Identity-kCAS-validated windows; see
+        // `KcasMultiset::try_scan_window`.
+        scan::cursor_over(lo, hi, opts, move |from, hi, max| {
+            mwcas::KcasMultiset::try_scan_window(self, from, hi, max)
+        })
+    }
     fn fold_range(&self, lo: u64, hi: u64, f: &mut dyn FnMut(u64, u64)) {
-        // Identity-kCAS-validated walk; see `KcasMultiset::fold_range`.
         mwcas::KcasMultiset::fold_range(self, lo, hi, (), |(), k, c| f(k, c));
     }
 }
@@ -353,8 +463,14 @@ impl ConcurrentOrderedSet for lockbased::CoarseMultiset<u64> {
     fn len(&self) -> u64 {
         lockbased::CoarseMultiset::len(self)
     }
+    fn scan(&self, lo: u64, hi: u64, opts: ScanOpts) -> Box<dyn ScanCursor + '_> {
+        // Each window reads under the structure's single mutex; never
+        // retries.
+        scan::cursor_over(lo, hi, opts, move |from, hi, max| {
+            lockbased::CoarseMultiset::try_scan_window(self, from, hi, max)
+        })
+    }
     fn fold_range(&self, lo: u64, hi: u64, f: &mut dyn FnMut(u64, u64)) {
-        // Atomic under the structure's single mutex.
         lockbased::CoarseMultiset::fold_range(self, lo, hi, (), |(), k, c| f(*k, c));
     }
 }
@@ -386,8 +502,14 @@ impl ConcurrentOrderedSet for lockbased::HandOverHandMultiset<u64> {
     fn len(&self) -> u64 {
         lockbased::HandOverHandMultiset::len(self)
     }
+    fn scan(&self, lo: u64, hi: u64, opts: ScanOpts) -> Box<dyn ScanCursor + '_> {
+        // Window lock-crabbing (bounded lock span per window); see
+        // `HandOverHandMultiset::try_scan_window`.
+        scan::cursor_over(lo, hi, opts, move |from, hi, max| {
+            lockbased::HandOverHandMultiset::try_scan_window(self, from, hi, max)
+        })
+    }
     fn fold_range(&self, lo: u64, hi: u64, f: &mut dyn FnMut(u64, u64)) {
-        // Range lock-crabbing; see `HandOverHandMultiset::fold_range`.
         lockbased::HandOverHandMultiset::fold_range(self, lo, hi, (), |(), k, c| f(k, c));
     }
 }
@@ -414,8 +536,14 @@ impl ConcurrentOrderedSet for trees::Bst<u64, u64> {
     fn len(&self) -> u64 {
         trees::Bst::len(self) as u64
     }
+    fn scan(&self, lo: u64, hi: u64, opts: ScanOpts) -> Box<dyn ScanCursor + '_> {
+        // VLX-validated windowed in-order walk; see
+        // `Bst::try_scan_window`.
+        scan::cursor_over(lo, hi, opts, move |from, hi, max| {
+            trees::Bst::try_scan_window(self, from, hi, max)
+        })
+    }
     fn fold_range(&self, lo: u64, hi: u64, f: &mut dyn FnMut(u64, u64)) {
-        // VLX-validated in-order walk; see `Bst::fold_range`.
         trees::Bst::fold_range(self, lo, hi, (), |(), k, _v| f(k, 1));
     }
     fn validate_structure(&self) -> Result<(), String> {
@@ -445,8 +573,14 @@ impl ConcurrentOrderedSet for trees::ChromaticTree<u64, u64> {
     fn len(&self) -> u64 {
         trees::ChromaticTree::len(self) as u64
     }
+    fn scan(&self, lo: u64, hi: u64, opts: ScanOpts) -> Box<dyn ScanCursor + '_> {
+        // VLX-validated windowed in-order walk; see
+        // `ChromaticTree::try_scan_window`.
+        scan::cursor_over(lo, hi, opts, move |from, hi, max| {
+            trees::ChromaticTree::try_scan_window(self, from, hi, max)
+        })
+    }
     fn fold_range(&self, lo: u64, hi: u64, f: &mut dyn FnMut(u64, u64)) {
-        // VLX-validated in-order walk; see `ChromaticTree::fold_range`.
         trees::ChromaticTree::fold_range(self, lo, hi, (), |(), k, _v| f(k, 1));
     }
     fn validate_structure(&self) -> Result<(), String> {
@@ -477,8 +611,14 @@ impl ConcurrentOrderedSet for trees::PatriciaTrie<u64> {
     fn len(&self) -> u64 {
         trees::PatriciaTrie::len(self) as u64
     }
+    fn scan(&self, lo: u64, hi: u64, opts: ScanOpts) -> Box<dyn ScanCursor + '_> {
+        // Prefix-pruned, VLX-validated windowed walk; see
+        // `PatriciaTrie::try_scan_window`.
+        scan::cursor_over(lo, hi, opts, move |from, hi, max| {
+            trees::PatriciaTrie::try_scan_window(self, from, hi, max)
+        })
+    }
     fn fold_range(&self, lo: u64, hi: u64, f: &mut dyn FnMut(u64, u64)) {
-        // Prefix-pruned, VLX-validated walk; see `PatriciaTrie::fold_range`.
         trees::PatriciaTrie::fold_range(self, lo, hi, (), |(), k, _v| f(k, 1));
     }
     fn validate_structure(&self) -> Result<(), String> {
@@ -603,6 +743,84 @@ mod tests {
     }
 
     #[test]
+    fn windowed_scans_agree_with_atomic_at_quiescence() {
+        for factory in all_factories() {
+            let set = factory();
+            let name = set.name();
+            for k in [2u64, 5, 9, 11, 40, 41] {
+                set.insert(k, 2);
+            }
+            let atomic = {
+                let mut v = Vec::new();
+                set.fold_range(0, 50, &mut |k, c| v.push((k, c)));
+                v
+            };
+            // Every window size — including 1 and larger than the
+            // range — yields the same pairs at quiescence.
+            for window in [1u64, 2, 3, 64, u64::MAX] {
+                let mut v = Vec::new();
+                let stats = set.fold_range_windowed(0, 50, window, &mut |k, c| v.push((k, c)));
+                assert_eq!(v, atomic, "{name}: window {window}");
+                assert!(stats.windows >= 1, "{name}: window {window}");
+                assert_eq!(stats.retries, 0, "{name}: quiescent scans never retry");
+                assert_eq!(
+                    set.range_count_windowed(0, 50, window),
+                    set.range_count(0, 50),
+                    "{name}: window {window}"
+                );
+            }
+            // window = 1 tiles the range one key per window, plus at
+            // most one trailing empty window certifying the tail after
+            // the last key (a tree walk that drains its stack at the
+            // cap knows the range is exhausted; a chain walk needs one
+            // more window to see the terminator).
+            let stats = set.fold_range_windowed(0, 50, 1, &mut |_k, _c| {});
+            let keys = atomic.len() as u64;
+            assert!(
+                stats.windows == keys || stats.windows == keys + 1,
+                "{name}: {} windows for {keys} keys",
+                stats.windows
+            );
+        }
+    }
+
+    #[test]
+    fn cursor_steps_certify_contiguous_intervals() {
+        for factory in all_factories() {
+            let set = factory();
+            let name = set.name();
+            for k in [3u64, 4, 8, 15] {
+                set.insert(k, 1);
+            }
+            let mut cursor = set.scan(1, 20, ScanOpts::windowed(2));
+            let mut expected_from = 1u64;
+            loop {
+                assert_eq!(cursor.position(), Some(expected_from), "{name}");
+                let mut win = Vec::new();
+                match cursor.next_window(&mut |k, c| win.push((k, c))) {
+                    ScanStep::Emitted { hi_key } => {
+                        for (k, _) in &win {
+                            assert!(
+                                (expected_from..=hi_key).contains(k),
+                                "{name}: key {k} outside its window"
+                            );
+                        }
+                        assert!(win.len() <= 2, "{name}: window over budget");
+                        if hi_key >= 20 {
+                            break;
+                        }
+                        expected_from = hi_key + 1;
+                    }
+                    ScanStep::Retry => panic!("{name}: quiescent scans never retry"),
+                    ScanStep::Done => break,
+                }
+            }
+            assert_eq!(cursor.position(), None, "{name}");
+            assert_eq!(cursor.next_window(&mut |_, _| ()), ScanStep::Done, "{name}");
+        }
+    }
+
+    #[test]
     fn prefix_scan_is_a_range_scan() {
         for factory in all_factories() {
             let set = factory();
@@ -678,6 +896,27 @@ mod tests {
             assert!(
                 msg.contains("outside the ConcurrentOrderedSet domain"),
                 "{name}: non-uniform count panic message: {msg}"
+            );
+            // A prefix whose interval starts past MAX_KEY goes through
+            // the same shared panic site (the small fix of PR 4: the
+            // old code scanned `lo | !mask` without any domain check).
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                set.keys_with_prefix(u64::MAX, 64);
+            }))
+            .expect_err(&format!("{name}: out-of-domain prefix must panic"));
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(
+                msg.contains("outside the ConcurrentOrderedSet domain"),
+                "{name}: non-uniform prefix panic message: {msg}"
+            );
+            // In-domain prefixes whose interval merely *ends* past
+            // MAX_KEY still scan fine (the tail is empty).
+            set.insert(1, 1);
+            assert_eq!(set.keys_with_prefix(0, 1), vec![1], "{name}");
+            assert_eq!(
+                set.keys_with_prefix(1 << 63, 1),
+                Vec::<u64>::new(),
+                "{name}: interval ending past MAX_KEY is allowed"
             );
         }
     }

@@ -1,0 +1,392 @@
+//! The two-tier scan surface: atomic snapshots and bounded-retry
+//! **windowed scan cursors**.
+//!
+//! PR 3's `fold_range` gave every structure a consistent-snapshot range
+//! scan, but its retry granularity is the whole range: one concurrent
+//! writer anywhere in a 1024-key interval invalidates the entire
+//! VLX / identity-kCAS validation and restarts the scan from `lo`, so
+//! long scans under churn degrade toward livelock. This module trades
+//! whole-range atomicity for **per-window atomicity**: a
+//! [`ScanCursor`] validates and emits the range in bounded chunks, and
+//! a conflict restarts only the dirty window — the cursor resumes from
+//! the last emitted key, never from `lo`.
+//!
+//! The two tiers, selected by [`ScanOpts`]:
+//!
+//! * [`ScanOpts::atomic`] — the whole range is one window; every
+//!   visited pair held simultaneously at one linearization point.
+//!   `ConcurrentOrderedSet::fold_range` is exactly this cursor driven
+//!   to completion (the `window = ∞` special case).
+//! * [`ScanOpts::windowed`]`(w)` — each emitted window of up to `w`
+//!   keys is internally snapshot-consistent (the structure LLX+VLXes
+//!   the window, identity-kCASes it, or crabs its lock span), and
+//!   consecutive windows certify consecutive key intervals; different
+//!   windows may linearize at different points, with writers
+//!   interleaving at the boundaries.
+//!
+//! Retries are **surfaced, not hidden**: each
+//! [`next_window`](ScanCursor::next_window) call makes exactly one
+//! validation attempt and reports [`ScanStep::Retry`] on conflict, so
+//! callers observe (and can bound, pace, or abort on) the retry work —
+//! the property the `bench-harness scanwin` experiment measures.
+
+use std::fmt;
+
+/// Consistency tier of a scan (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanConsistency {
+    /// The whole range is validated as a single snapshot; the scan has
+    /// one linearization point. The `window` option is ignored (it is
+    /// effectively `∞`).
+    Atomic,
+    /// Each window is validated independently; every window has its
+    /// own linearization point, in increasing key order.
+    PerWindow,
+}
+
+/// Options of [`ConcurrentOrderedSet::scan`](crate::ConcurrentOrderedSet::scan).
+///
+/// Build with [`ScanOpts::atomic`] or [`ScanOpts::windowed`]; the
+/// fields are public so options can also be written literally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanOpts {
+    /// Maximum keys emitted (and validated) per window; `None` means
+    /// unbounded. Ignored under [`ScanConsistency::Atomic`].
+    pub window: Option<u64>,
+    /// The consistency tier.
+    pub consistency: ScanConsistency,
+}
+
+impl ScanOpts {
+    /// Whole-range atomic snapshot — the `window = ∞` special case;
+    /// identical semantics to
+    /// [`fold_range`](crate::ConcurrentOrderedSet::fold_range).
+    pub fn atomic() -> Self {
+        ScanOpts {
+            window: None,
+            consistency: ScanConsistency::Atomic,
+        }
+    }
+
+    /// Per-window consistency with at most `window` keys per validated
+    /// window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn windowed(window: u64) -> Self {
+        assert!(window > 0, "a scan window covers at least one key");
+        ScanOpts {
+            window: Some(window),
+            consistency: ScanConsistency::PerWindow,
+        }
+    }
+
+    /// The per-attempt key budget this option set implies.
+    pub(crate) fn max_keys(&self) -> usize {
+        match (self.consistency, self.window) {
+            (ScanConsistency::Atomic, _) | (ScanConsistency::PerWindow, None) => usize::MAX,
+            (ScanConsistency::PerWindow, Some(w)) => usize::try_from(w).unwrap_or(usize::MAX),
+        }
+    }
+}
+
+/// Outcome of one [`ScanCursor::next_window`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanStep {
+    /// A window validated and was emitted through the callback. The
+    /// window certifies the exact contents of the key interval from
+    /// the cursor's previous position through `hi_key` (inclusive) at
+    /// its linearization point; the cursor resumes at `hi_key + 1`.
+    Emitted {
+        /// Inclusive upper bound of the interval the window certifies.
+        hi_key: u64,
+    },
+    /// The window's validation detected a conflicting update; nothing
+    /// was emitted and the cursor did not advance. Call again to retry
+    /// the same window — only the dirty window is retried, never the
+    /// whole range.
+    Retry,
+    /// The range is exhausted; nothing was emitted.
+    Done,
+}
+
+/// A windowed scan cursor over an inclusive key range (object-safe; see
+/// the [module docs](self) for the consistency model).
+///
+/// Obtain one from
+/// [`ConcurrentOrderedSet::scan`](crate::ConcurrentOrderedSet::scan);
+/// drive it by calling [`next_window`](ScanCursor::next_window) until
+/// [`ScanStep::Done`]. Emitted pairs arrive in ascending key order
+/// across the whole drive, and the emitted windows certify
+/// consecutive, non-overlapping key intervals that exactly tile
+/// `[lo, hi]`.
+pub trait ScanCursor {
+    /// Attempt the next window, emitting its `(key, occurrences)`
+    /// pairs (ascending) through `emit` **after** the window
+    /// validated. Exactly one validation attempt per call; see
+    /// [`ScanStep`].
+    fn next_window(&mut self, emit: &mut dyn FnMut(u64, u64)) -> ScanStep;
+
+    /// The inclusive lower bound of the next window — the key the
+    /// cursor resumes from — or `None` once the cursor is done.
+    fn position(&self) -> Option<u64>;
+
+    /// Windows emitted so far.
+    fn windows(&self) -> u64;
+
+    /// Validation attempts that failed so far (total across windows).
+    fn retries(&self) -> u64;
+}
+
+impl fmt::Debug for dyn ScanCursor + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScanCursor")
+            .field("position", &self.position())
+            .field("windows", &self.windows())
+            .field("retries", &self.retries())
+            .finish()
+    }
+}
+
+/// Totals of one fully driven cursor, returned by
+/// [`fold_range_windowed`](crate::ConcurrentOrderedSet::fold_range_windowed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Windows emitted.
+    pub windows: u64,
+    /// Validation attempts that failed (each retried only its own
+    /// window).
+    pub retries: u64,
+}
+
+/// One window-collection attempt: `(from, hi, max_keys, emit)` →
+/// `Some((covered_hi, end))` when the window validated (pairs already
+/// emitted), `None` on conflict.
+type Attempt<'a> = dyn FnMut(u64, u64, usize, &mut dyn FnMut(u64, u64)) -> Option<(u64, bool)> + 'a;
+
+/// The one cursor implementation behind every structure: generic over
+/// the structure's single-attempt window collector.
+struct WindowCursor<'a> {
+    from: u64,
+    hi: u64,
+    max_keys: usize,
+    done: bool,
+    windows: u64,
+    retries: u64,
+    attempt: Box<Attempt<'a>>,
+}
+
+impl ScanCursor for WindowCursor<'_> {
+    fn next_window(&mut self, emit: &mut dyn FnMut(u64, u64)) -> ScanStep {
+        if self.done {
+            return ScanStep::Done;
+        }
+        match (self.attempt)(self.from, self.hi, self.max_keys, emit) {
+            None => {
+                self.retries += 1;
+                ScanStep::Retry
+            }
+            Some((covered_hi, end)) => {
+                self.windows += 1;
+                if end || covered_hi >= self.hi {
+                    self.done = true;
+                } else {
+                    self.from = covered_hi + 1;
+                }
+                ScanStep::Emitted { hi_key: covered_hi }
+            }
+        }
+    }
+
+    fn position(&self) -> Option<u64> {
+        (!self.done).then_some(self.from)
+    }
+
+    fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    fn retries(&self) -> u64 {
+        self.retries
+    }
+}
+
+/// Build the uniform cursor from a structure's single-attempt window
+/// collector (the glue every `ConcurrentOrderedSet::scan` impl uses).
+pub(crate) fn cursor<'a>(
+    lo: u64,
+    hi: u64,
+    opts: ScanOpts,
+    attempt: impl FnMut(u64, u64, usize, &mut dyn FnMut(u64, u64)) -> Option<(u64, bool)> + 'a,
+) -> Box<dyn ScanCursor + 'a> {
+    Box::new(WindowCursor {
+        from: lo,
+        hi,
+        max_keys: opts.max_keys(),
+        done: lo > hi,
+        windows: 0,
+        retries: 0,
+        attempt: Box::new(attempt),
+    })
+}
+
+/// The one shape every structure's `try_scan_window` result shares, so
+/// the seven `ConcurrentOrderedSet::scan` impls reduce to a
+/// [`cursor_over`] call instead of seven hand-rolled adapter closures.
+pub(crate) trait WindowLike {
+    /// Feed the window's `(key, occurrences)` pairs to `emit`,
+    /// ascending.
+    fn emit_into(&self, emit: &mut dyn FnMut(u64, u64));
+    /// `(covered_hi, end)` — the certified interval's upper bound and
+    /// whether the range is exhausted.
+    fn coverage(&self) -> (u64, bool);
+}
+
+impl WindowLike for multiset::ScanWindow<u64> {
+    fn emit_into(&self, emit: &mut dyn FnMut(u64, u64)) {
+        for &(k, c) in &self.pairs {
+            emit(k, c);
+        }
+    }
+    fn coverage(&self) -> (u64, bool) {
+        (self.covered_hi, self.end)
+    }
+}
+
+impl WindowLike for mwcas::ScanWindow {
+    fn emit_into(&self, emit: &mut dyn FnMut(u64, u64)) {
+        for &(k, c) in &self.pairs {
+            emit(k, c);
+        }
+    }
+    fn coverage(&self) -> (u64, bool) {
+        (self.covered_hi, self.end)
+    }
+}
+
+impl WindowLike for lockbased::ScanWindow<u64> {
+    fn emit_into(&self, emit: &mut dyn FnMut(u64, u64)) {
+        for &(k, c) in &self.pairs {
+            emit(k, c);
+        }
+    }
+    fn coverage(&self) -> (u64, bool) {
+        (self.covered_hi, self.end)
+    }
+}
+
+/// Distinct-semantics trees: every present key counts once, values are
+/// not occurrences.
+impl<V> WindowLike for trees::ScanWindow<u64, V> {
+    fn emit_into(&self, emit: &mut dyn FnMut(u64, u64)) {
+        for &(k, _) in &self.pairs {
+            emit(k, 1);
+        }
+    }
+    fn coverage(&self) -> (u64, bool) {
+        (self.covered_hi, self.end)
+    }
+}
+
+/// [`cursor`] specialized to a `try_scan_window`-shaped attempt: the
+/// structure supplies `(from, hi, max) -> Option<Window>`, this glue
+/// does the emit/coverage plumbing once for the whole zoo.
+pub(crate) fn cursor_over<'a, W: WindowLike>(
+    lo: u64,
+    hi: u64,
+    opts: ScanOpts,
+    mut attempt: impl FnMut(u64, u64, usize) -> Option<W> + 'a,
+) -> Box<dyn ScanCursor + 'a> {
+    cursor(lo, hi, opts, move |from, hi, max, emit| {
+        attempt(from, hi, max).map(|w| {
+            w.emit_into(emit);
+            w.coverage()
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_opts_ignore_window() {
+        assert_eq!(ScanOpts::atomic().max_keys(), usize::MAX);
+        let o = ScanOpts {
+            window: Some(4),
+            consistency: ScanConsistency::Atomic,
+        };
+        assert_eq!(o.max_keys(), usize::MAX);
+        assert_eq!(ScanOpts::windowed(4).max_keys(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn zero_window_rejected() {
+        ScanOpts::windowed(0);
+    }
+
+    #[test]
+    fn cursor_tiles_the_range_and_counts_retries() {
+        // A fake structure holding keys {1, 3, 4, 9}: the attempt
+        // rejects every other call to exercise Retry accounting.
+        let keys = [1u64, 3, 4, 9];
+        let mut flaky = false;
+        let mut c = cursor(0, 10, ScanOpts::windowed(2), move |from, hi, max, emit| {
+            flaky = !flaky;
+            if flaky {
+                return None;
+            }
+            let window: Vec<u64> = keys
+                .iter()
+                .copied()
+                .filter(|k| from <= *k && *k <= hi)
+                .take(max)
+                .collect();
+            let end = window.len() < max;
+            let covered = if end { hi } else { *window.last().unwrap() };
+            for k in window {
+                emit(k, 1);
+            }
+            Some((covered, end))
+        });
+        let mut seen = Vec::new();
+        let mut steps = Vec::new();
+        loop {
+            let step = c.next_window(&mut |k, v| seen.push((k, v)));
+            if step == ScanStep::Done {
+                break;
+            }
+            steps.push(step);
+        }
+        assert_eq!(seen, vec![(1, 1), (3, 1), (4, 1), (9, 1)]);
+        assert_eq!(
+            steps,
+            vec![
+                ScanStep::Retry,
+                ScanStep::Emitted { hi_key: 3 },
+                ScanStep::Retry,
+                ScanStep::Emitted { hi_key: 9 },
+                ScanStep::Retry,
+                ScanStep::Emitted { hi_key: 10 },
+            ]
+        );
+        assert_eq!(c.windows(), 3);
+        assert_eq!(c.retries(), 3);
+        assert_eq!(c.position(), None);
+        assert_eq!(
+            c.next_window(&mut |_, _| panic!("done emits nothing")),
+            ScanStep::Done
+        );
+    }
+
+    #[test]
+    fn inverted_range_is_done_immediately() {
+        let mut c = cursor(5, 2, ScanOpts::atomic(), |_, _, _, _| {
+            panic!("attempt must not run on an empty range")
+        });
+        assert_eq!(c.next_window(&mut |_, _| ()), ScanStep::Done);
+        assert_eq!(c.position(), None);
+    }
+}

@@ -21,13 +21,30 @@
 //! of `scan_width` keys starting at the sampled key, exercising the
 //! retry paths of every structure's snapshot discipline *during* the
 //! churn, not just at quiescence.
+//!
+//! With [`Load::windowed_scans`] the scans instead drive a bounded
+//! [`ScanCursor`](crate::ScanCursor) and assert the **per-window
+//! conservation laws** on every emitted window, mid-churn:
+//!
+//! * windows certify contiguous, non-overlapping intervals that tile
+//!   the scanned range in ascending order (the cursor resumes exactly
+//!   at `covered_hi + 1`);
+//! * keys within a window are strictly ascending and inside the
+//!   window's certified interval;
+//! * no window exceeds its key budget;
+//! * emitted occurrence counts are positive — and exactly 1 on
+//!   distinct-semantics structures (a zero or torn count means the
+//!   window's validation lied);
+//!
+//! plus a third quiescent law: a full-range **windowed** scan agrees
+//! with `len()` once the churn stops.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use workloads::{KeyDist, Mix, OpKind, WorkloadGen};
 
-use crate::ConcurrentOrderedSet;
+use crate::{ConcurrentOrderedSet, ScanOpts, ScanStep};
 
 /// Outcome of one [`run`]: the ledger and the observed final state.
 #[derive(Debug, Clone, Copy)]
@@ -36,6 +53,12 @@ pub struct StressReport {
     pub ops: u64,
     /// Range scans completed across all threads (included in `ops`).
     pub scans: u64,
+    /// Windows emitted by windowed scans across all threads (0 when the
+    /// load keeps scans atomic).
+    pub scan_windows: u64,
+    /// Window validation attempts that failed and were retried
+    /// (windowed loads only) — each retried only its own window.
+    pub scan_retries: u64,
     /// Σ insert returns − Σ remove returns over the whole run
     /// (including the prefill if it was tallied by the caller).
     pub net_occurrences: i64,
@@ -43,16 +66,23 @@ pub struct StressReport {
     pub final_len: u64,
     /// Full-range `range_count` observed after all threads joined.
     pub final_range_count: u64,
+    /// Full-range `range_count_windowed` observed after all threads
+    /// joined; `None` when the load keeps scans atomic.
+    pub final_windowed_count: Option<u64>,
 }
 
 impl StressReport {
     /// The conservation laws: at quiescence the final length equals the
-    /// net occurrence delta reported by the operations themselves, and
-    /// the full-range snapshot scan agrees with the traversal `len()`.
+    /// net occurrence delta reported by the operations themselves, the
+    /// full-range snapshot scan agrees with the traversal `len()`, and
+    /// (for windowed loads) so does a full-range windowed scan.
     pub fn balanced(&self) -> bool {
         self.net_occurrences >= 0
             && self.final_len == self.net_occurrences as u64
             && self.final_range_count == self.final_len
+            && self
+                .final_windowed_count
+                .is_none_or(|c| c == self.final_len)
     }
 }
 
@@ -67,20 +97,26 @@ pub struct Load {
     pub mix: Mix,
     /// Keys covered by each scan: `[key, key + scan_width)`.
     pub scan_width: u64,
+    /// `Some(w)`: scans drive a windowed cursor (`w` keys per
+    /// validated window) and every emitted window is checked against
+    /// the per-window conservation laws (module docs). `None`: scans
+    /// stay atomic (`range_count`).
+    pub scan_window: Option<u64>,
 }
 
 impl Load {
-    /// A load over `dist` with the given mix and the default 8-key scan
-    /// window.
+    /// A load over `dist` with the given mix, the default 8-key scan
+    /// range, and atomic scans.
     pub fn new(dist: KeyDist, mix: Mix) -> Self {
         Load {
             dist,
             mix,
             scan_width: 8,
+            scan_window: None,
         }
     }
 
-    /// This load with a different scan window width.
+    /// This load with a different scan range width.
     ///
     /// # Panics
     ///
@@ -88,6 +124,15 @@ impl Load {
     pub fn scan_width(mut self, scan_width: u64) -> Self {
         assert!(scan_width > 0, "scan width must be at least 1");
         self.scan_width = scan_width;
+        self
+    }
+
+    /// This load with windowed scans of `window` keys per validated
+    /// window (per-window conservation checks on every emitted
+    /// window). `window == 0` keeps scans atomic — so the
+    /// `LLX_SCAN_WINDOW` knob's default plugs in directly.
+    pub fn windowed_scans(mut self, window: u64) -> Self {
+        self.scan_window = (window > 0).then_some(window);
         self
     }
 }
@@ -125,9 +170,10 @@ pub fn run(
 ) -> StressReport {
     let scan_width = load.scan_width;
     assert!(scan_width > 0, "scan width must be at least 1");
+    let scan_window = load.scan_window;
     let stop = AtomicBool::new(false);
     let counting = set.counting();
-    let (ops, scans, net) = std::thread::scope(|scope| {
+    let (ops, scans, windows, retries, net) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let stop = &stop;
@@ -136,6 +182,8 @@ pub fn run(
                     let mut gen = WorkloadGen::new(seed, t, load.dist, load.mix);
                     let mut ops = 0u64;
                     let mut scans = 0u64;
+                    let mut windows = 0u64;
+                    let mut retries = 0u64;
                     let mut net = 0i64;
                     while !stop.load(Ordering::Relaxed) {
                         let (kind, key) = gen.next_op();
@@ -148,32 +196,106 @@ pub fn run(
                             OpKind::Remove => net -= set.remove(key, count) as i64,
                             OpKind::Scan => {
                                 let hi = key.saturating_add(scan_width - 1);
-                                std::hint::black_box(set.range_count(key, hi));
+                                match scan_window {
+                                    None => {
+                                        std::hint::black_box(set.range_count(key, hi));
+                                    }
+                                    Some(w) => {
+                                        let (win, ret) =
+                                            checked_windowed_scan(set, counting, key, hi, w);
+                                        windows += win;
+                                        retries += ret;
+                                    }
+                                }
                                 scans += 1;
                             }
                         }
                         ops += 1;
                     }
-                    (ops, scans, net)
+                    (ops, scans, windows, retries, net)
                 })
             })
             .collect();
         std::thread::sleep(duration);
         stop.store(true, Ordering::Relaxed);
-        handles
-            .into_iter()
-            .map(|h| h.join().unwrap())
-            .fold((0u64, 0u64, 0i64), |(o, s, n), (po, ps, pn)| {
-                (o + po, s + ps, n + pn)
-            })
+        handles.into_iter().map(|h| h.join().unwrap()).fold(
+            (0u64, 0u64, 0u64, 0u64, 0i64),
+            |(o, s, w, r, n), (po, ps, pw, pr, pn)| (o + po, s + ps, w + pw, r + pr, n + pn),
+        )
     });
     StressReport {
         ops,
         scans,
+        scan_windows: windows,
+        scan_retries: retries,
         net_occurrences: prefill_delta + net,
         final_len: set.len(),
         final_range_count: set.range_count(0, crate::MAX_KEY),
+        final_windowed_count: scan_window.map(|w| set.range_count_windowed(0, crate::MAX_KEY, w)),
     }
+}
+
+/// One mid-churn windowed scan over `[lo, hi]`, asserting the
+/// per-window conservation laws (module docs) on every emitted window.
+/// Returns `(windows, retries)`.
+fn checked_windowed_scan(
+    set: &dyn ConcurrentOrderedSet,
+    counting: bool,
+    lo: u64,
+    hi: u64,
+    window: u64,
+) -> (u64, u64) {
+    let name = set.name();
+    let mut cursor = set.scan(lo, hi, ScanOpts::windowed(window));
+    let mut expected_from = lo;
+    loop {
+        // The cursor must resume exactly where the last window's
+        // certified interval ended: windows tile the range.
+        let position = cursor.position();
+        let mut pairs: Vec<(u64, u64)> = Vec::new();
+        match cursor.next_window(&mut |k, c| pairs.push((k, c))) {
+            ScanStep::Emitted { hi_key } => {
+                assert_eq!(
+                    position,
+                    Some(expected_from),
+                    "{name}: cursor position strayed from the window tiling"
+                );
+                assert!(
+                    pairs.len() as u64 <= window,
+                    "{name}: window of {} keys exceeds its budget of {window}",
+                    pairs.len()
+                );
+                assert!(
+                    hi_key <= hi,
+                    "{name}: window certified past the requested range"
+                );
+                let mut prev: Option<u64> = None;
+                for &(k, c) in &pairs {
+                    assert!(
+                        (expected_from..=hi_key).contains(&k),
+                        "{name}: key {k} outside its window [{expected_from}, {hi_key}]"
+                    );
+                    assert!(
+                        prev.is_none_or(|p| p < k),
+                        "{name}: window keys not strictly ascending at {k}"
+                    );
+                    assert!(c > 0, "{name}: window emitted a zero count for key {k}");
+                    assert!(
+                        counting || c == 1,
+                        "{name}: distinct structure emitted count {c} for key {k}"
+                    );
+                    prev = Some(k);
+                }
+                if hi_key >= hi {
+                    break;
+                }
+                expected_from = hi_key + 1;
+            }
+            ScanStep::Retry => {}
+            ScanStep::Done => break,
+        }
+    }
+    (cursor.windows(), cursor.retries())
 }
 
 #[cfg(test)]
@@ -207,6 +329,45 @@ mod tests {
                 report.final_len,
                 report.final_range_count
             );
+            set.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", set.name()));
+        }
+    }
+
+    #[test]
+    fn every_structure_balances_under_windowed_scans() {
+        for factory in crate::all_factories() {
+            let set = factory();
+            let pre = prefill(&*set, 16);
+            let report = run(
+                &*set,
+                2,
+                Duration::from_millis(40),
+                Load::new(
+                    KeyDist::uniform(16),
+                    Mix::with_update_percent(60).with_scan_percent(10),
+                )
+                .scan_width(8)
+                .windowed_scans(2),
+                13,
+                pre,
+            );
+            assert!(report.scans > 0, "{}: no windowed scan ran", set.name());
+            assert!(
+                report.scan_windows >= report.scans,
+                "{}: every scan emits at least one window",
+                set.name()
+            );
+            assert!(
+                report.balanced(),
+                "{}: net {} vs len {} vs full-range {} vs windowed {:?}",
+                set.name(),
+                report.net_occurrences,
+                report.final_len,
+                report.final_range_count,
+                report.final_windowed_count
+            );
+            assert!(report.final_windowed_count.is_some(), "{}", set.name());
             set.validate()
                 .unwrap_or_else(|e| panic!("{}: {e}", set.name()));
         }

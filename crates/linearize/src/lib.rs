@@ -303,6 +303,29 @@ pub enum OrderedSetOp {
     /// observed at a single linearization point (the trait's
     /// `range_count`). `lo > hi` denotes the empty range.
     RangeSum(u64, u64),
+    /// Total occurrences over `[lo, hi]` observed by a **windowed**
+    /// scan with at most `window` keys per validated window (the
+    /// trait's `range_count_windowed`).
+    ///
+    /// This operation is deliberately *weaker* than [`RangeSum`]: it
+    /// has no single linearization point. Its specification is that
+    /// the scan decomposes into a sequence of per-window observations,
+    /// each of which is an atomic [`RangeSum`] over its own
+    /// sub-interval with its **own** linearization point, the
+    /// sub-intervals tiling `[lo, hi]` in ascending order and each
+    /// window's point falling inside that window's real-time span. Any
+    /// interleaving of other operations *between* windows is
+    /// admissible — so the total may equal no single state's range sum.
+    ///
+    /// Consequently a concurrent history must record a windowed scan
+    /// as its per-window `RangeSum` events (one event per emitted
+    /// window, timestamped individually — see [`record_round_events`]),
+    /// never as one `WindowedRangeSum` event. [`OrderedSetSpec`] still
+    /// gives the variant a sequential meaning (the plain range sum:
+    /// with no concurrent writers every admissible interleaving
+    /// produces exactly that total), which is what sequential tapes
+    /// and quiescent checks use.
+    WindowedRangeSum(u64, u64, u64),
 }
 
 impl Spec for OrderedSetSpec {
@@ -349,7 +372,7 @@ impl Spec for OrderedSetSpec {
                     (t, 0)
                 }
             }
-            OrderedSetOp::RangeSum(lo, hi) => {
+            OrderedSetOp::RangeSum(lo, hi) | OrderedSetOp::WindowedRangeSum(lo, hi, _) => {
                 let sum = if lo > hi {
                     0
                 } else {
@@ -388,6 +411,54 @@ where
     O: Clone + Debug + Send,
     R: PartialEq + Clone + Debug + Send,
 {
+    record_round_events(
+        structure,
+        threads,
+        ops_per_thread,
+        seed,
+        gen_op,
+        move |s, op, thread, clock| {
+            let invoked = clock.tick();
+            let ret = run_op(s, op);
+            let returned = clock.tick();
+            vec![Event {
+                thread,
+                invoked,
+                returned,
+                op: op.clone(),
+                ret,
+            }]
+        },
+    )
+}
+
+/// Like [`record_round`], but `run_op` timestamps for itself and may
+/// record **several** events per generated operation — the recording
+/// primitive for operations without a single linearization point, such
+/// as [`OrderedSetOp::WindowedRangeSum`]: the runner drives the scan
+/// cursor and records each emitted window as its own atomic
+/// [`OrderedSetOp::RangeSum`] event (ticking the shared [`Clock`]
+/// around each window attempt), so the checker verifies exactly the
+/// claimed semantics — every window individually matches some state in
+/// its own real-time span, with writers free to interleave between
+/// windows.
+///
+/// `run_op` receives `(structure, op, thread, clock)` and returns the
+/// completed events; returning an empty vector records nothing (e.g. a
+/// window attempt that only retried observed nothing).
+pub fn record_round_events<S, O, R>(
+    structure: &S,
+    threads: usize,
+    ops_per_thread: usize,
+    seed: u64,
+    gen_op: impl Fn(usize, usize, u64) -> O + Copy + Send,
+    run_op: impl Fn(&S, &O, usize, &Clock) -> Vec<Event<O, R>> + Copy + Send,
+) -> History<O, R>
+where
+    S: Sync + ?Sized,
+    O: Clone + Debug + Send,
+    R: PartialEq + Clone + Debug + Send,
+{
     let clock = Clock::new();
     let barrier = std::sync::Barrier::new(threads);
     let logs: Vec<Vec<Event<O, R>>> = std::thread::scope(|scope| {
@@ -412,16 +483,7 @@ where
                     barrier.wait();
                     for i in 0..ops_per_thread {
                         let op = gen_op(t, i, split());
-                        let invoked = clock.tick();
-                        let ret = run_op(structure, &op);
-                        let returned = clock.tick();
-                        log.push(Event {
-                            thread: t,
-                            invoked,
-                            returned,
-                            op,
-                            ret,
-                        });
+                        log.extend(run_op(structure, &op, t, clock));
                     }
                     log
                 })
@@ -721,7 +783,7 @@ mod tests {
                         }
                         _ => 0,
                     },
-                    OrderedSetOp::RangeSum(lo, hi) => {
+                    OrderedSetOp::RangeSum(lo, hi) | OrderedSetOp::WindowedRangeSum(lo, hi, _) => {
                         if lo > hi {
                             0
                         } else {

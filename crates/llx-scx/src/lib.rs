@@ -124,6 +124,11 @@ pub struct PoolStats {
     pub misses: u64,
     /// Epoch-deferred closures issued (batched or fallback).
     pub defers: u64,
+    /// Records handed off across threads through the orphan list
+    /// (staged by one thread, matured by another). Today this only
+    /// moves at thread exit; the ROADMAP's shard-handoff item would
+    /// put it on the hot path for pipeline-shaped workloads.
+    pub handoffs: u64,
 }
 
 /// A snapshot of the SCX-record pool counters; see [`PoolStats`].
@@ -133,6 +138,7 @@ pub fn pool_stats() -> PoolStats {
         hits: pool::POOL_HITS.load(Ordering::Relaxed),
         misses: pool::POOL_MISSES.load(Ordering::Relaxed),
         defers: pool::POOL_DEFERS.load(Ordering::Relaxed),
+        handoffs: pool::POOL_HANDOFFS.load(Ordering::Relaxed),
     }
 }
 

@@ -189,6 +189,12 @@ fn pooling_enabled() -> bool {
 pub(crate) static POOL_HITS: AtomicU64 = AtomicU64::new(0);
 pub(crate) static POOL_MISSES: AtomicU64 = AtomicU64::new(0);
 pub(crate) static POOL_DEFERS: AtomicU64 = AtomicU64::new(0);
+/// Records adopted from the orphan list — staged by one thread,
+/// matured (and their blocks cached) by another. Today handoffs only
+/// happen at thread exit; a per-shard handoff for producer/consumer
+/// imbalance (the ROADMAP item) would move this counter on the hot
+/// path, which is why it is surfaced in `StatsSnapshot`.
+pub(crate) static POOL_HANDOFFS: AtomicU64 = AtomicU64::new(0);
 
 fn poolable<const M: usize, I>() -> bool {
     pooling_enabled() && Layout::new::<ScxRecord<M, I>>() == pool_layout()
@@ -356,6 +362,7 @@ pub(crate) fn seal_current_thread(guard: &Guard) {
 pub(crate) fn drain_orphans(guard: &Guard) {
     let parked = std::mem::take(&mut *orphans().lock().unwrap());
     if !parked.is_empty() {
+        POOL_HANDOFFS.fetch_add(parked.len() as u64, Ordering::Relaxed);
         defer_batch(parked, guard);
     }
 }

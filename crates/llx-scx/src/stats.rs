@@ -46,7 +46,12 @@ pub(crate) use bump;
 impl Stats {
     pub(crate) fn snapshot(&self) -> StatsSnapshot {
         let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let pool = crate::pool_stats();
         StatsSnapshot {
+            pool_hits: pool.hits,
+            pool_misses: pool.misses,
+            pool_defers: pool.defers,
+            pool_handoffs: pool.handoffs,
             llx_attempts: ld(&self.llx_attempts),
             llx_snapshots: ld(&self.llx_snapshots),
             llx_finalized: ld(&self.llx_finalized),
@@ -107,6 +112,20 @@ pub struct StatsSnapshot {
     pub helps: u64,
     /// Shared-memory reads performed by VLX (Fig. 4 line 47).
     pub reads: u64,
+    /// SCX-record pool allocations served from a recycled block.
+    ///
+    /// The four `pool_*` counters mirror [`crate::pool_stats`]: they
+    /// are **process-global** (the pool hands blocks between arbitrary
+    /// domains), unlike the per-domain counters above, and are
+    /// captured here so one snapshot carries both the algorithm's step
+    /// counts and the reclamation pool's efficacy.
+    pub pool_hits: u64,
+    /// Pool allocations that fell through to the global allocator.
+    pub pool_misses: u64,
+    /// Epoch-deferred closures issued for SCX-record reclamation.
+    pub pool_defers: u64,
+    /// Records handed off across threads through the orphan list.
+    pub pool_handoffs: u64,
 }
 
 impl StatsSnapshot {
@@ -130,6 +149,10 @@ impl StatsSnapshot {
             state_writes: self.state_writes - earlier.state_writes,
             helps: self.helps - earlier.helps,
             reads: self.reads - earlier.reads,
+            pool_hits: self.pool_hits - earlier.pool_hits,
+            pool_misses: self.pool_misses - earlier.pool_misses,
+            pool_defers: self.pool_defers - earlier.pool_defers,
+            pool_handoffs: self.pool_handoffs - earlier.pool_handoffs,
         }
     }
 

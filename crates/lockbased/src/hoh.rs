@@ -133,27 +133,67 @@ impl<K: Ord + Copy> HandOverHandMultiset<K> {
     /// Deadlock-free because all operations acquire locks in key order.
     /// `lo > hi` folds nothing.
     pub fn fold_range<A, F: FnMut(A, K, u64) -> A>(&self, lo: K, hi: K, init: A, mut f: F) -> A {
-        let mut acc = init;
-        if lo > hi {
-            return acc;
+        // The whole range as one window: a full-range crab.
+        let window = self
+            .try_scan_window(lo, hi, usize::MAX)
+            .expect("lock-based windows never conflict");
+        window
+            .pairs
+            .into_iter()
+            .fold(init, |acc, (k, c)| f(acc, k, c))
+    }
+
+    /// One scan window: hand-over-hand to the predecessor of `from`
+    /// (holding at most two locks), then *crab* — keep every lock —
+    /// over up to `max_keys` in-range nodes plus the window's
+    /// terminator. With all of those locks held the window is frozen;
+    /// its linearization point is the moment the last lock is
+    /// acquired, and the locks are released when the window returns.
+    /// Between windows the scan holds **no** locks, so writers
+    /// interleave freely at window boundaries — the bounded lock span
+    /// is the lock-based analogue of the optimistic structures'
+    /// bounded validation window. Always `Some` (lock acquisition
+    /// cannot conflict); deadlock-free because all operations acquire
+    /// locks in key order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_keys == 0`.
+    pub fn try_scan_window(&self, from: K, hi: K, max_keys: usize) -> Option<crate::ScanWindow<K>> {
+        assert!(max_keys > 0, "a scan window covers at least one key");
+        let empty = |end| crate::ScanWindow {
+            pairs: Vec::new(),
+            covered_hi: hi,
+            end,
+        };
+        if from > hi {
+            return Some(empty(true));
         }
-        // Phase 1: hand-over-hand to the predecessor of `lo`, holding
+        // Phase 1: hand-over-hand to the predecessor of `from`, holding
         // at most two locks.
         let mut prev: NodeGuard<K> = Mutex::lock_arc(&self.head);
         loop {
             let Some(next_arc) = prev.next.clone() else {
-                return acc; // every key is below lo
+                return Some(empty(true)); // every key is below `from`
             };
             let next: NodeGuard<K> = Mutex::lock_arc(&next_arc);
             match next.key {
-                Some(k) if k < lo => prev = next, // release previous
+                Some(k) if k < from => prev = next, // release previous
                 _ => {
-                    // Phase 2: crab over the range, keeping all locks.
+                    // Phase 2: crab over the window, keeping all locks.
                     let mut held: Vec<NodeGuard<K>> = vec![prev, next];
+                    let mut pairs: Vec<(K, u64)> = Vec::new();
+                    let mut end = true;
                     loop {
                         let last = held.last().expect("non-empty");
                         match last.key {
-                            Some(k) if k <= hi => {}
+                            Some(k) if k <= hi => {
+                                pairs.push((k, last.count));
+                                if pairs.len() >= max_keys {
+                                    end = false;
+                                    break;
+                                }
+                            }
                             _ => break, // first node beyond the range
                         }
                         let Some(next_arc) = last.next.clone() else {
@@ -162,14 +202,16 @@ impl<K: Ord + Copy> HandOverHandMultiset<K> {
                         let g = Mutex::lock_arc(&next_arc);
                         held.push(g);
                     }
-                    for n in &held[1..] {
-                        if let Some(k) = n.key {
-                            if lo <= k && k <= hi {
-                                acc = f(acc, k, n.count);
-                            }
-                        }
-                    }
-                    return acc;
+                    let covered_hi = if end {
+                        hi
+                    } else {
+                        pairs.last().expect("a capped window is non-empty").0
+                    };
+                    return Some(crate::ScanWindow {
+                        pairs,
+                        covered_hi,
+                        end,
+                    });
                 }
             }
         }

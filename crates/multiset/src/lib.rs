@@ -48,6 +48,22 @@ const NEXT: usize = 1;
 
 type Node<K> = DataRecord<2, SentinelKey<K>>;
 
+/// One validated scan window (see [`Multiset::try_scan_window`]): the
+/// exact `(key, count)` contents of `[from, covered_hi]` at the
+/// window's linearization point.
+#[derive(Debug, Clone)]
+pub struct ScanWindow<K> {
+    /// `(key, count)` pairs in ascending key order.
+    pub pairs: Vec<(K, u64)>,
+    /// Inclusive upper bound of the interval this window certifies:
+    /// the requested `hi` when the walk exhausted the range, else the
+    /// last collected key (the window hit its key budget).
+    pub covered_hi: K,
+    /// Whether the walk exhausted the range — `true` means the scan is
+    /// complete, `false` means resume from `covered_hi + 1`.
+    pub end: bool,
+}
+
 /// A linearizable, non-blocking multiset of keys (paper §5).
 ///
 /// Keys must be `Copy + Ord`; counts are `u64`. The structure is a
@@ -376,24 +392,48 @@ impl<K: Copy + Ord> Multiset<K> {
             return init;
         }
         let pairs = loop {
-            let guard = llx_scx::pin();
-            if let Some(pairs) = self.try_snapshot_range(&lo, &hi, &guard) {
-                break pairs;
+            if let Some(window) = self.try_scan_window(lo, hi, usize::MAX) {
+                break window.pairs;
             }
         };
         pairs.into_iter().fold(init, |acc, (k, c)| f(acc, k, c))
     }
 
-    /// One optimistic attempt of [`Multiset::fold_range`]: collect the
-    /// range following LLX-snapshot `next` pointers, then VLX. `None`
-    /// means a conflicting update was detected; retry.
-    fn try_snapshot_range(&self, lo: &K, hi: &K, guard: &Guard) -> Option<Vec<(K, u64)>> {
-        let (_r, p) = self.search(lo, guard);
-        let LlxResult::Snapshot(mut cur) = self.domain.llx(p, guard) else {
+    /// One bounded-window snapshot attempt: collect up to `max_keys`
+    /// in-range keys starting at `from` — LLXing the predecessor of
+    /// `from` and every collected node along *snapshotted* `next`
+    /// pointers — and validate just that chain prefix with one VLX.
+    ///
+    /// On success the returned [`ScanWindow`] is the exact contents of
+    /// `[from, window.covered_hi]` at the VLX's linearization point:
+    /// any insert into that interval must change a snapshotted `next`
+    /// field and any removal must finalize a snapshotted node. `None`
+    /// means a conflicting update was detected; the *caller* decides
+    /// whether to retry — this bounded-retry granularity is what the
+    /// `conc-set` scan cursor builds its windows on.
+    /// `max_keys = usize::MAX` is the whole-range atomic scan
+    /// ([`Multiset::fold_range`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_keys == 0`.
+    pub fn try_scan_window(&self, from: K, hi: K, max_keys: usize) -> Option<ScanWindow<K>> {
+        assert!(max_keys > 0, "a scan window covers at least one key");
+        if from > hi {
+            return Some(ScanWindow {
+                pairs: Vec::new(),
+                covered_hi: hi,
+                end: true,
+            });
+        }
+        let guard = llx_scx::pin();
+        let (_r, p) = self.search(&from, &guard);
+        let LlxResult::Snapshot(mut cur) = self.domain.llx(p, &guard) else {
             return None;
         };
         let mut snaps = vec![cur];
-        let mut out = Vec::new();
+        let mut out: Vec<(K, u64)> = Vec::new();
+        let mut end = true;
         loop {
             let next_word = cur.value(NEXT);
             if next_word == llx_scx::NULL {
@@ -401,20 +441,27 @@ impl<K: Copy + Ord> Multiset<K> {
             }
             // SAFETY: reached via a snapshotted next pointer under
             // `guard`; node reclamation is epoch-deferred.
-            let next: &Node<K> = unsafe { self.domain.deref(next_word, guard) };
+            let next: &Node<K> = unsafe { self.domain.deref(next_word, &guard) };
             match next.immutable() {
-                SentinelKey::Key(k) if *k <= *hi => {
-                    let LlxResult::Snapshot(s) = self.domain.llx(next, guard) else {
+                SentinelKey::Key(k) if *k <= hi => {
+                    let LlxResult::Snapshot(s) = self.domain.llx(next, &guard) else {
                         return None;
                     };
-                    // Nodes below `lo` can appear if an insert raced the
-                    // initial search; they extend the validated chain
-                    // but are not part of the answer.
-                    if *k >= *lo {
+                    // Nodes below `from` can appear if an insert raced
+                    // the initial search; they extend the validated
+                    // chain but are not part of the answer.
+                    if *k >= from {
                         out.push((*k, s.value(COUNT)));
                     }
                     snaps.push(s);
                     cur = s;
+                    if out.len() >= max_keys {
+                        // Budget spent: the validated chain prefix
+                        // certifies [from, *k]; later keys are all
+                        // strictly greater (sorted list).
+                        end = false;
+                        break;
+                    }
                 }
                 // First node beyond the range: its immutable key bounds
                 // the walk and `cur`'s validated next pointer pins its
@@ -422,11 +469,19 @@ impl<K: Copy + Ord> Multiset<K> {
                 _ => break,
             }
         }
-        if self.domain.vlx(&snaps) {
-            Some(out)
-        } else {
-            None
+        if !self.domain.vlx(&snaps) {
+            return None;
         }
+        let covered_hi = if end {
+            hi
+        } else {
+            out.last().expect("a capped window is non-empty").0
+        };
+        Some(ScanWindow {
+            pairs: out,
+            covered_hi,
+            end,
+        })
     }
 
     /// Total occurrences with keys in `[lo, hi]` at a single

@@ -44,7 +44,7 @@
 mod multiset;
 mod stats;
 
-pub use multiset::KcasMultiset;
+pub use multiset::{KcasMultiset, ScanWindow};
 pub use stats::{kcas_cas_count, kcas_reset_cas_count};
 
 use std::fmt;

@@ -25,6 +25,22 @@ use crate::{kcas, KcasCell};
 /// analogue of SCX finalization.
 const DEAD: u64 = crate::MAX_VALUE;
 
+/// One validated scan window (see [`KcasMultiset::try_scan_window`]):
+/// the exact `(key, count)` contents of `[from, covered_hi]` at the
+/// identity kCAS's linearization point.
+#[derive(Debug, Clone)]
+pub struct ScanWindow {
+    /// `(key, count)` pairs in ascending key order.
+    pub pairs: Vec<(u64, u64)>,
+    /// Inclusive upper bound of the interval this window certifies:
+    /// the requested `hi` when the walk exhausted the range, else the
+    /// last collected key (the window hit its key budget).
+    pub covered_hi: u64,
+    /// Whether the walk exhausted the range — `true` means the scan is
+    /// complete, `false` means resume from `covered_hi + 1`.
+    pub end: bool,
+}
+
 struct KNode {
     /// Immutable key; `u64::MAX` marks the tail sentinel.
     key: u64,
@@ -217,49 +233,97 @@ impl KcasMultiset {
         if lo > hi {
             return init;
         }
-        let pairs = 'retry: loop {
-            let guard = crossbeam_epoch::pin();
-            // Plain-read traversal to the predecessor of `lo`.
-            // SAFETY: head never retired; successors epoch-protected.
-            let mut p: &KNode = unsafe { &*self.head };
-            let mut r_word = p.next.read(&guard);
-            loop {
-                if r_word == DEAD {
-                    continue 'retry;
-                }
-                let r: &KNode = unsafe { &*(r_word as usize as *const KNode) };
-                if r.key >= lo {
-                    break;
-                }
-                p = r;
-                r_word = r.next.read(&guard);
-            }
-            // Collect the range, recording every cell the snapshot
-            // depends on as an identity entry.
-            let mut entries: Vec<crate::KcasEntry<'_>> = vec![(&p.next, r_word, r_word)];
-            let mut out = Vec::new();
-            let mut cur_word = r_word;
-            loop {
-                let cur: &KNode = unsafe { &*(cur_word as usize as *const KNode) };
-                if cur.key == u64::MAX || cur.key > hi {
-                    break; // the terminator's identity is pinned by the
-                           // predecessor's validated `next` cell
-                }
-                let c = cur.count.read(&guard);
-                let next_word = cur.next.read(&guard);
-                if c == DEAD || next_word == DEAD {
-                    continue 'retry; // removed mid-walk
-                }
-                entries.push((&cur.count, c, c));
-                entries.push((&cur.next, next_word, next_word));
-                out.push((cur.key, c));
-                cur_word = next_word;
-            }
-            if kcas(&entries, &guard) {
-                break out;
+        let pairs = loop {
+            if let Some(window) = self.try_scan_window(lo, hi, usize::MAX) {
+                break window.pairs;
             }
         };
         pairs.into_iter().fold(init, |acc, (k, c)| f(acc, k, c))
+    }
+
+    /// One bounded-window snapshot attempt: collect up to `max_keys`
+    /// keys of `[from, hi]` and validate the window with an **identity
+    /// kCAS** over the predecessor's `next` plus both mutable fields of
+    /// every collected node — `2m + 1` CAS-installed cells for an
+    /// `m`-key window, where the LLX/SCX multiset's VLX pays `2m + 1`
+    /// plain reads (the paper's §2 cost argument, per window).
+    ///
+    /// On success the returned [`ScanWindow`] is the exact contents of
+    /// `[from, window.covered_hi]` at the kCAS's linearization point
+    /// (removed nodes fail it through their `DEAD` poison, inserts
+    /// through the snapshotted `next` chain). `None` means a conflict;
+    /// the caller decides whether to retry. `max_keys = usize::MAX` is
+    /// the whole-range atomic scan ([`KcasMultiset::fold_range`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_keys == 0`.
+    pub fn try_scan_window(&self, from: u64, hi: u64, max_keys: usize) -> Option<ScanWindow> {
+        assert!(max_keys > 0, "a scan window covers at least one key");
+        if from > hi {
+            return Some(ScanWindow {
+                pairs: Vec::new(),
+                covered_hi: hi,
+                end: true,
+            });
+        }
+        let guard = crossbeam_epoch::pin();
+        // Plain-read traversal to the predecessor of `from`.
+        // SAFETY: head never retired; successors epoch-protected.
+        let mut p: &KNode = unsafe { &*self.head };
+        let mut r_word = p.next.read(&guard);
+        loop {
+            if r_word == DEAD {
+                return None; // walked onto a removed node
+            }
+            let r: &KNode = unsafe { &*(r_word as usize as *const KNode) };
+            if r.key >= from {
+                break;
+            }
+            p = r;
+            r_word = r.next.read(&guard);
+        }
+        // Collect the window, recording every cell the snapshot depends
+        // on as an identity entry.
+        let mut entries: Vec<crate::KcasEntry<'_>> = vec![(&p.next, r_word, r_word)];
+        let mut out = Vec::new();
+        let mut end = true;
+        let mut cur_word = r_word;
+        loop {
+            let cur: &KNode = unsafe { &*(cur_word as usize as *const KNode) };
+            if cur.key == u64::MAX || cur.key > hi {
+                break; // the terminator's identity is pinned by the
+                       // predecessor's validated `next` cell
+            }
+            let c = cur.count.read(&guard);
+            let next_word = cur.next.read(&guard);
+            if c == DEAD || next_word == DEAD {
+                return None; // removed mid-walk
+            }
+            entries.push((&cur.count, c, c));
+            entries.push((&cur.next, next_word, next_word));
+            out.push((cur.key, c));
+            if out.len() >= max_keys {
+                // Budget spent: the validated cells certify
+                // [from, cur.key]; later keys are strictly greater.
+                end = false;
+                break;
+            }
+            cur_word = next_word;
+        }
+        if !kcas(&entries, &guard) {
+            return None;
+        }
+        let covered_hi = if end {
+            hi
+        } else {
+            out.last().expect("a capped window is non-empty").0
+        };
+        Some(ScanWindow {
+            pairs: out,
+            covered_hi,
+            end,
+        })
     }
 
     /// Total occurrences with keys in `[lo, hi]` at a single

@@ -294,6 +294,27 @@ impl<K: Copy + Ord, V: Clone> Bst<K, V> {
         self.fold_range(lo, hi, 0u64, |acc, _, _| acc + 1)
     }
 
+    /// One bounded-window snapshot attempt: collect up to `max_keys`
+    /// keys of `[from, hi]` (ascending) and validate just the visited
+    /// nodes with one VLX. On success the returned
+    /// [`ScanWindow`](crate::ScanWindow) is the exact contents of
+    /// `[from, window.covered_hi]` at the VLX's linearization point;
+    /// `None` means a conflicting update was detected — the caller
+    /// decides whether to retry (this is the primitive the `conc-set`
+    /// scan cursor's bounded-retry windows are built on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_keys == 0`.
+    pub fn try_scan_window(
+        &self,
+        from: K,
+        hi: K,
+        max_keys: usize,
+    ) -> Option<crate::ScanWindow<K, V>> {
+        crate::scan::scan_window_bstlike(&self.domain, self.root, from, hi, max_keys)
+    }
+
     /// Collect `(key, value)` pairs in ascending key order (traversal
     /// semantics).
     pub fn to_vec(&self) -> Vec<(K, V)> {

@@ -932,6 +932,25 @@ impl<K: Copy + Ord, V: Clone> ChromaticTree<K, V> {
         self.fold_range(lo, hi, 0u64, |acc, _, _| acc + 1)
     }
 
+    /// One bounded-window snapshot attempt: collect up to `max_keys`
+    /// keys of `[from, hi]` (ascending) and validate just the visited
+    /// nodes with one VLX; see `Bst::try_scan_window` for the contract.
+    /// Rebalancing SCXs on visited nodes also surface as `None`
+    /// (retry) — they restructure without changing contents, so the
+    /// retry is spurious but safe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_keys == 0`.
+    pub fn try_scan_window(
+        &self,
+        from: K,
+        hi: K,
+        max_keys: usize,
+    ) -> Option<crate::ScanWindow<K, V>> {
+        crate::scan::scan_window_bstlike(&self.domain, self.root, from, hi, max_keys)
+    }
+
     /// Collect `(key, value)` pairs in ascending key order (traversal
     /// semantics).
     pub fn to_vec(&self) -> Vec<(K, V)> {

@@ -45,3 +45,4 @@ pub use bst::Bst;
 pub use chromatic::ChromaticTree;
 pub use node::{NodeInfo, TreeKey};
 pub use patricia::PatriciaTrie;
+pub use scan::ScanWindow;

@@ -380,63 +380,111 @@ impl<V: Clone> PatriciaTrie<V> {
         }
         let pairs = loop {
             let guard = llx_scx::pin();
-            if let Some(pairs) = self.try_snapshot_range(lo, hi, &guard) {
+            if let Some((pairs, _end)) = self.try_window(lo, hi, usize::MAX, &guard) {
                 break pairs;
             }
         };
         pairs.into_iter().fold(init, |acc, (k, v)| f(acc, k, &v))
     }
 
-    /// One optimistic attempt of [`PatriciaTrie::fold_range`]; `None`
-    /// means an LLX failed, a visited node was finalized, or the VLX
-    /// rejected the visited set.
-    fn try_snapshot_range(&self, lo: u64, hi: u64, guard: &Guard) -> Option<Vec<(u64, V)>> {
-        // SAFETY: the root entry point is never retired.
-        let root: &Node<V> = unsafe { &*self.root };
-        let sr = self.domain.llx(root, guard).snapshot()?;
-        let mut snaps = vec![sr];
-        let mut out = Vec::new();
-        // SAFETY: snapshotted children of validated nodes, protected by
-        // `guard`, throughout the walk.
-        let mut stack: Vec<&Node<V>> = vec![unsafe { self.domain.deref(sr.value(LEFT), guard) }];
-        while let Some(n) = stack.pop() {
-            match &n.immutable().kind {
-                PatKind::Empty => {
-                    snaps.push(self.domain.llx(n, guard).snapshot()?);
-                }
-                PatKind::Leaf(v) => {
-                    let s = self.domain.llx(n, guard).snapshot()?;
-                    let k = n.immutable().key;
-                    if lo <= k && k <= hi {
-                        out.push((k, v.clone()));
-                    }
-                    snaps.push(s);
-                }
+    /// One optimistic windowed attempt over `[from, hi]`, through the
+    /// shared tree-scan engine (`scan` module); `None` means an LLX
+    /// failed, a visited node was finalized, or the VLX rejected the
+    /// visited set.
+    fn try_window(
+        &self,
+        from: u64,
+        hi: u64,
+        max_keys: usize,
+        guard: &Guard,
+    ) -> Option<(Vec<(u64, V)>, bool)> {
+        use crate::scan::Visit;
+        let root = self.root;
+        // Prune at push time, before the child is ever LLXed: an
+        // internal node branching on `bit` covers exactly the keys that
+        // agree with its (immutable) representative above `bit` — the
+        // interval [min, max] — so disjoint subtrees are skipped
+        // unread; the trie invariant on immutable keys makes the
+        // pruning decision stable. Leaves and the empty sentinel are
+        // always visited (their keys decide membership under the VLX).
+        let overlapping = |child: &Node<V>| -> bool {
+            match &child.immutable().kind {
                 PatKind::Internal { bit } => {
-                    // The subtree holds exactly the keys agreeing with
-                    // the representative above `bit`: the interval
-                    // [min, max]. Skip it (unread) if disjoint from the
-                    // query; the trie invariant on immutable keys makes
-                    // the pruning decision stable.
                     let hi_mask = if *bit >= 63 { 0 } else { !0u64 << (bit + 1) };
-                    let min = n.immutable().key & hi_mask;
+                    let min = child.immutable().key & hi_mask;
                     let max = min | !hi_mask;
-                    if max < lo || min > hi {
-                        continue;
-                    }
-                    let s = self.domain.llx(n, guard).snapshot()?;
-                    // Right after left so lefts pop first (ascending).
-                    stack.push(unsafe { self.domain.deref(s.value(RIGHT), guard) });
-                    stack.push(unsafe { self.domain.deref(s.value(LEFT), guard) });
-                    snaps.push(s);
+                    max >= from && min <= hi
+                }
+                PatKind::Leaf(_) | PatKind::Empty => true,
+            }
+        };
+        // SAFETY: the root entry point is never retired; children come
+        // from validated snapshots and are protected by `guard`.
+        let start: &Node<V> = unsafe { &*root };
+        crate::scan::try_collect_window(&self.domain, start, max_keys, guard, &mut |n, s| {
+            if std::ptr::eq(n, root) {
+                // The entry point: kind Empty, but its LEFT child is
+                // the trie top.
+                // SAFETY: snapshotted child under `guard`.
+                let top: &Node<V> = unsafe { self.domain.deref(s.value(LEFT), guard) };
+                return Visit::Push([None, overlapping(top).then_some(top)]);
+            }
+            match &n.immutable().kind {
+                PatKind::Empty => Visit::Leaf(None),
+                PatKind::Leaf(v) => {
+                    let k = n.immutable().key;
+                    Visit::Leaf((from <= k && k <= hi).then(|| (k, v.clone())))
+                }
+                PatKind::Internal { .. } => {
+                    // SAFETY: snapshotted children under `guard`.
+                    let right: &Node<V> = unsafe { self.domain.deref(s.value(RIGHT), guard) };
+                    let left: &Node<V> = unsafe { self.domain.deref(s.value(LEFT), guard) };
+                    // Right before left so lefts pop first (ascending).
+                    Visit::Push([
+                        overlapping(right).then_some(right),
+                        overlapping(left).then_some(left),
+                    ])
                 }
             }
+        })
+    }
+
+    /// One bounded-window snapshot attempt: collect up to `max_keys`
+    /// keys of `[from, hi]` (ascending) and validate just the visited
+    /// nodes with one VLX; see `Bst::try_scan_window` for the
+    /// contract. Prefix-shaped windows keep the trie's `O(bits)`
+    /// descent — pruning happens on immutable intervals before a
+    /// subtree is ever read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_keys == 0`.
+    pub fn try_scan_window(
+        &self,
+        from: u64,
+        hi: u64,
+        max_keys: usize,
+    ) -> Option<crate::ScanWindow<u64, V>> {
+        assert!(max_keys > 0, "a scan window covers at least one key");
+        if from > hi {
+            return Some(crate::ScanWindow {
+                pairs: Vec::new(),
+                covered_hi: hi,
+                end: true,
+            });
         }
-        if self.domain.vlx(&snaps) {
-            Some(out)
+        let guard = llx_scx::pin();
+        let (pairs, end) = self.try_window(from, hi, max_keys, &guard)?;
+        let covered_hi = if end {
+            hi
         } else {
-            None
-        }
+            pairs.last().expect("a capped window is non-empty").0
+        };
+        Some(crate::ScanWindow {
+            pairs,
+            covered_hi,
+            end,
+        })
     }
 
     /// Number of keys in `[lo, hi]` at a single linearization point.

@@ -1,76 +1,195 @@
-//! Snapshot range scans for the leaf-oriented LLX/SCX trees.
+//! Snapshot range scans — whole-range and windowed — for the LLX/SCX
+//! trees.
 //!
-//! [`Bst`](crate::Bst) and [`ChromaticTree`](crate::ChromaticTree)
-//! share the same node layout, so they share one scan routine: an
+//! All three tree-shaped structures ([`Bst`](crate::Bst),
+//! [`ChromaticTree`](crate::ChromaticTree),
+//! [`PatriciaTrie`](crate::PatriciaTrie)) share one scan engine: an
 //! in-order walk that LLXs every node it visits, follows the
 //! *snapshotted* child pointers, prunes subtrees disjoint from the
-//! range, and validates the whole visited set with a single VLX
-//! (paper §3). A successful VLX certifies that every visited node was
-//! simultaneously unchanged at the VLX's linearization point; since
+//! queried interval, and validates the whole visited set with a single
+//! VLX (paper §3). A successful VLX certifies that every visited node
+//! was simultaneously unchanged at the VLX's linearization point; since
 //! every insert or delete of an in-range key must perform an SCX on at
 //! least one visited node (the leaf's parent is always on the walked
 //! path, and SCXs change the node's `info` pointer, which is exactly
 //! what VLX checks), the collected leaves are the exact range contents
 //! at that point. Pruned subtrees cannot contain in-range keys by the
-//! BST routing invariant on the (immutable) keys of validated nodes.
+//! routing invariant on the (immutable) keys of validated nodes.
+//!
+//! The engine is **windowed**: a walk may stop after collecting
+//! `max_keys` in-range keys and validate just the nodes visited so far.
+//! Because the in-order leaf sequence of a leaf-oriented search tree is
+//! sorted, every unvisited subtree at that point holds only keys
+//! strictly greater than the last collected key, so the validated
+//! prefix is the exact contents of the *covered* interval
+//! `[from, last_key]` — the per-window atomicity the
+//! `conc-set` scan-cursor API is built on. `max_keys = usize::MAX`
+//! recovers the whole-range atomic scan.
 
-use llx_scx::{Guard, Llx};
+use llx_scx::{DataRecord, Domain, Guard, Llx};
 
-use crate::node::{is_leaf, Node, NodeInfo, TreeDomain, TreeKey, LEFT, RIGHT};
+use crate::node::{is_leaf, Node, TreeDomain, TreeKey, LEFT, RIGHT};
 
-type Snap<'g, K, V> = Llx<'g, 2, NodeInfo<K, V>>;
+/// One validated scan window: the exact contents of `[from, covered_hi]`
+/// at the window's linearization point.
+#[derive(Debug, Clone)]
+pub struct ScanWindow<K, V> {
+    /// `(key, value)` pairs in ascending key order.
+    pub pairs: Vec<(K, V)>,
+    /// Inclusive upper bound of the interval this window certifies:
+    /// the requested `hi` when the walk exhausted the range, else the
+    /// last collected key (the window hit its key budget).
+    pub covered_hi: K,
+    /// Whether the walk exhausted the range — `true` means the cursor
+    /// is done, `false` means resume from `covered_hi + 1`.
+    pub end: bool,
+}
 
-/// One optimistic snapshot attempt: collect the `(key, value)` pairs in
-/// `[lo, hi]` (ascending), or `None` if an LLX failed, a visited node
-/// was finalized, or the final VLX rejected the visited set.
-fn try_collect_range<'g, K: Copy + Ord + 'g, V: Clone + 'g>(
-    domain: &TreeDomain<K, V>,
-    root: *const Node<K, V>,
-    lo: &K,
-    hi: &K,
+/// What the windowed walk does at one visited (and LLXed) node.
+pub(crate) enum Visit<'g, N, K, V> {
+    /// A leaf; `Some` if it holds an in-range `(key, value)`.
+    Leaf(Option<(K, V)>),
+    /// Children to push, in push order (right before left, so lefts pop
+    /// first and the walk stays in-order). `None` slots are pruned.
+    Push([Option<&'g N>; 2]),
+}
+
+/// The per-structure node classifier driving [`try_collect_window`].
+type Classify<'c, 'g, const M: usize, I, K, V> =
+    &'c mut dyn FnMut(&'g DataRecord<M, I>, &Llx<'g, M, I>) -> Visit<'g, DataRecord<M, I>, K, V>;
+
+/// One optimistic windowed in-order collection shared by the three
+/// trees: pop a node, LLX it, let `classify` either yield the node's
+/// pair or push the (range-overlapping) children, stop after `max_keys`
+/// collected pairs, then VLX the visited set.
+///
+/// Returns the collected pairs plus whether the walk exhausted the
+/// range (`false` = stopped at the key budget with subtrees left), or
+/// `None` if an LLX failed, a node was finalized, or the VLX rejected
+/// the visited set.
+pub(crate) fn try_collect_window<'g, const M: usize, I, K: Copy + Ord, V>(
+    domain: &Domain<M, I>,
+    start: &'g DataRecord<M, I>,
+    max_keys: usize,
     guard: &'g Guard,
-) -> Option<Vec<(K, V)>> {
-    let klo = TreeKey::Key(*lo);
-    let khi = TreeKey::Key(*hi);
-    let mut snaps: Vec<Snap<'g, K, V>> = Vec::new();
-    let mut out = Vec::new();
-    // SAFETY: the root entry point is never retired.
-    let mut stack: Vec<&Node<K, V>> = vec![unsafe { &*root }];
+    classify: Classify<'_, 'g, M, I, K, V>,
+) -> Option<(Vec<(K, V)>, bool)> {
+    debug_assert!(max_keys > 0, "a scan window covers at least one key");
+    let mut snaps: Vec<Llx<'g, M, I>> = Vec::new();
+    let mut out: Vec<(K, V)> = Vec::new();
+    let mut stack: Vec<&DataRecord<M, I>> = vec![start];
     while let Some(n) = stack.pop() {
         let s = domain.llx(n, guard).snapshot()?;
+        let visit = classify(n, &s);
         snaps.push(s);
-        if is_leaf(n) {
-            let info = n.immutable();
-            if let (TreeKey::Key(k), Some(v)) = (&info.key, &info.value) {
-                if *lo <= *k && *k <= *hi {
-                    out.push((*k, v.clone()));
+        match visit {
+            Visit::Leaf(Some(kv)) => {
+                out.push(kv);
+                if out.len() >= max_keys {
+                    break;
                 }
             }
-            continue;
-        }
-        let nk = &n.immutable().key;
-        // Right subtree holds keys >= nk, left holds keys < nk; push
-        // right first so lefts pop first (ascending order). Children
-        // come from the snapshot, so the visited subgraph is exactly
-        // the one the VLX validates.
-        if khi >= *nk {
-            // SAFETY: snapshotted child of a reachable internal node,
-            // protected by `guard`.
-            stack.push(unsafe { domain.deref(s.value(RIGHT), guard) });
-        }
-        if klo < *nk {
-            stack.push(unsafe { domain.deref(s.value(LEFT), guard) });
+            Visit::Leaf(None) => {}
+            Visit::Push(children) => {
+                for c in children.into_iter().flatten() {
+                    stack.push(c);
+                }
+            }
         }
     }
+    // Unvisited stack entries hold only keys past the last collected
+    // one (in-order), so the validated prefix covers a full interval.
+    let end = stack.is_empty();
     if domain.vlx(&snaps) {
-        Some(out)
+        Some((out, end))
     } else {
         None
     }
 }
 
+/// One windowed attempt on the shared [`Bst`](crate::Bst) /
+/// [`ChromaticTree`](crate::ChromaticTree) node layout: prune with the
+/// BST routing invariant (left subtree `< nk`, right `>= nk`), collect
+/// leaves in `[from, hi]`.
+pub(crate) fn try_window_bstlike<'g, K: Copy + Ord + 'g, V: Clone + 'g>(
+    domain: &TreeDomain<K, V>,
+    root: *const Node<K, V>,
+    from: &K,
+    hi: &K,
+    max_keys: usize,
+    guard: &'g Guard,
+) -> Option<(Vec<(K, V)>, bool)> {
+    let klo = TreeKey::Key(*from);
+    let khi = TreeKey::Key(*hi);
+    // SAFETY: the root entry point is never retired; children come from
+    // validated snapshots and are protected by `guard`.
+    let start: &Node<K, V> = unsafe { &*root };
+    try_collect_window(domain, start, max_keys, guard, &mut |n, s| {
+        if is_leaf(n) {
+            let info = n.immutable();
+            if let (TreeKey::Key(k), Some(v)) = (&info.key, &info.value) {
+                if *from <= *k && *k <= *hi {
+                    return Visit::Leaf(Some((*k, v.clone())));
+                }
+            }
+            Visit::Leaf(None)
+        } else {
+            let nk = &n.immutable().key;
+            // Right subtree holds keys >= nk, left holds keys < nk.
+            Visit::Push([
+                if khi >= *nk {
+                    // SAFETY: snapshotted child of a reachable internal
+                    // node, protected by `guard`.
+                    Some(unsafe { domain.deref(s.value(RIGHT), guard) })
+                } else {
+                    None
+                },
+                if klo < *nk {
+                    // SAFETY: as above.
+                    Some(unsafe { domain.deref(s.value(LEFT), guard) })
+                } else {
+                    None
+                },
+            ])
+        }
+    })
+}
+
+/// The windowed attempt behind `Bst::try_scan_window` /
+/// `ChromaticTree::try_scan_window`: wraps [`try_window_bstlike`] in
+/// the [`ScanWindow`] covered-interval bookkeeping.
+pub(crate) fn scan_window_bstlike<K: Copy + Ord, V: Clone>(
+    domain: &TreeDomain<K, V>,
+    root: *const Node<K, V>,
+    from: K,
+    hi: K,
+    max_keys: usize,
+) -> Option<ScanWindow<K, V>> {
+    assert!(max_keys > 0, "a scan window covers at least one key");
+    if from > hi {
+        return Some(ScanWindow {
+            pairs: Vec::new(),
+            covered_hi: hi,
+            end: true,
+        });
+    }
+    let guard = llx_scx::pin();
+    let (pairs, end) = try_window_bstlike(domain, root, &from, &hi, max_keys, &guard)?;
+    let covered_hi = if end {
+        hi
+    } else {
+        pairs.last().expect("a capped window is non-empty").0
+    };
+    Some(ScanWindow {
+        pairs,
+        covered_hi,
+        end,
+    })
+}
+
 /// Fold over the `(key, value)` pairs with keys in the inclusive range
-/// `[lo, hi]`, ascending, over a VLX-validated consistent snapshot.
+/// `[lo, hi]`, ascending, over a VLX-validated consistent snapshot —
+/// the whole-range (`max_keys = ∞`) special case of the windowed walk.
 /// Retries on conflicting updates; `lo > hi` folds nothing.
 pub(crate) fn fold_range_snapshot<K: Copy + Ord, V: Clone, A, F: FnMut(A, K, &V) -> A>(
     domain: &TreeDomain<K, V>,
@@ -85,7 +204,8 @@ pub(crate) fn fold_range_snapshot<K: Copy + Ord, V: Clone, A, F: FnMut(A, K, &V)
     }
     let pairs = loop {
         let guard = llx_scx::pin();
-        if let Some(pairs) = try_collect_range(domain, root, &lo, &hi, &guard) {
+        if let Some((pairs, _end)) = try_window_bstlike(domain, root, &lo, &hi, usize::MAX, &guard)
+        {
             break pairs;
         }
     };

@@ -222,6 +222,9 @@ pub fn prefill_keys(n: u64) -> impl Iterator<Item = u64> {
 /// | `LLX_LIN_ROUNDS_SCALE` | root `linearizability` tests | integer multiplier for WGL-checked rounds per structure (default 1) |
 /// | `LLX_SCAN_PCT` | `bench-harness` (`compare`, E4, E5) | percent of generated operations that are range scans, taken from the lookup share (default 0; see [`Mix::with_scan_percent`]) |
 /// | `LLX_SCAN_RANGE` | `bench-harness`, scan-mix stress tests | width (number of keys) of each scanned range (default 16) |
+/// | `LLX_SCAN_WINDOW` | scan-mix stress tests, `bench-harness scanwin` | keys per validated window of a **windowed** scan cursor; `0` (default) keeps scans atomic (whole-range snapshots). Stress runs with a window also assert the per-window conservation laws |
+/// | `LLX_SCANWIN_WRITE_RATE` | `bench-harness scanwin` | target updates/second of the fixed-rate writer each `scanwin` cell runs against (default 2000) |
+/// | `LLX_BENCH_PAR` | `bench-harness` (`compare`, `scanwin`) | `1`/`on`/`true` runs sweep cells in parallel on scoped threads (cells are independent structures); default off so single-core baselines stay comparable |
 /// | `LLX_BENCH_CELL_MILLIS` | `bench-harness` throughput experiments | duration (ms) of each measured throughput cell (default 300; CI smoke runs use ~20) |
 /// | `LLX_SCX_POOL` | `llx-scx` reclamation | `0`/`off`/`false` disables the SCX-record pool (per-record defers; A/B benchmarking) |
 /// | `LLX_SCX_POOL_CAP` | `llx-scx` reclamation | per-thread free-list capacity of the SCX-record pool (default 256) |
@@ -270,6 +273,22 @@ pub mod knobs {
     /// 16, clamped to at least 1).
     pub fn scan_range() -> u64 {
         env_u64("LLX_SCAN_RANGE", 16).max(1)
+    }
+
+    /// `LLX_SCAN_WINDOW`: keys per validated window of a windowed scan
+    /// cursor; `0` (the default) means scans stay atomic
+    /// (whole-range snapshots).
+    pub fn scan_window() -> u64 {
+        env_u64("LLX_SCAN_WINDOW", 0)
+    }
+
+    /// `LLX_BENCH_PAR`: whether bench-harness sweeps run their cells in
+    /// parallel (default off — single-core baselines stay comparable).
+    pub fn bench_parallel() -> bool {
+        matches!(
+            std::env::var("LLX_BENCH_PAR").as_deref(),
+            Ok("1") | Ok("on") | Ok("true")
+        )
     }
 
     #[cfg(test)]

@@ -59,6 +59,59 @@ fn every_structure_balances_under_stress() {
     }
 }
 
+/// Long **windowed** scans mixed into the churn: scans drive the
+/// bounded scan cursor (`LLX_SCAN_WINDOW` keys per validated window,
+/// default 4 here) over a wide range, and the harness asserts the
+/// per-window conservation laws on every emitted window mid-churn —
+/// tiling, in-window ascent/bounds, budget, positive counts — plus the
+/// third quiescent law (full-range windowed scan = `len()`). CI's
+/// `scanwin` stage runs this leg long in release and again in debug so
+/// the generation-stamp ABA detectors soak the cursor paths.
+#[test]
+fn every_structure_balances_under_windowed_scans() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let window = match workloads::knobs::scan_window() {
+        0 => 4,
+        w => w,
+    };
+    for factory in conc_set::all_factories() {
+        let set = factory();
+        let pre = stress::prefill(&*set, 32);
+        let report = stress::run(
+            &*set,
+            4,
+            stress_millis(150),
+            stress::Load::new(
+                KeyDist::uniform(32),
+                Mix::with_update_percent(60).with_scan_percent(15),
+            )
+            .scan_width(24)
+            .windowed_scans(window),
+            47,
+            pre,
+        );
+        assert!(report.scans > 0, "{}: no windowed scan ran", set.name());
+        assert!(
+            report.scan_windows >= report.scans,
+            "{}: {} windows over {} scans",
+            set.name(),
+            report.scan_windows,
+            report.scans
+        );
+        assert!(
+            report.balanced(),
+            "{}: net {} vs len {} (atomic {} / windowed {:?})",
+            set.name(),
+            report.net_occurrences,
+            report.final_len,
+            report.final_range_count,
+            report.final_windowed_count
+        );
+        set.validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", set.name()));
+    }
+}
+
 /// The Zipf-skewed variant hammers a few hot keys, maximizing SCX
 /// conflicts, helping and the remove/reinsert churn that feeds the
 /// SCX-record pool.
