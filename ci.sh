@@ -25,15 +25,25 @@
 #                  (per-window conservation laws checked mid-churn) and
 #                  a debug leg so the generation-stamp ABA detectors
 #                  soak the new cursor paths
+#   bg-reclaim     the stress/linearizability/reclamation suites again
+#                  with the epoch shim in background-reclaimer mode and
+#                  a small collection budget (LLX_EPOCH_BG=1
+#                  LLX_EPOCH_BUDGET=8): every leak check and
+#                  conservation law must hold when a dedicated thread
+#                  races the mutators for collection
 #   compare-smoke  bench-harness `compare` and `scanwin` at tiny knobs
 #                  (with a scan mix); asserts both tables parse and
 #                  include every registered structure, so a broken
 #                  registry or scan knob cannot silently drop a column
+#   latency        bench-harness `lat` at tiny knobs: asserts the
+#                  latency table is well-formed (every structure in
+#                  all three epoch modes x two mixes, 9 fields per
+#                  row) and that --json writes a non-empty document
 #   clippy         cargo clippy --workspace --all-targets -D warnings
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(fmt build test pool-off debug-stress scanwin doctest examples benches compare-smoke clippy)
+ALL_STAGES=(fmt build test pool-off debug-stress scanwin bg-reclaim doctest examples benches compare-smoke latency clippy)
 QUICK_STAGES=(fmt build test)
 
 QUICK=0
@@ -121,6 +131,21 @@ stage_scanwin() {
         --test scan_cursor windowed_scans_survive_concurrent_churn
 }
 
+stage_bg_reclaim() {
+    # Background-reclaimer mode with a deliberately small budget: the
+    # linearizability harness, the cross-structure stress laws and the
+    # SCX-record ledger drains must all survive a dedicated reclaimer
+    # thread racing the mutators (and flush_reclamation must still
+    # reach quiescence — the leak checks depend on it).
+    LLX_EPOCH_BG=1 LLX_EPOCH_BUDGET=8 LLX_STRESS_MILLIS=120 \
+        cargo test -q -p llx-scx-repro \
+        --test linearizability --test conc_stress --test scan_cursor --test pool_handoff
+    # The llx-scx suite too: reclaim/stress exercise the two-stage
+    # refcount protocol whose deferred closures now run off-thread.
+    LLX_EPOCH_BG=1 LLX_EPOCH_BUDGET=8 LLX_STRESS_MILLIS=200 \
+        cargo test -q -p llx-scx
+}
+
 stage_doctest() {
     cargo test -q --doc -p llx-scx
 }
@@ -183,6 +208,40 @@ stage_compare_smoke() {
     echo "    scanwin table: $((2 * ${#structures[@]})) rows, all structures present, pool line printed"
 }
 
+stage_latency() {
+    # The lat table: every structure must appear in all 3 epoch modes
+    # x 2 mixes (6 rows), each data row carries 9 single-token fields,
+    # and the --json sidecar is written and non-trivial.
+    local out json structures s rows
+    json="$(mktemp)"
+    out="$(LLX_BENCH_CELL_MILLIS=15 \
+        cargo run -q --release -p bench-harness -- lat --json "$json")"
+    structures=(scx-multiset chromatic bst patricia kcas-multiset hoh-multiset coarse-multiset)
+    for s in "${structures[@]}"; do
+        rows=$(grep -cE "^ *(inline|budgeted|bg) +[a-z0-9-]+ +$s " <<<"$out" || true)
+        if [[ "$rows" -ne 6 ]]; then
+            echo "lat table has $rows rows for structure '$s', expected 6 (3 modes x 2 mixes)" >&2
+            echo "$out" >&2
+            rm -f "$json"
+            return 1
+        fi
+    done
+    if ! awk '/^ *(inline|budgeted|bg) +(mixed-40u|pipeline) / \
+        { if (NF != 9) { print "malformed lat row (" NF " fields): " $0; exit 1 } }' \
+        <<<"$out"; then
+        rm -f "$json"
+        return 1
+    fi
+    if [[ ! -s "$json" ]] || ! head -c1 "$json" | grep -q '{' \
+        || ! grep -q '"pool"' "$json" || ! grep -q 'per-op latency' "$json"; then
+        echo "lat --json sidecar missing or malformed" >&2
+        rm -f "$json"
+        return 1
+    fi
+    rm -f "$json"
+    echo "    lat table: $((6 * ${#structures[@]})) rows, all structures in all modes, JSON sidecar ok"
+}
+
 stage_clippy() {
     cargo clippy --workspace --all-targets -- -D warnings
 }
@@ -215,10 +274,12 @@ run_stage test stage_test
 run_stage pool-off stage_pool_off
 run_stage debug-stress stage_debug_stress
 run_stage scanwin stage_scanwin
+run_stage bg-reclaim stage_bg_reclaim
 run_stage doctest stage_doctest
 run_stage examples stage_examples
 run_stage benches stage_benches
 run_stage compare-smoke stage_compare_smoke
+run_stage latency stage_latency
 run_stage clippy stage_clippy
 
 echo

@@ -16,7 +16,9 @@ use mwcas::{kcas, KcasCell};
 use rand::{Rng, SeedableRng};
 use workloads::{KeyDist, Mix, OpKind, WorkloadGen};
 
-use crate::runner::{fmt_ops, print_table, run_cells, run_throughput};
+use crate::runner::{
+    fmt_ns, fmt_ops, print_table, run_cells, run_latency, run_throughput, Histogram,
+};
 
 /// Duration of each throughput cell; short because the sweep is wide.
 /// `LLX_BENCH_CELL_MILLIS` overrides the 300 ms default (the CI smoke
@@ -625,6 +627,131 @@ pub fn e6_progress() {
         &rows,
     );
     println!("expected shape: both complete on a preemptive scheduler, but KCSS worst-case retries grow much faster (obstruction freedom vs non-blocking helping)");
+}
+
+/// One latency cell: fresh prefilled structure, every operation timed
+/// into a log₂ histogram on the measured thread (no allocation, no
+/// shared state on the timed path).
+fn lat_cell(
+    factory: conc_set::Factory,
+    threads: usize,
+    range: u64,
+    pipeline: bool,
+) -> (f64, Histogram) {
+    let set = factory();
+    let mut keys: Vec<u64> = workloads::prefill_keys(range).collect();
+    use rand::seq::SliceRandom;
+    keys.shuffle(&mut rand::rngs::SmallRng::seed_from_u64(99));
+    for k in keys {
+        set.insert(k, 1);
+    }
+    run_latency(threads, cell(), |t| {
+        let mix = if pipeline {
+            Mix::pipeline(t)
+        } else {
+            Mix::with_update_percent(40)
+        };
+        let mut gen = WorkloadGen::new(42, t, KeyDist::uniform(range), mix);
+        let set = &*set;
+        Box::new(move |hist: &mut Histogram| {
+            // Generate outside the clocked bracket: the sample is the
+            // structure operation, not the RNG/mix dispatch.
+            let (kind, key) = gen.next_op();
+            let t0 = Instant::now();
+            match kind {
+                OpKind::Get => {
+                    let _ = set.get(key);
+                }
+                OpKind::Insert => {
+                    let _ = set.insert(key, 1);
+                }
+                OpKind::Remove => {
+                    let _ = set.remove(key, 1);
+                }
+                OpKind::Scan => unreachable!("lat mixes carry no scans"),
+            }
+            hist.record(t0.elapsed().as_nanos() as u64);
+        })
+    })
+}
+
+/// `lat` — per-operation tail latency across reclamation modes: every
+/// structure × {mixed, pipeline} mix × {inline, budgeted, background}
+/// epoch collection, p50/p99/p99.9/max per cell plus the cell's pool
+/// hit rate.
+///
+/// The mode is process-global and *monotone* (background is sticky),
+/// so modes are the outermost sweep: all inline cells run first, then
+/// the per-tick budget is capped (`LLX_EPOCH_BUDGET`, default 32),
+/// then the dedicated reclaimer thread takes over. If the process
+/// already started in background mode only that column runs. The
+/// interesting numbers are the inline column's p99.9/max — a mutator
+/// absorbing a whole ready batch inside `pin()` — against the bounded
+/// modes; and the pipeline mix's pool hit rate, which collapses
+/// without the cross-thread shard handoff (`LLX_SCX_HANDOFF=0` to
+/// A/B).
+pub fn lat() {
+    let budget = workloads::knobs::env_u64("LLX_EPOCH_BUDGET", 32).max(1) as usize;
+    let modes: &[&str] = if crossbeam_epoch::background_active() {
+        println!("\n(lat: process already in background-reclaimer mode; inline/budgeted columns unavailable)");
+        &["bg"]
+    } else {
+        &["inline", "budgeted", "bg"]
+    };
+    let factories = conc_set::all_factories();
+    let range = 64u64;
+    let mut rows = Vec::new();
+    for &mode in modes {
+        match mode {
+            "inline" => crossbeam_epoch::set_collect_budget(0),
+            "budgeted" => crossbeam_epoch::set_collect_budget(budget),
+            _ => {
+                crossbeam_epoch::set_collect_budget(0);
+                crossbeam_epoch::enable_background_reclaimer();
+            }
+        }
+        for &(mix_name, threads, pipeline) in &[("mixed-40u", 4, false), ("pipeline", 2, true)] {
+            for &factory in factories {
+                let before = llx_scx::pool_stats();
+                let (ops, hist) = lat_cell(factory, threads, range, pipeline);
+                let pool = before
+                    .snapshot_delta()
+                    .hit_rate()
+                    .map(|r| format!("{:.1}%", r * 100.0))
+                    .unwrap_or_else(|| "-".to_string());
+                rows.push(vec![
+                    mode.to_string(),
+                    mix_name.to_string(),
+                    factory().name().to_string(),
+                    fmt_ops(ops),
+                    fmt_ns(hist.quantile(0.50)),
+                    fmt_ns(hist.quantile(0.99)),
+                    fmt_ns(hist.quantile(0.999)),
+                    fmt_ns(hist.max()),
+                    pool,
+                ]);
+            }
+        }
+    }
+    print_table(
+        &format!(
+            "lat: per-op latency by epoch-collection mode \
+             (budget {budget} closures/tick; pipeline = dedicated inserter + remover threads)"
+        ),
+        &[
+            "epoch".into(),
+            "mix".into(),
+            "structure".into(),
+            "ops/s".into(),
+            "p50".into(),
+            "p99".into(),
+            "p99.9".into(),
+            "max".into(),
+            "pool-hit".into(),
+        ],
+        &rows,
+    );
+    println!("inline mode runs every ready deferred closure inside an unlucky pin(); budgeted caps the per-tick bite; bg moves collection to a dedicated reclaimer thread (sticky — the process stays in bg mode after this experiment). pool-hit is the cell's SCX-record pool hit rate; the pipeline mix exercises the cross-thread shard handoff (LLX_SCX_HANDOFF=0 disables for A/B)");
 }
 
 /// One `scanwin` measurement: full-structure scans racing a fixed-rate

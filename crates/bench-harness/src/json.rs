@@ -1,0 +1,136 @@
+//! Machine-readable experiment output.
+//!
+//! Every table the harness prints is also captured here; when the run
+//! was started with `--json PATH` (or `LLX_BENCH_JSON=PATH`),
+//! [`write`] serializes the captured tables plus the SCX-record pool
+//! counters so the bench trajectory can be tracked across PRs by
+//! tooling instead of by copy-pasting tables into CHANGES.md.
+//!
+//! The workspace has no serde (offline container), so this is a small
+//! hand-rolled serializer; the values are flat strings/integers, which
+//! keeps the escaping rules trivial.
+
+use std::io::Write as _;
+use std::sync::Mutex;
+
+struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+static TABLES: Mutex<Vec<Table>> = Mutex::new(Vec::new());
+
+/// Capture one printed table (called by `runner::print_table`).
+pub fn record_table(title: &str, header: &[String], rows: &[Vec<String>]) {
+    TABLES.lock().unwrap().push(Table {
+        title: title.to_string(),
+        header: header.to_vec(),
+        rows: rows.to_vec(),
+    });
+}
+
+/// JSON string escaping for the plain-ASCII-ish cell content we emit.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn string_array(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| format!("\"{}\"", esc(s))).collect();
+    format!("[{}]", cells.join(","))
+}
+
+/// Serialize every captured table plus the pool counters to `path`.
+pub fn write(path: &str) -> std::io::Result<()> {
+    let tables = TABLES.lock().unwrap();
+    let mut out = String::new();
+    out.push_str("{\n");
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    out.push_str(&format!("  \"host_parallelism\": {parallelism},\n"));
+    out.push_str("  \"experiments\": [\n");
+    for (i, t) in tables.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"title\": \"{}\",\n", esc(&t.title)));
+        out.push_str(&format!("      \"header\": {},\n", string_array(&t.header)));
+        out.push_str("      \"rows\": [\n");
+        for (j, row) in t.rows.iter().enumerate() {
+            let comma = if j + 1 < t.rows.len() { "," } else { "" };
+            out.push_str(&format!("        {}{comma}\n", string_array(row)));
+        }
+        out.push_str("      ]\n");
+        let comma = if i + 1 < tables.len() { "," } else { "" };
+        out.push_str(&format!("    }}{comma}\n"));
+    }
+    out.push_str("  ],\n");
+    let p = llx_scx::pool_stats();
+    out.push_str(&format!(
+        "  \"pool\": {{ \"hits\": {}, \"misses\": {}, \"defers\": {}, \"handoffs\": {} }}\n",
+        p.hits, p.misses, p.defers, p.handoffs
+    ));
+    out.push_str("}\n");
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(out.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_and_controls() {
+        assert_eq!(esc("plain"), "plain");
+        assert_eq!(esc("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(esc("x\ny"), "x\\ny");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn tables_round_trip_to_well_formed_json() {
+        record_table(
+            "t \"quoted\"",
+            &["a".into(), "b".into()],
+            &[vec!["1".into(), "2.5M".into()]],
+        );
+        let dir = std::env::temp_dir().join("bench-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        write(path.to_str().unwrap()).unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert!(s.starts_with('{') && s.trim_end().ends_with('}'));
+        assert!(s.contains("\"t \\\"quoted\\\"\""));
+        assert!(s.contains("\"pool\""));
+        // Balanced braces/brackets outside strings — a cheap
+        // well-formedness check that catches comma/bracket slips.
+        let (mut depth, mut in_str, mut escp) = (0i64, false, false);
+        for c in s.chars() {
+            if escp {
+                escp = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => escp = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_str);
+    }
+}

@@ -6,6 +6,7 @@
 //! recorded results.
 
 mod experiments;
+mod json;
 mod runner;
 
 const USAGE: &str = "\
@@ -28,25 +29,43 @@ EXPERIMENTS:
     scanwin  windowed scan cursors vs atomic scans under a fixed-rate
              writer: retry work per scan/window, every structure,
              window-size x range sweep (LLX_SCAN_WINDOW pins one size)
+    lat      per-op tail latency (p50/p99/p99.9/max, log2 histogram)
+             across epoch-collection modes (inline/budgeted/background)
+             and mixes (mixed, pipeline), every structure, with the
+             per-cell SCX-record pool hit rate
     all      run every experiment in order (default)
 
 ENVIRONMENT:
     LLX_BENCH_PAR=1 runs compare/scanwin sweep cells on parallel scoped
-    threads (default off so 1-core baselines stay comparable); see
-    workloads::knobs for the full knob list
+    threads (default off so 1-core baselines stay comparable);
+    LLX_BENCH_JSON=PATH mirrors --json; LLX_EPOCH_BUDGET sets the
+    budgeted-mode closures/tick for `lat`; see workloads::knobs for
+    the full knob list
 
 OPTIONS:
+    --json PATH   also write every experiment table + the pool
+                  counters as JSON to PATH (machine-readable trail
+                  for cross-PR benchmark tracking)
     -h, --help    print this help and exit\
 ";
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args
         .iter()
         .any(|a| a == "--help" || a == "-h" || a == "help")
     {
         println!("{USAGE}");
         return;
+    }
+    let mut json_path = std::env::var("LLX_BENCH_JSON").ok();
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        if i + 1 >= args.len() {
+            eprintln!("--json requires a path\n\n{USAGE}");
+            std::process::exit(2);
+        }
+        json_path = Some(args.remove(i + 1));
+        args.remove(i);
     }
     let which = args.first().map(String::as_str).unwrap_or("all");
     let available = std::thread::available_parallelism()
@@ -65,6 +84,7 @@ fn main() {
         "e8" => experiments::e8_helping_stats(),
         "compare" => experiments::compare(),
         "scanwin" => experiments::scanwin(),
+        "lat" => experiments::lat(),
         "all" => {
             experiments::e1_step_complexity();
             experiments::e2_disjoint_success();
@@ -76,6 +96,9 @@ fn main() {
             experiments::e8_helping_stats();
             experiments::compare();
             experiments::scanwin();
+            // Last on purpose: `lat` flips the process into background
+            // reclamation (sticky), which would skew earlier cells.
+            experiments::lat();
         }
         other => {
             eprintln!("unknown experiment {other:?}\n\n{USAGE}");
@@ -83,6 +106,15 @@ fn main() {
         }
     }
     print_pool_stats();
+    if let Some(path) = json_path {
+        match json::write(&path) {
+            Ok(()) => println!("wrote JSON results to {path}"),
+            Err(e) => {
+                eprintln!("failed to write JSON results to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 /// The SCX-record pool's process-global counters (also carried in

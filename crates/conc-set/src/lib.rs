@@ -67,7 +67,7 @@
 pub mod scan;
 pub mod stress;
 
-pub use scan::{ScanConsistency, ScanCursor, ScanOpts, ScanStats, ScanStep};
+pub use scan::{ScanConsistency, ScanCursor, ScanIter, ScanOpts, ScanStats, ScanStep};
 
 use linearize::{OrderedSetOp, OrderedSetSpec};
 
@@ -349,6 +349,24 @@ pub trait ConcurrentOrderedSet: Send + Sync {
 impl std::fmt::Debug for dyn ConcurrentOrderedSet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "ConcurrentOrderedSet({})", self.name())
+    }
+}
+
+impl<'s> dyn ConcurrentOrderedSet + 's {
+    /// Iterate the `(key, occurrences)` pairs of `[lo, hi]` in
+    /// ascending key order through a [`ScanIter`] — a
+    /// [`scan`](ConcurrentOrderedSet::scan) cursor that paces its own
+    /// retries (spin → yield → capped sleep), for consumers that want
+    /// `Iterator` ergonomics instead of driving [`ScanStep`]s.
+    ///
+    /// Consistency is the cursor's, per `opts`: each validated window
+    /// yields an internally consistent run of pairs; under
+    /// [`ScanOpts::atomic`] the whole iteration is one snapshot.
+    /// Inherent on the trait object (not a trait method) so that a
+    /// concrete iterator type can be returned while
+    /// [`ConcurrentOrderedSet`] stays object-safe.
+    pub fn iter_range(&self, lo: u64, hi: u64, opts: ScanOpts) -> ScanIter<'_> {
+        ScanIter::new(self.scan(lo, hi, opts))
     }
 }
 

@@ -149,6 +149,108 @@ impl fmt::Debug for dyn ScanCursor + '_ {
     }
 }
 
+/// Pull-style iteration over a [`ScanCursor`]: yields the scanned
+/// `(key, occurrences)` pairs in ascending key order, internally
+/// retrying conflicted windows with paced backoff.
+///
+/// Where the cursor surfaces every [`ScanStep::Retry`] to its caller,
+/// the iterator is the convenience tier for consumers that just want
+/// the pairs: conflicts spin briefly, then yield the CPU, then sleep
+/// in growing (capped) increments, so a long scan over a hot range
+/// makes progress without melting a core. The consistency model is the
+/// cursor's, unchanged: with a bounded window each yielded run of
+/// pairs is per-window consistent; with [`ScanOpts::atomic`] the whole
+/// iteration is one snapshot.
+///
+/// Obtain one from
+/// [`iter_range`](crate::ConcurrentOrderedSet#method.iter_range) (an
+/// inherent method on `dyn ConcurrentOrderedSet`, so it works through
+/// the factory registry's boxed trait objects) or wrap any cursor with
+/// [`ScanIter::new`].
+pub struct ScanIter<'a> {
+    cursor: Box<dyn ScanCursor + 'a>,
+    /// Pairs emitted by the last validated window, drained front to
+    /// back before the next window is attempted.
+    buffered: std::collections::VecDeque<(u64, u64)>,
+    /// Consecutive failed attempts on the current window (reset on
+    /// emission); drives the backoff schedule.
+    streak: u32,
+}
+
+impl<'a> ScanIter<'a> {
+    /// Iterate over `cursor`, pacing retries internally.
+    pub fn new(cursor: Box<dyn ScanCursor + 'a>) -> Self {
+        ScanIter {
+            cursor,
+            buffered: std::collections::VecDeque::new(),
+            streak: 0,
+        }
+    }
+
+    /// Windows emitted so far (delegates to the cursor).
+    pub fn windows(&self) -> u64 {
+        self.cursor.windows()
+    }
+
+    /// Failed validation attempts so far (delegates to the cursor).
+    pub fn retries(&self) -> u64 {
+        self.cursor.retries()
+    }
+
+    /// Back off according to the current retry streak: spin first (a
+    /// conflicting writer is usually gone within nanoseconds), then
+    /// yield the scheduler slot, then sleep in doubling steps capped
+    /// at ~1 ms so even a pathologically hot window only costs
+    /// millisecond-scale pacing.
+    fn pace(&self) {
+        match self.streak {
+            0..=3 => {
+                for _ in 0..(16 << self.streak) {
+                    std::hint::spin_loop();
+                }
+            }
+            4..=9 => std::thread::yield_now(),
+            s => {
+                let exp = (s - 10).min(10);
+                std::thread::sleep(std::time::Duration::from_micros(1 << exp));
+            }
+        }
+    }
+}
+
+impl fmt::Debug for ScanIter<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScanIter")
+            .field("position", &self.cursor.position())
+            .field("buffered", &self.buffered.len())
+            .field("retry_streak", &self.streak)
+            .finish()
+    }
+}
+
+impl Iterator for ScanIter<'_> {
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        loop {
+            if let Some(pair) = self.buffered.pop_front() {
+                return Some(pair);
+            }
+            let Self {
+                cursor, buffered, ..
+            } = self;
+            match cursor.next_window(&mut |k, c| buffered.push_back((k, c))) {
+                ScanStep::Emitted { .. } => self.streak = 0,
+                ScanStep::Retry => {
+                    self.pace();
+                    self.streak = self.streak.saturating_add(1);
+                }
+                ScanStep::Done => return None,
+            }
+        }
+    }
+}
+
 /// Totals of one fully driven cursor, returned by
 /// [`fold_range_windowed`](crate::ConcurrentOrderedSet::fold_range_windowed).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -379,6 +481,42 @@ mod tests {
             c.next_window(&mut |_, _| panic!("done emits nothing")),
             ScanStep::Done
         );
+    }
+
+    #[test]
+    fn iterator_paces_retries_and_yields_every_pair() {
+        // Keys {2, 5, 7}; every window needs three attempts before it
+        // validates — the iterator must absorb the retries internally
+        // and still yield each pair exactly once, in order.
+        let keys = [2u64, 5, 7];
+        let mut attempts_left = 3;
+        let cursor = cursor(0, 10, ScanOpts::windowed(1), move |from, hi, max, emit| {
+            attempts_left -= 1;
+            if attempts_left > 0 {
+                return None;
+            }
+            attempts_left = 3;
+            let window: Vec<u64> = keys
+                .iter()
+                .copied()
+                .filter(|k| from <= *k && *k <= hi)
+                .take(max)
+                .collect();
+            let end = window.len() < max;
+            let covered = if end { hi } else { *window.last().unwrap() };
+            for k in window {
+                emit(k, 1);
+            }
+            Some((covered, end))
+        });
+        let mut it = ScanIter::new(cursor);
+        let pairs: Vec<(u64, u64)> = it.by_ref().collect();
+        assert_eq!(pairs, vec![(2, 1), (5, 1), (7, 1)]);
+        // 4 windows (3 keyed + the trailing tail window), 2 failed
+        // attempts each, all hidden from the caller.
+        assert_eq!(it.windows(), 4);
+        assert_eq!(it.retries(), 8);
+        assert_eq!(it.next(), None, "fused after Done");
     }
 
     #[test]

@@ -118,17 +118,54 @@ pub fn pin() -> Guard {
 /// 32 retired records instead of one per record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolStats {
-    /// Allocations served from the free list.
+    /// Allocations served without the global allocator: from the
+    /// thread's free list, or from a shard adopted through the
+    /// cross-thread handoff.
     pub hits: u64,
     /// Allocations that fell through to the global allocator.
     pub misses: u64,
     /// Epoch-deferred closures issued (batched or fallback).
     pub defers: u64,
-    /// Records handed off across threads through the orphan list
-    /// (staged by one thread, matured by another). Today this only
-    /// moves at thread exit; the ROADMAP's shard-handoff item would
-    /// put it on the hot path for pipeline-shaped workloads.
+    /// Records/blocks handed across threads: orphan adoptions at
+    /// thread exit plus hot-path shard steals (free blocks published
+    /// by a retire-heavy thread and adopted by an allocate-heavy one —
+    /// the pipeline-workload case).
     pub handoffs: u64,
+}
+
+impl PoolStats {
+    /// The counter movement since `self` was taken: current counters
+    /// minus this snapshot, saturating at zero if [`reset_pool_stats`]
+    /// intervened.
+    ///
+    /// The counters are process-global, so a raw snapshot mixes every
+    /// workload the process ever ran; deltas are how one phase is
+    /// A/B-compared against another (pool on/off, handoff on/off,
+    /// background vs inline collection) without a process restart:
+    ///
+    /// ```
+    /// let before = llx_scx::pool_stats();
+    /// // … run one workload phase …
+    /// let phase = before.snapshot_delta();
+    /// let allocs = phase.hits + phase.misses;
+    /// # assert_eq!(allocs, 0);
+    /// ```
+    pub fn snapshot_delta(&self) -> PoolStats {
+        let now = pool_stats();
+        PoolStats {
+            hits: now.hits.saturating_sub(self.hits),
+            misses: now.misses.saturating_sub(self.misses),
+            defers: now.defers.saturating_sub(self.defers),
+            handoffs: now.handoffs.saturating_sub(self.handoffs),
+        }
+    }
+
+    /// Pool hit rate of this snapshot (or delta): hits over
+    /// allocations, `None` when nothing was allocated.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let allocs = self.hits + self.misses;
+        (allocs > 0).then(|| self.hits as f64 / allocs as f64)
+    }
 }
 
 /// A snapshot of the SCX-record pool counters; see [`PoolStats`].
@@ -142,20 +179,53 @@ pub fn pool_stats() -> PoolStats {
     }
 }
 
+/// Zero the process-global pool counters. Prefer
+/// [`PoolStats::snapshot_delta`] for phase comparisons — a reset
+/// yanks the baseline out from under every other snapshot holder —
+/// but a reset gives dedicated A/B harnesses clean absolute numbers.
+pub fn reset_pool_stats() {
+    use std::sync::atomic::Ordering;
+    pool::POOL_HITS.store(0, Ordering::Relaxed);
+    pool::POOL_MISSES.store(0, Ordering::Relaxed);
+    pool::POOL_DEFERS.store(0, Ordering::Relaxed);
+    pool::POOL_HANDOFFS.store(0, Ordering::Relaxed);
+}
+
 /// Drive SCX-record reclamation to quiescence from the calling thread.
 ///
 /// Seals this thread's partially filled retirement batch, adopts records
 /// stranded by threads that exited mid-batch, and repeatedly flushes the
-/// epoch queue so deferred destructions run. After all operations have
-/// ceased, all worker threads have joined and this has been called,
-/// [`live_scx_records`] drains back to its baseline (debug builds).
+/// epoch queue so deferred destructions run. When the epoch shim runs
+/// in background-reclaimer mode (`LLX_EPOCH_BG=1`), each round also
+/// waits for the reclaimer to complete a fresh drain cycle — its idle
+/// hook seals the batches that deferred closures staged in the
+/// reclaimer's own thread-locals — so the drain is deterministic in
+/// every collection mode. After all operations have ceased, all worker
+/// threads have joined and this has been called, [`live_scx_records`]
+/// drains back to its baseline (debug builds).
 ///
 /// Intended for tests and teardown paths; never required for safety.
 pub fn flush_reclamation() {
+    pool::ensure_reclaimer_hook();
     for _ in 0..16 {
-        let guard = pin();
-        pool::seal_current_thread(&guard);
-        pool::drain_orphans(&guard);
-        guard.flush();
+        // Drain the global queue to empty (bounded: concurrent churn
+        // can legitimately keep refilling it — quiescence is only
+        // promised once workers have stopped). Each flush advances the
+        // epoch, so re-deferred next-stage work from the closures we
+        // just ran becomes ready on the following iteration.
+        for _ in 0..64 {
+            let guard = pin();
+            pool::seal_current_thread(&guard);
+            pool::drain_orphans(&guard);
+            guard.flush();
+            drop(guard);
+            if crossbeam_epoch::queued_reclaims() == 0 {
+                break;
+            }
+        }
+        // Unpinned: our slot must not hold the reclaimer's cycle back.
+        // Its idle hook seals whatever its closures staged in the
+        // reclaimer's own thread-locals; the next round drains that.
+        crossbeam_epoch::reclaimer_quiesce();
     }
 }

@@ -44,9 +44,35 @@
 //! This keeps the debug-build live-record ledger exact: every allocated
 //! record is eventually dropped exactly once, pool or no pool.
 //!
+//! # Cross-thread shard handoff
+//!
+//! Free lists are per-thread, but maturation runs on whichever thread
+//! collects — so in pipeline-shaped workloads (one thread retires,
+//! another allocates) the collecting thread's free list fills to its
+//! cap while the allocating thread misses and falls back to the
+//! allocator. The handoff path closes that gap without sharing the
+//! free lists themselves:
+//!
+//! * when a thread's free list is at capacity, a matured block goes
+//!   into the thread's bounded **outbox** instead of the allocator;
+//!   a full outbox is published wholesale as one *shard* on a global
+//!   parked-shard stack (bounded — beyond [`MAX_PARKED_SHARDS`] the
+//!   shard's blocks are genuinely freed);
+//! * an allocating thread that misses its free list **steals a whole
+//!   shard** before touching the allocator: one lock acquisition
+//!   amortized over a shard's worth of future allocations, counted
+//!   through `POOL_HANDOFFS` and served as pool hits.
+//!
+//! Blocks only enter the outbox *after* their destruction epoch
+//! expired (they are plain dead memory), so handing them to any other
+//! thread is trivially sound.
+//!
 //! Set `LLX_SCX_POOL=0` to disable pooling and fall back to
-//! per-record defers (used for A/B benchmarking), and
-//! `LLX_SCX_POOL_CAP` to change the per-thread free-list capacity.
+//! per-record defers (used for A/B benchmarking), `LLX_SCX_POOL_CAP`
+//! to change the per-thread free-list capacity, `LLX_SCX_HANDOFF=0`
+//! to disable the shard handoff (overflow frees to the allocator, the
+//! pre-handoff behavior), and `LLX_SCX_SHARD` to change the blocks
+//! per handoff shard.
 
 use std::alloc::Layout;
 use std::cell::RefCell;
@@ -62,7 +88,8 @@ use crate::scx_record::ScxRecord;
 const LIMBO_BATCH: usize = 32;
 
 /// Maximum blocks cached per thread; beyond this, matured blocks are
-/// returned to the allocator. `LLX_SCX_POOL_CAP` overrides.
+/// routed to the handoff outbox (or the allocator). `LLX_SCX_POOL_CAP`
+/// overrides.
 fn free_cap() -> usize {
     static CAP: OnceLock<usize> = OnceLock::new();
     *CAP.get_or_init(|| {
@@ -71,6 +98,124 @@ fn free_cap() -> usize {
             .and_then(|v| v.parse().ok())
             .unwrap_or(256)
     })
+}
+
+/// Blocks per handoff shard (the outbox publishes wholesale at this
+/// size). `LLX_SCX_SHARD` overrides.
+fn shard_blocks() -> usize {
+    static SHARD: OnceLock<usize> = OnceLock::new();
+    *SHARD.get_or_init(|| {
+        std::env::var("LLX_SCX_SHARD")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(16usize)
+            .max(1)
+    })
+}
+
+/// Upper bound on parked shards; beyond it, overflow blocks go back to
+/// the allocator so the handoff cannot hoard memory unboundedly.
+const MAX_PARKED_SHARDS: usize = 64;
+
+/// `LLX_SCX_HANDOFF=0` disables the shard handoff for A/B runs.
+fn handoff_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        !matches!(
+            std::env::var("LLX_SCX_HANDOFF").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        )
+    })
+}
+
+/// A published outbox: dead, layout-uniform blocks ready for adoption
+/// by any thread. The raw pointers are owned uniquely by the shard.
+struct Shard(Vec<*mut u8>);
+unsafe impl Send for Shard {}
+
+/// Parked shards awaiting a stealing allocator thread.
+fn shards() -> &'static Mutex<Vec<Shard>> {
+    static SHARDS: OnceLock<Mutex<Vec<Shard>>> = OnceLock::new();
+    SHARDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Route one matured block that overflowed its thread's free list:
+/// into the outbox (publishing a full outbox as a shard) when the
+/// handoff is on, to the allocator otherwise.
+///
+/// # Safety
+///
+/// `p` must be a dead block of [`pool_layout`] owned by the caller.
+unsafe fn overflow(p: *mut u8) {
+    if !handoff_enabled() {
+        std::alloc::dealloc(p, pool_layout());
+        return;
+    }
+    let sealed = POOL.try_with(|pool| {
+        let mut pool = pool.borrow_mut();
+        pool.outbox.push(p);
+        if pool.outbox.len() >= shard_blocks() {
+            Some(std::mem::take(&mut pool.outbox))
+        } else {
+            None
+        }
+    });
+    match sealed {
+        Ok(None) => {}
+        Ok(Some(blocks)) => park_shard(Shard(blocks)),
+        // Thread-local already destroyed: no outbox to buffer in.
+        Err(_) => std::alloc::dealloc(p, pool_layout()),
+    }
+}
+
+/// Park a sealed shard for stealing; free its blocks if the parking
+/// lot is full (the bound that keeps handoff memory finite).
+fn park_shard(shard: Shard) {
+    let spill = {
+        let mut parked = shards().lock().unwrap();
+        if parked.len() < MAX_PARKED_SHARDS {
+            parked.push(shard);
+            None
+        } else {
+            Some(shard)
+        }
+    };
+    if let Some(Shard(blocks)) = spill {
+        for p in blocks {
+            // SAFETY: shard blocks are dead and pool_layout-sized.
+            unsafe { std::alloc::dealloc(p, pool_layout()) };
+        }
+    }
+}
+
+/// Steal one parked shard for the current thread: returns a block to
+/// serve the triggering allocation and caches the rest on the local
+/// free list. Bumps `POOL_HANDOFFS` by the blocks adopted.
+fn steal_shard() -> Option<*mut u8> {
+    let Shard(mut blocks) = shards().lock().unwrap().pop()?;
+    debug_assert!(!blocks.is_empty(), "parked shards are never empty");
+    let total = blocks.len();
+    let serve = blocks.pop()?;
+    let mut carry = Some(blocks);
+    let spill = POOL
+        .try_with(|pool| {
+            let mut blocks = carry.take().expect("carry set above");
+            let mut pool = pool.borrow_mut();
+            let room = free_cap().saturating_sub(pool.free.len());
+            let spill = blocks.split_off(room.min(blocks.len()));
+            pool.free.append(&mut blocks);
+            spill
+        })
+        // Thread-local gone (teardown): nothing to cache into.
+        .unwrap_or_else(|_| carry.take().unwrap_or_default());
+    // Count only the blocks actually adopted (served + cached); spill
+    // that goes straight back to the allocator is not a handoff.
+    POOL_HANDOFFS.fetch_add((total - spill.len()) as u64, Ordering::Relaxed);
+    for p in spill {
+        // SAFETY: shard blocks are dead and pool_layout-sized.
+        unsafe { std::alloc::dealloc(p, pool_layout()) };
+    }
+    Some(serve)
 }
 
 /// The one block layout shared by every `ScxRecord<M, I>` instantiation
@@ -135,6 +280,8 @@ unsafe fn drop_shim<const M: usize, I>(p: *mut u8, _guard: &Guard) -> bool {
 
 struct ThreadPool {
     free: Vec<*mut u8>,
+    /// Overflow blocks awaiting publication as a handoff shard.
+    outbox: Vec<*mut u8>,
     deps: Vec<Pending>,
     destroy: Vec<Pending>,
 }
@@ -146,6 +293,13 @@ impl Drop for ThreadPool {
         for &p in &self.free {
             // SAFETY: blocks in `free` were allocated with `pool_layout`.
             unsafe { std::alloc::dealloc(p, pool_layout()) };
+        }
+        // A partial outbox is still a perfectly good (short) shard:
+        // publish it so surviving threads can adopt the blocks — the
+        // exact pipeline case where the retiring thread exits first.
+        let outbox = std::mem::take(&mut self.outbox);
+        if !outbox.is_empty() {
+            park_shard(Shard(outbox));
         }
         // Staged blocks may still be visible to pinned peers and this
         // thread can no longer pin (its epoch slot is being torn down):
@@ -162,6 +316,7 @@ thread_local! {
     static POOL: RefCell<ThreadPool> = const {
         RefCell::new(ThreadPool {
             free: Vec::new(),
+            outbox: Vec::new(),
             deps: Vec::new(),
             destroy: Vec::new(),
         })
@@ -189,11 +344,11 @@ fn pooling_enabled() -> bool {
 pub(crate) static POOL_HITS: AtomicU64 = AtomicU64::new(0);
 pub(crate) static POOL_MISSES: AtomicU64 = AtomicU64::new(0);
 pub(crate) static POOL_DEFERS: AtomicU64 = AtomicU64::new(0);
-/// Records adopted from the orphan list — staged by one thread,
-/// matured (and their blocks cached) by another. Today handoffs only
-/// happen at thread exit; a per-shard handoff for producer/consumer
-/// imbalance (the ROADMAP item) would move this counter on the hot
-/// path, which is why it is surfaced in `StatsSnapshot`.
+/// Records/blocks moved across threads: orphan adoptions (records
+/// staged by an exited thread, matured by another) plus blocks adopted
+/// through the shard handoff (the hot path in pipeline-shaped
+/// workloads — one thread retires, another allocates). Surfaced in
+/// `StatsSnapshot` so the handoff rate is measurable per workload.
 pub(crate) static POOL_HANDOFFS: AtomicU64 = AtomicU64::new(0);
 
 fn poolable<const M: usize, I>() -> bool {
@@ -213,18 +368,40 @@ pub(crate) fn alloc<const M: usize, I>(record: ScxRecord<M, I>) -> *mut ScxRecor
         let reused = POOL
             .try_with(|pool| pool.borrow_mut().free.pop())
             .ok()
-            .flatten();
+            .flatten()
+            // Local miss: adopt a whole parked shard (one lock, a
+            // shard's worth of future hits) before paying the
+            // allocator.
+            .or_else(|| handoff_enabled().then(steal_shard).flatten());
         if let Some(block) = reused {
             POOL_HITS.fetch_add(1, Ordering::Relaxed);
             let p = block as *mut ScxRecord<M, I>;
-            // SAFETY: the block is unaliased (popped from the free list,
-            // past its retirement epoch) and has the right layout.
+            // SAFETY: the block is unaliased (popped from the free list
+            // or adopted from a parked shard, past its retirement
+            // epoch) and has the right layout.
             unsafe { std::ptr::write(p, record) };
             return p;
         }
         POOL_MISSES.fetch_add(1, Ordering::Relaxed);
     }
     Box::into_raw(Box::new(record))
+}
+
+/// Register the epoch shim's reclaimer idle hook once: when deferred
+/// closures run on the background reclaimer thread (`LLX_EPOCH_BG=1`),
+/// the re-staging they trigger lands in *that* thread's `POOL` — and
+/// the reclaimer never exits, so without this hook partial batches
+/// would sit there forever, stranding records from every leak check.
+/// The hook is the reclaimer's analogue of seal-at-thread-exit.
+pub(crate) fn ensure_reclaimer_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        crossbeam_epoch::set_reclaimer_idle_hook(|| {
+            let guard = crossbeam_epoch::pin();
+            seal_current_thread(&guard);
+            drain_orphans(&guard);
+        });
+    });
 }
 
 /// Stage a pending entry on one of the thread's lists; seal a batch
@@ -235,6 +412,7 @@ fn stage<const M: usize, I>(
     pick: fn(&mut ThreadPool) -> &mut Vec<Pending>,
     guard: &Guard,
 ) {
+    ensure_reclaimer_hook();
     if !poolable::<M, I>() {
         defer_batch(vec![entry], guard);
         return;
@@ -333,7 +511,9 @@ fn defer_batch(batch: Vec<Pending>, guard: &Guard) {
                     })
                     .unwrap_or(false);
                 if !cached {
-                    std::alloc::dealloc(entry.ptr, pool_layout());
+                    // Free list full: offer the block to other threads
+                    // through the handoff outbox instead of freeing it.
+                    overflow(entry.ptr);
                 }
             }
         });

@@ -28,6 +28,34 @@
 //! reclamation protocol relies on this); the collector runs closures
 //! outside all internal locks and thread-local borrows to keep that
 //! re-entrancy safe.
+//!
+//! # Bounding the mutator's collection cost
+//!
+//! By default a collection tick inside [`pin`] runs *every* ready
+//! closure inline — under churn one unlucky operation can absorb an
+//! entire batch that built up while a peer was pinned (or descheduled).
+//! Two opt-in modes bound that tail, selected by environment variables
+//! read at first use and adjustable at runtime:
+//!
+//! * **Budgeted** (`LLX_EPOCH_BUDGET=N`, [`set_collect_budget`]): each
+//!   amortized tick runs at most `N` ready closures; the remainder
+//!   stays queued for later ticks. Reclamation throughput is unchanged
+//!   (ticks are frequent), only the per-tick bite is capped.
+//! * **Background** (`LLX_EPOCH_BG=1`, [`enable_background_reclaimer`]):
+//!   a dedicated reclaimer thread owns collection. Amortized ticks
+//!   shrink to "seal the bag and nudge the reclaimer" — no mutator
+//!   ever runs a deferred closure from `pin` — and the reclaimer
+//!   drains the queue in budgeted passes, also self-waking on a short
+//!   timeout so ready work never waits on the next tick. Background
+//!   mode is sticky for the process (the thread parks when idle).
+//!
+//! Neither mode weakens the safety rule: a closure still only runs
+//! once its tag is strictly older than every pinned thread (and than
+//! the epoch the collection installs — the TOCTOU bound). And
+//! [`Guard::flush`] keeps its deterministic contract in every mode: it
+//! collects inline with no budget *and waits for closures detached by
+//! other collectors (the reclaimer included) to finish*, so
+//! `flush`-loop drains still reach quiescence exactly as before.
 
 #![warn(missing_docs)]
 
@@ -35,8 +63,9 @@ use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::fmt;
 use std::marker::PhantomData;
-use std::sync::atomic::{fence, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Once, OnceLock};
+use std::time::Duration;
 
 /// Slot value meaning "this thread is not pinned".
 const INACTIVE: u64 = u64::MAX;
@@ -46,6 +75,10 @@ const BAG_FLUSH: usize = 64;
 
 /// Run a collection on every Nth outermost [`pin`].
 const COLLECT_EVERY: u64 = 64;
+
+/// The background reclaimer's self-wake interval: ready work whose
+/// epoch expired between ticks is picked up at most this much later.
+const BG_IDLE_WAKE: Duration = Duration::from_millis(1);
 
 struct Slot {
     epoch: AtomicU64,
@@ -70,6 +103,203 @@ fn global() -> &'static Global {
         slots: Mutex::new(Vec::new()),
         queue: Mutex::new(VecDeque::new()),
     })
+}
+
+/// Collection-mode configuration, env-initialized and runtime-tunable.
+struct Config {
+    /// Max closures per collection tick; `0` means unbounded.
+    budget: AtomicUsize,
+    /// Whether the dedicated background reclaimer owns amortized
+    /// collection (sticky once set).
+    background: AtomicBool,
+}
+
+fn config() -> &'static Config {
+    static CONFIG: OnceLock<Config> = OnceLock::new();
+    CONFIG.get_or_init(|| {
+        let budget = std::env::var("LLX_EPOCH_BUDGET")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0usize);
+        let background = matches!(
+            std::env::var("LLX_EPOCH_BG").as_deref(),
+            Ok("1") | Ok("on") | Ok("true")
+        );
+        Config {
+            budget: AtomicUsize::new(budget),
+            background: AtomicBool::new(background),
+        }
+    })
+}
+
+/// Set the per-tick collection budget (`0` = unbounded, the default).
+/// Shim extension over the real crossbeam-epoch API: initialized from
+/// `LLX_EPOCH_BUDGET`, runtime-tunable so one process can A/B modes.
+/// [`Guard::flush`] always collects without a budget.
+pub fn set_collect_budget(budget: usize) {
+    config().budget.store(budget, Ordering::Relaxed);
+}
+
+/// The current per-tick collection budget (`0` = unbounded).
+pub fn collect_budget() -> usize {
+    config().budget.load(Ordering::Relaxed)
+}
+
+/// Closures queued for reclamation right now (global queue only; bags
+/// still thread-local are not counted). Shim extension, for tests and
+/// observability.
+pub fn queued_reclaims() -> usize {
+    global().queue.lock().unwrap().len()
+}
+
+/// Closures detached by some collector but not yet finished running.
+/// [`Guard::flush`] waits on this; exposed for tests.
+static IN_FLIGHT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Depth of deferred closures currently running on this thread; a
+    /// `flush` from inside one must not wait for `IN_FLIGHT` to reach
+    /// zero (it includes the closure itself).
+    static RUNNING_CLOSURES: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Background reclaimer: a parked thread nudged by amortized ticks.
+struct BgReclaimer {
+    pending: Mutex<bool>,
+    wake: Condvar,
+}
+
+fn bg() -> &'static BgReclaimer {
+    static BG: OnceLock<BgReclaimer> = OnceLock::new();
+    BG.get_or_init(|| BgReclaimer {
+        pending: Mutex::new(false),
+        wake: Condvar::new(),
+    })
+}
+
+/// Whether the background reclaimer owns amortized collection.
+pub fn background_active() -> bool {
+    config().background.load(Ordering::Relaxed)
+}
+
+/// Hook run by the background reclaimer at the end of every drain
+/// cycle, on the reclaimer thread itself. Deferred closures that run
+/// on the reclaimer may buffer work in *its* thread-locals (the
+/// SCX-record pool stages retirement batches that way); since the
+/// reclaimer never exits and no other thread can reach those
+/// thread-locals, this hook is the reclaimer's substitute for the
+/// seal-at-thread-exit path. First registration wins; the hook must
+/// be cheap when there is nothing to seal.
+static IDLE_HOOK: OnceLock<fn()> = OnceLock::new();
+
+/// Register the reclaimer's end-of-cycle hook (shim extension; see
+/// [`IDLE_HOOK`]'s comment). Later registrations are ignored.
+pub fn set_reclaimer_idle_hook(hook: fn()) {
+    let _ = IDLE_HOOK.set(hook);
+}
+
+/// Completed reclaimer drain cycles, for [`reclaimer_quiesce`].
+static BG_CYCLES: AtomicU64 = AtomicU64::new(0);
+
+/// Wait until the background reclaimer has completed a full drain
+/// cycle (drain + idle hook) that *started after* this call — i.e.
+/// any work it was holding when we were called has been flushed
+/// through its hook. No-op when background mode is off. Teardown/test
+/// helper for deterministic drains; never needed for safety.
+pub fn reclaimer_quiesce() {
+    if !background_active() {
+        return;
+    }
+    ensure_bg_thread();
+    let start = BG_CYCLES.load(Ordering::SeqCst);
+    bg_notify();
+    // +2: cycle start+1 may already have been mid-flight when we
+    // loaded; start+2 must have begun after our nudge.
+    while BG_CYCLES.load(Ordering::SeqCst) < start + 2 {
+        bg_notify();
+        std::thread::yield_now();
+    }
+}
+
+/// Switch amortized collection to the dedicated background reclaimer
+/// thread (idempotent; sticky for the process). Shim extension over
+/// the real crossbeam-epoch API; env equivalent `LLX_EPOCH_BG=1`.
+/// Explicit [`Guard::flush`] calls still collect inline so tests keep
+/// their deterministic drain.
+pub fn enable_background_reclaimer() {
+    config().background.store(true, Ordering::Relaxed);
+    ensure_bg_thread();
+}
+
+fn ensure_bg_thread() {
+    static STARTED: Once = Once::new();
+    STARTED.call_once(|| {
+        std::thread::Builder::new()
+            .name("llx-epoch-reclaimer".into())
+            .spawn(bg_loop)
+            .expect("spawn background reclaimer");
+    });
+}
+
+/// The reclaimer body: park until nudged (or the idle-wake timeout),
+/// then run budgeted collection passes until no closure is ready.
+/// Never exits — it parks unpinned when idle, so it cannot hold the
+/// epoch back, and process teardown reaps it like any daemon thread.
+fn bg_loop() {
+    loop {
+        {
+            let state = bg();
+            let mut pending = state.pending.lock().unwrap();
+            while !*pending {
+                let (guard, timeout) = state.wake.wait_timeout(pending, BG_IDLE_WAKE).unwrap();
+                pending = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            *pending = false;
+        }
+        // A panicking closure must not kill the reclaimer: inline mode
+        // surfaces such a panic on the mutator, but here it would die
+        // silently, no thread would ever collect again, and
+        // reclaimer_quiesce would hang every flush_reclamation caller.
+        // The InFlightGuard already restores the counters on unwind;
+        // report and keep the loop alive.
+        let cycle = std::panic::catch_unwind(|| {
+            // Drain in budgeted passes: each pass advances the epoch,
+            // so closures deferred during the drain become ready
+            // without waiting for another nudge.
+            loop {
+                let budget = collect_budget();
+                let ran = collect_budgeted(if budget == 0 { usize::MAX } else { budget });
+                if ran == 0 {
+                    break;
+                }
+            }
+            // Seal anything the drained closures buffered in this
+            // thread's locals before publishing cycle completion.
+            if let Some(hook) = IDLE_HOOK.get() {
+                hook();
+            }
+            // The closures' own re-defers land in the *reclaimer's*
+            // bag, and this thread pins far too rarely for the
+            // amortized bag-seal tick: seal explicitly every cycle, or
+            // next-stage work would strand here between cycles.
+            let _ = LOCAL.try_with(Local::seal_bag);
+        });
+        if cycle.is_err() {
+            eprintln!("llx-epoch-reclaimer: a deferred closure panicked; reclamation continues");
+        }
+        BG_CYCLES.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Nudge the background reclaimer (amortized tick in background mode).
+fn bg_notify() {
+    ensure_bg_thread();
+    let state = bg();
+    *state.pending.lock().unwrap() = true;
+    state.wake.notify_one();
 }
 
 struct Local {
@@ -155,7 +385,14 @@ pub fn pin() -> Guard {
                 // collection, and re-entrant pins from closures nest
                 // above pins == 0 correctly.
                 local.seal_bag();
-                collect();
+                if background_active() {
+                    // The reclaimer owns collection: the mutator's
+                    // whole tick is one lock + notify.
+                    bg_notify();
+                } else {
+                    let budget = collect_budget();
+                    collect_budgeted(if budget == 0 { usize::MAX } else { budget });
+                }
             }
             // Publish the epoch, then re-check it: if the global epoch
             // moved while we were publishing, a concurrent collector may
@@ -226,9 +463,19 @@ impl Guard {
     ///
     /// Repeatedly calling `pin().flush()` drains the queue: each call
     /// pins at a fresh epoch, so older tags fall below the minimum.
+    /// `flush` ignores the collection budget and — unless called from
+    /// inside a deferred closure — waits for closures detached by
+    /// concurrent collectors (the background reclaimer included) to
+    /// finish, so its deterministic-drain contract holds in every
+    /// collection mode.
     pub fn flush(&self) {
         let _ = LOCAL.try_with(Local::seal_bag);
-        collect();
+        collect_budgeted(usize::MAX);
+        if RUNNING_CLOSURES.with(Cell::get) == 0 {
+            while IN_FLIGHT.load(Ordering::SeqCst) > 0 {
+                std::thread::yield_now();
+            }
+        }
     }
 }
 
@@ -247,8 +494,9 @@ impl Drop for Guard {
     }
 }
 
-/// Advance the global epoch and run the ready queued closures.
-fn collect() {
+/// Advance the global epoch and run up to `max_run` ready queued
+/// closures (the rest stay queued, in order). Returns how many ran.
+fn collect_budgeted(max_run: usize) -> usize {
     let g = global();
     let epoch_now = g.epoch.fetch_add(1, Ordering::SeqCst) + 1;
     let min_pinned = {
@@ -269,24 +517,52 @@ fn collect() {
     let limit = min_pinned.min(epoch_now);
     // Detach the ready closures first, then run them with no lock or
     // thread-local borrow held: closures may re-enter
-    // pin/defer_unchecked/flush.
+    // pin/defer_unchecked/flush. `IN_FLIGHT` covers the
+    // detached-but-unfinished window so a concurrent `flush` cannot
+    // declare quiescence while this collector still holds work.
+    //
+    // The scan stops at the first non-ready item (head-of-line, like
+    // the real crossbeam-epoch's bag queue): per-thread tags are
+    // non-decreasing, so the queue is *approximately* oldest-first and
+    // a ready item stuck behind a blocked head just waits for the next
+    // collection. The payoff is that a budgeted tick costs
+    // O(budget), not O(queue) — scanning (popping and re-queuing) the
+    // whole backlog on every tick is exactly the unbounded mutator
+    // bite the budget exists to prevent.
     let ready: Vec<Deferred> = {
         let mut queue = g.queue.lock().unwrap();
         let mut ready = Vec::new();
-        let mut keep = VecDeque::with_capacity(queue.len());
-        while let Some((epoch, d)) = queue.pop_front() {
-            if epoch < limit {
-                ready.push(d);
-            } else {
-                keep.push_back((epoch, d));
+        while ready.len() < max_run {
+            match queue.front() {
+                Some((epoch, _)) if *epoch < limit => {
+                    let (_, d) = queue.pop_front().expect("front was Some");
+                    ready.push(d);
+                }
+                _ => break,
             }
         }
-        *queue = keep;
+        if !ready.is_empty() {
+            IN_FLIGHT.fetch_add(ready.len(), Ordering::SeqCst);
+        }
         ready
     };
+    let ran = ready.len();
     for d in ready {
+        RUNNING_CLOSURES.with(|c| c.set(c.get() + 1));
+        // A panicking closure must not strand the counters (the queue
+        // is process-global state shared with every other test in the
+        // binary); restore them even on unwind.
+        struct InFlightGuard;
+        impl Drop for InFlightGuard {
+            fn drop(&mut self) {
+                RUNNING_CLOSURES.with(|c| c.set(c.get() - 1));
+                IN_FLIGHT.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let _guard = InFlightGuard;
         (d.0)();
     }
+    ran
 }
 
 #[cfg(test)]
@@ -294,9 +570,14 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
 
+    /// Mode-robust deterministic drain: in background mode (the whole
+    /// suite may run under `LLX_EPOCH_BG=1`) re-defers can land in the
+    /// reclaimer's bag, which only its own cycle seals — quiesce on it
+    /// between flushes (no-op in inline mode).
     fn drain() {
         for _ in 0..16 {
             pin().flush();
+            reclaimer_quiesce();
         }
     }
 
@@ -390,14 +671,24 @@ mod tests {
             unsafe { guard.defer_unchecked(move || ran2.fetch_add(1, Ordering::SeqCst)) };
         }
         // Loop some more pins with no defers so collection ticks fire.
-        for _ in 0..(COLLECT_EVERY as usize * 4) {
-            let _ = pin();
+        // In background mode the ticks only *nudge* the reclaimer, so
+        // give the asynchronous drain a bounded grace period (inline
+        // mode passes on the first check).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            for _ in 0..(COLLECT_EVERY as usize * 4) {
+                let _ = pin();
+            }
+            let reclaimed = ran.load(Ordering::SeqCst);
+            if reclaimed >= N / 2 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "amortized collection reclaimed only {reclaimed}/{N}"
+            );
+            std::thread::yield_now();
         }
-        let reclaimed = ran.load(Ordering::SeqCst);
-        assert!(
-            reclaimed >= N / 2,
-            "amortized collection reclaimed only {reclaimed}/{N}"
-        );
     }
 
     #[test]

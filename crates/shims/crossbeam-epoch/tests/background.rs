@@ -1,0 +1,147 @@
+//! Background-reclaimer mode, in its own process: enabling the
+//! reclaimer is sticky, so these tests must not share a binary with
+//! the inline-mode tests. Tests serialize on a mutex.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam_epoch::{enable_background_reclaimer, pin, set_collect_budget};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn defer_bump(guard: &crossbeam_epoch::Guard, ran: &Arc<AtomicUsize>) {
+    let ran = Arc::clone(ran);
+    unsafe { guard.defer_unchecked(move || ran.fetch_add(1, Ordering::SeqCst)) };
+}
+
+/// Poll until `ran` reaches `want` (the reclaimer runs asynchronously).
+fn await_count(ran: &AtomicUsize, want: usize) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while ran.load(Ordering::SeqCst) < want {
+        assert!(
+            Instant::now() < deadline,
+            "reclaimer lost defers: {}/{want}",
+            ran.load(Ordering::SeqCst)
+        );
+        std::thread::yield_now();
+    }
+    assert_eq!(ran.load(Ordering::SeqCst), want, "closure ran twice");
+}
+
+/// Multi-thread churn with the reclaimer owning collection: every
+/// deferred closure runs exactly once, without any flush call.
+#[test]
+fn no_defers_lost_under_background_churn() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    enable_background_reclaimer();
+    let ran = Arc::new(AtomicUsize::new(0));
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 300;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let ran = Arc::clone(&ran);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    let guard = pin();
+                    defer_bump(&guard, &ran);
+                    drop(guard);
+                    if i % 13 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // No flush: the exiting threads sealed their bags, and the
+    // reclaimer's self-wake drains them without another nudge.
+    await_count(&ran, THREADS * PER_THREAD);
+}
+
+/// `flush` keeps its deterministic-drain contract while the reclaimer
+/// races it: a bounded flush loop reaches full quiescence.
+#[test]
+fn flush_fully_drains_with_the_reclaimer_running() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    enable_background_reclaimer();
+    let ran = Arc::new(AtomicUsize::new(0));
+    {
+        let guard = pin();
+        for _ in 0..200 {
+            defer_bump(&guard, &ran);
+        }
+    }
+    // The reclaimer may legitimately be mid-collection (pinned inside
+    // a closure) during any single flush; the loop is bounded anyway.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while ran.load(Ordering::SeqCst) < 200 {
+        assert!(Instant::now() < deadline, "flush loop failed to drain");
+        pin().flush();
+    }
+    assert_eq!(ran.load(Ordering::SeqCst), 200);
+}
+
+/// A pinned peer still blocks collection in background mode: the
+/// reclaimer must never run a closure whose epoch a live guard can
+/// still observe.
+#[test]
+fn pinned_peer_blocks_the_background_reclaimer() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    enable_background_reclaimer();
+    let ran = Arc::new(AtomicUsize::new(0));
+    let hold = Arc::new(Barrier::new(2));
+    let release = Arc::new(Barrier::new(2));
+    let peer = {
+        let hold = Arc::clone(&hold);
+        let release = Arc::clone(&release);
+        std::thread::spawn(move || {
+            let _guard = pin();
+            hold.wait();
+            release.wait();
+        })
+    };
+    hold.wait(); // peer is pinned now
+    {
+        let guard = pin();
+        defer_bump(&guard, &ran);
+        guard.flush(); // seal the bag so the reclaimer can see it
+    }
+    // Nudge the reclaimer hard (ticks fire every 64th pin) and give
+    // its 1 ms self-wake plenty of chances to misbehave.
+    for _ in 0..64 * 4 {
+        let _ = pin();
+    }
+    std::thread::sleep(Duration::from_millis(40));
+    assert_eq!(
+        ran.load(Ordering::SeqCst),
+        0,
+        "reclaimer freed under a pinned peer"
+    );
+    release.wait();
+    peer.join().unwrap();
+    await_count(&ran, 1);
+}
+
+/// Budget and background compose: the reclaimer drains in budgeted
+/// passes without losing anything.
+#[test]
+fn budgeted_background_drains_completely() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    enable_background_reclaimer();
+    set_collect_budget(2);
+    let ran = Arc::new(AtomicUsize::new(0));
+    {
+        let guard = pin();
+        for _ in 0..150 {
+            defer_bump(&guard, &ran);
+        }
+    }
+    for _ in 0..64 * 2 {
+        let _ = pin();
+    }
+    await_count(&ran, 150);
+    set_collect_budget(0);
+}

@@ -61,6 +61,41 @@ impl Mix {
         }
     }
 
+    /// The pure-insertion mix: every operation inserts.
+    pub fn insert_only() -> Self {
+        Mix {
+            get: 0,
+            insert: 100,
+            remove: 0,
+            scan: 0,
+        }
+    }
+
+    /// The pure-removal mix: every operation removes.
+    pub fn remove_only() -> Self {
+        Mix {
+            get: 0,
+            insert: 0,
+            remove: 100,
+            scan: 0,
+        }
+    }
+
+    /// The **pipeline** mix: thread roles instead of a blended stream —
+    /// even threads are dedicated inserters, odd threads dedicated
+    /// removers. This is the shape that defeats purely per-thread
+    /// resource caching (one thread only retires, its partner only
+    /// allocates), so it is the showcase workload for the SCX-record
+    /// pool's cross-thread shard handoff and the `bench-harness lat`
+    /// experiment. Use an even thread count for a balanced pipeline.
+    pub fn pipeline(thread: usize) -> Self {
+        if thread.is_multiple_of(2) {
+            Mix::insert_only()
+        } else {
+            Mix::remove_only()
+        }
+    }
+
     /// This mix with `scan`% of the lookup share converted into range
     /// scans (updates are untouched, so ledger-based conservation tests
     /// keep their insert/remove balance).
@@ -226,8 +261,13 @@ pub fn prefill_keys(n: u64) -> impl Iterator<Item = u64> {
 /// | `LLX_SCANWIN_WRITE_RATE` | `bench-harness scanwin` | target updates/second of the fixed-rate writer each `scanwin` cell runs against (default 2000) |
 /// | `LLX_BENCH_PAR` | `bench-harness` (`compare`, `scanwin`) | `1`/`on`/`true` runs sweep cells in parallel on scoped threads (cells are independent structures); default off so single-core baselines stay comparable |
 /// | `LLX_BENCH_CELL_MILLIS` | `bench-harness` throughput experiments | duration (ms) of each measured throughput cell (default 300; CI smoke runs use ~20) |
+/// | `LLX_BENCH_JSON` | `bench-harness` | path to also write every experiment table + pool counters as JSON (same as `--json PATH`); machine-readable cross-PR benchmark trail |
 /// | `LLX_SCX_POOL` | `llx-scx` reclamation | `0`/`off`/`false` disables the SCX-record pool (per-record defers; A/B benchmarking) |
 /// | `LLX_SCX_POOL_CAP` | `llx-scx` reclamation | per-thread free-list capacity of the SCX-record pool (default 256) |
+/// | `LLX_SCX_HANDOFF` | `llx-scx` reclamation | `0`/`off`/`false` disables the cross-thread shard handoff (free-list overflow returns to the allocator instead of feeding other threads; A/B benchmarking) |
+/// | `LLX_SCX_SHARD` | `llx-scx` reclamation | blocks per handoff shard — the unit in which overflow blocks publish and allocating threads steal (default 16) |
+/// | `LLX_EPOCH_BUDGET` | `crossbeam-epoch` shim (and the `bench-harness lat` budgeted column, default 32 there) | max deferred closures run per amortized collection tick inside `pin()`; `0` (default) = unbounded. `Guard::flush` is never budgeted |
+/// | `LLX_EPOCH_BG` | `crossbeam-epoch` shim | `1`/`on`/`true` moves amortized collection to a dedicated background reclaimer thread — mutators never run deferred closures from `pin()`. Sticky for the process; `flush` still drains inline deterministically |
 /// | `PROPTEST_CASES` | every property test (proptest shim) | overrides the case count |
 /// | `PROPTEST_SEED` | every property test (proptest shim) | perturbs the otherwise deterministic streams |
 ///
@@ -334,6 +374,24 @@ mod tests {
             assert_eq!(m.insert + m.remove, u);
             assert_eq!(m.scan, 0);
         }
+    }
+
+    #[test]
+    fn pipeline_mix_assigns_pure_roles() {
+        for t in 0..6 {
+            let m = Mix::pipeline(t);
+            m.validate().unwrap();
+            if t % 2 == 0 {
+                assert_eq!((m.insert, m.remove), (100, 0), "thread {t} inserts");
+            } else {
+                assert_eq!((m.insert, m.remove), (0, 100), "thread {t} removes");
+            }
+            assert_eq!(m.get + m.scan, 0, "pipeline roles never read");
+        }
+        let mut g = WorkloadGen::new(5, 0, KeyDist::uniform(8), Mix::insert_only());
+        assert!((0..100).all(|_| g.next_op().0 == OpKind::Insert));
+        let mut g = WorkloadGen::new(5, 1, KeyDist::uniform(8), Mix::remove_only());
+        assert!((0..100).all(|_| g.next_op().0 == OpKind::Remove));
     }
 
     #[test]
