@@ -39,11 +39,27 @@
 #                  latency table is well-formed (every structure in
 #                  all three epoch modes x two mixes, 9 fields per
 #                  row) and that --json writes a non-empty document
+#   model          deterministic schedule exploration (crates/modelcheck):
+#                  builds the workspace with `--cfg llx_model` so every
+#                  atomic routes through the instrumented sync facades,
+#                  then exhaustively explores the tests/model.rs kernels
+#                  up to the preemption bound. Two legs: the real
+#                  protocol must come back clean, and a second build
+#                  with `--cfg llx_model_bugs` re-introduces the PR-2
+#                  seed races, which the explorer must re-find
+#                  deterministically. A full ./ci.sh run explores the
+#                  clean kernels at bound 1 to stay quick;
+#                  `./ci.sh --stage model` uses the default bound 2
+#                  (override with LLX_MODEL_BOUND). The regression
+#                  tests pin bound >= 2 themselves.
+#   audit          ordering-discipline audit (tools/ordering-audit.sh):
+#                  every SeqCst/Relaxed site must carry a `// ord:`
+#                  justification or an allowlist entry
 #   clippy         cargo clippy --workspace --all-targets -D warnings
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(fmt build test pool-off debug-stress scanwin bg-reclaim doctest examples benches compare-smoke latency clippy)
+ALL_STAGES=(fmt build test pool-off debug-stress scanwin bg-reclaim doctest examples benches compare-smoke latency model audit clippy)
 QUICK_STAGES=(fmt build test)
 
 QUICK=0
@@ -242,6 +258,29 @@ stage_latency() {
     echo "    lat table: $((6 * ${#structures[@]})) rows, all structures in all modes, JSON sidecar ok"
 }
 
+stage_model() {
+    # Separate target dirs: the model cfgs change type layouts workspace-wide,
+    # so sharing ./target with the other stages would thrash the cache.
+    local bound="${LLX_MODEL_BOUND:-1}"
+    if [[ -n "$ONLY" ]]; then
+        bound="${LLX_MODEL_BOUND:-2}"
+    fi
+    echo "    exploring clean kernels at preemption bound $bound" \
+        "(regression legs pin bound >= 2)"
+    # -p scopes to the workspace root's tests/model.rs (crates/multiset has
+    # an unrelated `model` test target of its own).
+    LLX_MODEL_BOUND="$bound" RUSTFLAGS="--cfg llx_model -Dwarnings" \
+        CARGO_TARGET_DIR=target/model \
+        cargo test -q -p llx-scx-repro --test model
+    LLX_MODEL_BOUND="$bound" RUSTFLAGS="--cfg llx_model --cfg llx_model_bugs -Dwarnings" \
+        CARGO_TARGET_DIR=target/model-bugs \
+        cargo test -q -p llx-scx-repro --test model
+}
+
+stage_audit() {
+    ./tools/ordering-audit.sh
+}
+
 stage_clippy() {
     cargo clippy --workspace --all-targets -- -D warnings
 }
@@ -280,6 +319,8 @@ run_stage examples stage_examples
 run_stage benches stage_benches
 run_stage compare-smoke stage_compare_smoke
 run_stage latency stage_latency
+run_stage model stage_model
+run_stage audit stage_audit
 run_stage clippy stage_clippy
 
 echo

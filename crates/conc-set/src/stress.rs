@@ -186,6 +186,7 @@ pub fn run(
                     let mut retries = 0u64;
                     let mut net = 0i64;
                     while !stop.load(Ordering::Relaxed) {
+                        // ord: test stop flag; no data ordering
                         let (kind, key) = gen.next_op();
                         let count = if counting { 1 + key % 2 } else { 1 };
                         match kind {
@@ -217,7 +218,7 @@ pub fn run(
             })
             .collect();
         std::thread::sleep(duration);
-        stop.store(true, Ordering::Relaxed);
+        stop.store(true, Ordering::Relaxed); // ord: test stop flag; no data ordering
         handles.into_iter().map(|h| h.join().unwrap()).fold(
             (0u64, 0u64, 0u64, 0u64, 0i64),
             |(o, s, w, r, n), (po, ps, pw, pr, pn)| (o + po, s + ps, w + pw, r + pr, n + pn),

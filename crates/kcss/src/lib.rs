@@ -79,13 +79,13 @@ impl KcssLoc {
 
     /// Read the current value.
     pub fn read(&self) -> u32 {
-        self.word.load(Ordering::SeqCst) as u32
+        self.word.load(Ordering::SeqCst) as u32 // ord: SC read of the tagged word; k-CSS proof assumes SC
     }
 
     /// Load-linked: returns a handle for a later [`KcssLoc::sc`].
     pub fn ll(&self) -> LlHandle {
         LlHandle {
-            word: self.word.load(Ordering::SeqCst),
+            word: self.word.load(Ordering::SeqCst), // ord: SC snapshot read; k-CSS proof assumes SC
         }
     }
 
@@ -94,13 +94,13 @@ impl KcssLoc {
     pub fn sc(&self, handle: LlHandle, new: u32) -> bool {
         let next = ((handle.word >> 32).wrapping_add(1) << 32) | new as u64;
         self.word
-            .compare_exchange(handle.word, next, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(handle.word, next, Ordering::SeqCst, Ordering::SeqCst) // ord: SC tag-and-swap CAS; k-CSS proof assumes SC
             .is_ok()
     }
 
     /// The raw versioned word; used by the double collect.
     fn snapshot_word(&self) -> u64 {
-        self.word.load(Ordering::SeqCst)
+        self.word.load(Ordering::SeqCst) // ord: SC read of the tagged word; k-CSS proof assumes SC
     }
 }
 
@@ -206,6 +206,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let mut wins = 0u32;
                 while !stop.load(Ordering::Relaxed) {
+                    // ord: test stop flag; no data ordering
                     let cur = a.read();
                     if kcss(&a, cur, cur + 1, &[(&gate, 1)]) {
                         wins += 1;
@@ -215,7 +216,7 @@ mod tests {
             }));
         }
         std::thread::sleep(std::time::Duration::from_millis(200));
-        stop.store(true, Ordering::Relaxed);
+        stop.store(true, Ordering::Relaxed); // ord: test stop flag; no data ordering
         let total: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
         assert_eq!(a.read(), total);
     }

@@ -106,7 +106,7 @@ impl Clock {
 
     /// The next timestamp.
     pub fn tick(&self) -> u64 {
-        self.counter.fetch_add(1, Ordering::SeqCst)
+        self.counter.fetch_add(1, Ordering::SeqCst) // ord: SC tick gives the linearization log a total order
     }
 }
 

@@ -12,7 +12,7 @@
 //! The *dummy SCX-record* of the paper (always `Aborted`, never helped —
 //! Lemma 11) is a single `static` header shared by every domain.
 
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use crate::sync::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 
 /// The state of an SCX-record (paper Fig. 1 and Fig. 7).
 ///
@@ -84,7 +84,7 @@ pub(crate) struct ScxHeader {
 
 /// Debug builds: source of unique SCX-record generations.
 #[cfg(debug_assertions)]
-static NEXT_GEN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+static NEXT_GEN: crate::sync::AtomicU64 = crate::sync::AtomicU64::new(1);
 
 /// The dummy SCX-record every fresh Data-record's `info` field points to.
 pub(crate) static DUMMY: ScxHeader = ScxHeader {
@@ -110,17 +110,19 @@ impl ScxHeader {
             dummy: false,
             refs: AtomicUsize::new(1),
             cas_refs: AtomicUsize::new(1),
-            deps_scheduled: AtomicBool::new(false),
-            deps_released: AtomicBool::new(false),
+            // Bug gate: with `info_fields` holds disabled there is no
+            // dependency stage; records are born "deps done".
+            deps_scheduled: AtomicBool::new(cfg!(llx_model_bugs)),
+            deps_released: AtomicBool::new(cfg!(llx_model_bugs)),
             claimed: AtomicBool::new(false),
             #[cfg(debug_assertions)]
-            gen: NEXT_GEN.fetch_add(1, Ordering::Relaxed),
+            gen: NEXT_GEN.fetch_add(1, Ordering::Relaxed), // ord: debug gen stamp; uniqueness only, no sync role
         }
     }
 
     #[inline]
     pub(crate) fn state(&self) -> ScxState {
-        ScxState::from_u8(self.state.load(Ordering::SeqCst))
+        ScxState::from_u8(self.state.load(Ordering::SeqCst)) // ord: SCX-record state machine is SC (paper Fig. 4)
     }
 
     /// Perform a commit step or abort step (paper Fig. 4 lines 34, 41).
@@ -140,18 +142,18 @@ impl ScxHeader {
                 "illegal SCX state transition {old:?} -> {new:?} (paper Fig. 7)"
             );
         }
-        self.state.store(new as u8, Ordering::SeqCst);
+        self.state.store(new as u8, Ordering::SeqCst); // ord: SCX-record state machine is SC (paper Fig. 4)
     }
 
     #[inline]
     pub(crate) fn all_frozen(&self) -> bool {
-        self.all_frozen.load(Ordering::SeqCst)
+        self.all_frozen.load(Ordering::SeqCst) // ord: allFrozen flag is SC (paper Fig. 4)
     }
 
     /// The frozen step (paper Fig. 4 line 37).
     #[inline]
     pub(crate) fn set_all_frozen(&self) {
-        self.all_frozen.store(true, Ordering::SeqCst);
+        self.all_frozen.store(true, Ordering::SeqCst); // ord: allFrozen flag is SC (paper Fig. 4)
     }
 
     #[inline]
@@ -177,7 +179,7 @@ mod tests {
         assert_eq!(h.state(), ScxState::InProgress);
         assert!(!h.all_frozen());
         assert!(!h.is_dummy());
-        assert_eq!(h.refs.load(Ordering::SeqCst), 1);
+        assert_eq!(h.refs.load(Ordering::SeqCst), 1); // ord: test-only assert; exactness over speed
     }
 
     #[test]

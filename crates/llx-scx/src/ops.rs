@@ -14,9 +14,9 @@
 //! | update CAS        | `help`, `compare_exchange` on `fld` (line 39) |
 //! | commit step       | `help`, `set_state(Committed)` (line 41)|
 
+use crate::sync::Ordering;
 use std::fmt;
 use std::marker::PhantomData;
-use std::sync::atomic::Ordering;
 
 use crossbeam_epoch::Guard;
 
@@ -137,14 +137,14 @@ impl<const M: usize, I> Domain<M, I> {
     /// involving `r` (retry in that case).
     pub fn llx<'g>(&self, r: &'g DataRecord<M, I>, guard: &'g Guard) -> LlxResult<'g, M, I> {
         bump!(self, llx_attempts);
-        let marked1 = r.marked.load(Ordering::SeqCst); // line 3
+        let marked1 = r.marked.load(Ordering::SeqCst); // ord: SC (paper Fig. 4 line 3)
         let rinfo = r.load_info(); // line 4
 
         // SAFETY: `rinfo` was read from `r.info` under our pinned guard;
         // SCX-record destruction is epoch-deferred (see `reclaim`).
         let rinfo_hdr: &ScxHeader = unsafe { &*rinfo };
         let state = rinfo_hdr.state(); // line 5
-        let marked2 = r.marked.load(Ordering::SeqCst); // line 6
+        let marked2 = r.marked.load(Ordering::SeqCst); // ord: SC (paper Fig. 4 line 6)
 
         // line 7: was r frozen at line 5?
         if state == ScxState::Aborted || (state == ScxState::Committed && !marked2) {
@@ -238,12 +238,15 @@ impl<const M: usize, I> Domain<M, I> {
         // stalled helper's freezing CAS could run against a recycled
         // address and succeed spuriously (see `reclaim` on why the
         // `r.info` count alone is not the paper's reachability).
+        // Model-checker regression gate: dropping these holds reopens the
+        // PR-2 recycling ABA for the `llx_model_bugs` scenario suite.
+        #[cfg(not(llx_model_bugs))]
         for h in info_fields.iter() {
             reclaim::acquire_hold(h);
         }
         let target = &req.v[req.fld.record];
         let old = target.values[req.fld.field];
-        let fld = &target.record.mutable[req.fld.field] as *const std::sync::atomic::AtomicU64;
+        let fld = &target.record.mutable[req.fld.field] as *const crate::sync::AtomicU64;
         debug_assert_ne!(
             old, req.new,
             "SCX constraint: `new` must differ from the value read by the linked LLX"
@@ -253,7 +256,7 @@ impl<const M: usize, I> Domain<M, I> {
         // Allocation goes through the per-thread pool, which recycles
         // blocks of retired SCX-records (see `pool`).
         #[cfg(debug_assertions)]
-        crate::scx_record::LIVE_SCX_RECORDS.fetch_add(1, Ordering::SeqCst);
+        crate::scx_record::LIVE_SCX_RECORDS.fetch_add(1, Ordering::SeqCst); // ord: debug live-record count; SC so tests can assert exactly
         let u = crate::pool::alloc(ScxRecord::<M, I> {
             hdr: ScxHeader::new_in_progress(),
             v,
@@ -312,7 +315,7 @@ impl<const M: usize, I> Domain<M, I> {
             reclaim::acquire(u_hdr);
             match r
                 .info
-                .compare_exchange(rinfo, u_hdr, Ordering::SeqCst, Ordering::SeqCst)
+                .compare_exchange(rinfo, u_hdr, Ordering::SeqCst, Ordering::SeqCst) // ord: freezing CAS; SC per paper Fig. 4
             {
                 Ok(displaced) => {
                     // freezing CAS succeeded (line 26): `r` is frozen for
@@ -364,7 +367,7 @@ impl<const M: usize, I> Domain<M, I> {
             if u.finalizes(i) {
                 bump!(self, mark_writes);
                 // SAFETY: as above.
-                unsafe { (*r_ptr).marked.store(true, Ordering::SeqCst) };
+                unsafe { (*r_ptr).marked.store(true, Ordering::SeqCst) }; // ord: mark step; SC per paper Fig. 4
             }
         }
 
@@ -373,7 +376,7 @@ impl<const M: usize, I> Domain<M, I> {
         bump!(self, update_cas);
         // SAFETY: `fld` points into a record in V, protected as above.
         let _ =
-            unsafe { (*u.fld).compare_exchange(u.old, u.new, Ordering::SeqCst, Ordering::SeqCst) };
+            unsafe { (*u.fld).compare_exchange(u.old, u.new, Ordering::SeqCst, Ordering::SeqCst) }; // ord: field-update CAS; SC per paper Fig. 4
 
         // commit step (line 41): finalize all r in R, unfreeze the rest.
         bump!(self, state_writes);

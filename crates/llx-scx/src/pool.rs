@@ -74,10 +74,10 @@
 //! pre-handoff behavior), and `LLX_SCX_SHARD` to change the blocks
 //! per handoff shard.
 
+use crate::sync::{AtomicU64, Mutex, Ordering};
 use std::alloc::Layout;
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 
 use crossbeam_epoch::Guard;
 
@@ -210,7 +210,7 @@ fn steal_shard() -> Option<*mut u8> {
         .unwrap_or_else(|_| carry.take().unwrap_or_default());
     // Count only the blocks actually adopted (served + cached); spill
     // that goes straight back to the allocator is not a handoff.
-    POOL_HANDOFFS.fetch_add((total - spill.len()) as u64, Ordering::Relaxed);
+    POOL_HANDOFFS.fetch_add((total - spill.len()) as u64, Ordering::Relaxed); // ord: pool stats counter; no sync role
     for p in spill {
         // SAFETY: shard blocks are dead and pool_layout-sized.
         unsafe { std::alloc::dealloc(p, pool_layout()) };
@@ -244,16 +244,18 @@ unsafe fn dep_shim<const M: usize, I>(p: *mut u8, guard: &Guard) -> bool {
 }
 
 unsafe fn drop_shim<const M: usize, I>(p: *mut u8, _guard: &Guard) -> bool {
-    use std::sync::atomic::Ordering::SeqCst;
+    use crate::sync::Ordering::SeqCst;
     let rec = p as *mut ScxRecord<M, I>;
     let h = &(*rec).hdr;
     if h.refs.load(SeqCst) != 0 {
+        // ord: SC refcount handshake with release()/drop_shim
         // Between the claim (refs == 0) and this maturation, a straggler
         // with a stale LLX handle captured this record in a new
         // SCX-record's `info_fields` (`acquire_hold` resurrects the
         // count). Re-arm the claim: the hold's release — which runs in
         // the successor's dependency stage — will observe the final
         // zero-crossing and re-stage destruction.
+        // ord: SC refcount handshake with release()/drop_shim
         h.claimed.store(false, SeqCst);
         // The hold's release may have raced us: it can drive refs to
         // zero after our load above but before the re-arm store, see
@@ -262,6 +264,7 @@ unsafe fn drop_shim<const M: usize, I>(p: *mut u8, _guard: &Guard) -> bool {
         // swap owns the block (us: dispose below; the release:
         // re-stage).
         if h.refs.load(SeqCst) != 0 || h.claimed.swap(true, SeqCst) {
+            // ord: SC refcount handshake with release()/drop_shim
             return false;
         }
     }
@@ -374,7 +377,7 @@ pub(crate) fn alloc<const M: usize, I>(record: ScxRecord<M, I>) -> *mut ScxRecor
             // allocator.
             .or_else(|| handoff_enabled().then(steal_shard).flatten());
         if let Some(block) = reused {
-            POOL_HITS.fetch_add(1, Ordering::Relaxed);
+            POOL_HITS.fetch_add(1, Ordering::Relaxed); // ord: pool stats counter; no sync role
             let p = block as *mut ScxRecord<M, I>;
             // SAFETY: the block is unaliased (popped from the free list
             // or adopted from a parked shard, past its retirement
@@ -382,7 +385,7 @@ pub(crate) fn alloc<const M: usize, I>(record: ScxRecord<M, I>) -> *mut ScxRecor
             unsafe { std::ptr::write(p, record) };
             return p;
         }
-        POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+        POOL_MISSES.fetch_add(1, Ordering::Relaxed); // ord: pool stats counter; no sync role
     }
     Box::into_raw(Box::new(record))
 }
@@ -474,6 +477,31 @@ pub(crate) unsafe fn schedule_dep_release<const M: usize, I>(
 /// `rec` must be produced by [`alloc`], claimed exactly once (guarded
 /// by `claimed`), and the caller must hold the pinned `guard`.
 pub(crate) unsafe fn retire<const M: usize, I>(rec: *mut ScxRecord<M, I>, guard: &Guard) {
+    // Bug gate: destroy and recycle the block *immediately*, bypassing
+    // the epoch stage, so a stalled helper's stale SCX-record address
+    // can be reused under it — together with the skipped `info_fields`
+    // holds this is the PR-2 recycling ABA the model checker must find.
+    #[cfg(llx_model_bugs)]
+    {
+        let p = rec as *mut u8;
+        if drop_shim::<M, I>(p, guard) {
+            let cached = POOL
+                .try_with(|pool| {
+                    let mut pool = pool.borrow_mut();
+                    if pool.free.len() < free_cap() {
+                        pool.free.push(p);
+                        true
+                    } else {
+                        false
+                    }
+                })
+                .unwrap_or(false);
+            if !cached {
+                overflow(p);
+            }
+        }
+    }
+    #[cfg(not(llx_model_bugs))]
     stage::<M, I>(
         Pending {
             ptr: rec as *mut u8,
@@ -487,11 +515,11 @@ pub(crate) unsafe fn retire<const M: usize, I>(rec: *mut ScxRecord<M, I>, guard:
 /// Publish one batch; after the epoch expires, run each entry's action
 /// and recycle destruction-stage blocks.
 fn defer_batch(batch: Vec<Pending>, guard: &Guard) {
-    POOL_DEFERS.fetch_add(1, Ordering::Relaxed);
-    // SAFETY: each staged record passed its stage's zero-crossing; by
-    // the time the closure runs, no thread pinned at defer time remains
-    // pinned, so no stale holder — via `r.info` or a newer record's
-    // `info_fields` — can still act on these addresses.
+    POOL_DEFERS.fetch_add(1, Ordering::Relaxed); // ord: pool stats counter; no sync role
+                                                 // SAFETY: each staged record passed its stage's zero-crossing; by
+                                                 // the time the closure runs, no thread pinned at defer time remains
+                                                 // pinned, so no stale holder — via `r.info` or a newer record's
+                                                 // `info_fields` — can still act on these addresses.
     unsafe {
         guard.defer_unchecked(move || {
             let g = crossbeam_epoch::pin();
@@ -542,7 +570,7 @@ pub(crate) fn seal_current_thread(guard: &Guard) {
 pub(crate) fn drain_orphans(guard: &Guard) {
     let parked = std::mem::take(&mut *orphans().lock().unwrap());
     if !parked.is_empty() {
-        POOL_HANDOFFS.fetch_add(parked.len() as u64, Ordering::Relaxed);
+        POOL_HANDOFFS.fetch_add(parked.len() as u64, Ordering::Relaxed); // ord: pool stats counter; no sync role
         defer_batch(parked, guard);
     }
 }

@@ -67,7 +67,7 @@ use crossbeam_epoch::Guard;
 use crate::header::ScxHeader;
 use crate::scx_record::ScxRecord;
 
-use std::sync::atomic::Ordering;
+use crate::sync::Ordering;
 
 /// Acquire an install reference before attempting to install `hdr` into
 /// an `info` field. No-op for the dummy.
@@ -77,8 +77,8 @@ pub(crate) fn acquire(hdr: *const ScxHeader) {
     if h.is_dummy() {
         return;
     }
-    h.refs.fetch_add(1, Ordering::SeqCst);
-    h.cas_refs.fetch_add(1, Ordering::SeqCst);
+    h.refs.fetch_add(1, Ordering::SeqCst); // ord: SC two-stage refcount; pairs with release()
+    h.cas_refs.fetch_add(1, Ordering::SeqCst); // ord: SC two-stage refcount; pairs with release()
 }
 
 /// Acquire a successor hold: `hdr` is being captured in a new
@@ -90,7 +90,7 @@ pub(crate) fn acquire_hold(hdr: *const ScxHeader) {
     if h.is_dummy() {
         return;
     }
-    h.refs.fetch_add(1, Ordering::SeqCst);
+    h.refs.fetch_add(1, Ordering::SeqCst); // ord: SC helper refcount; pairs with release()
 }
 
 /// Release one install reference (creator, `info` field, or a failed
@@ -108,13 +108,19 @@ pub(crate) unsafe fn release<const M: usize, I>(hdr: *const ScxHeader, guard: &G
     if h.is_dummy() {
         return;
     }
-    if h.cas_refs.fetch_sub(1, Ordering::SeqCst) == 1
+    #[cfg(not(llx_model_bugs))]
+    if h.cas_refs.fetch_sub(1, Ordering::SeqCst) == 1 // ord: SC stage-1 decrement; last-out schedules dep release
         && !h.deps_scheduled.swap(true, Ordering::SeqCst)
+    // ord: SC claim flag; at-most-once dep scheduling
     {
         // Stage 1: schedule the epoch-deferred release of this record's
         // holds on its `info_fields` predecessors.
         crate::pool::schedule_dep_release(hdr as *mut ScxRecord<M, I>, guard);
     }
+    // Bug gate: no `info_fields` holds were taken (see `ops::scx`), so
+    // there is no dependency stage to schedule.
+    #[cfg(llx_model_bugs)]
+    h.cas_refs.fetch_sub(1, Ordering::SeqCst); // ord: SC stage-1 decrement (model bug gate: deps skipped)
     release_common::<M, I>(h, hdr, guard);
 }
 
@@ -137,9 +143,10 @@ pub(crate) unsafe fn release_hold<const M: usize, I>(hdr: *const ScxHeader, guar
 /// released retires the record for destruction.
 #[inline]
 unsafe fn release_common<const M: usize, I>(h: &ScxHeader, hdr: *const ScxHeader, guard: &Guard) {
-    if h.refs.fetch_sub(1, Ordering::SeqCst) == 1
-        && h.deps_released.load(Ordering::SeqCst)
+    if h.refs.fetch_sub(1, Ordering::SeqCst) == 1 // ord: SC stage-2 decrement; last-out frees
+        && h.deps_released.load(Ordering::SeqCst) // ord: SC deps gate read; pairs with mature_deps
         && !h.claimed.swap(true, Ordering::SeqCst)
+    // ord: SC claim flag; at-most-once free
     {
         crate::pool::retire(hdr as *mut ScxRecord<M, I>, guard);
     }
@@ -160,8 +167,9 @@ pub(crate) unsafe fn mature_deps<const M: usize, I>(rec: *const ScxRecord<M, I>,
         release_hold::<M, I>(hdr, guard);
     }
     let h = &r.hdr;
-    h.deps_released.store(true, Ordering::SeqCst);
+    h.deps_released.store(true, Ordering::SeqCst); // ord: SC deps gate publish; pairs with release_common
     if h.refs.load(Ordering::SeqCst) == 0 && !h.claimed.swap(true, Ordering::SeqCst) {
+        // ord: SC claim flag; at-most-once free
         crate::pool::retire(rec as *mut ScxRecord<M, I>, guard);
     }
 }

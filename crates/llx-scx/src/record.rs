@@ -1,7 +1,7 @@
 //! Data-records (paper Fig. 1).
 
+use crate::sync::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 
 use crate::header::{ScxHeader, DUMMY};
 use crate::reclaim;
@@ -52,7 +52,7 @@ impl<const M: usize, I> DataRecord<M, I> {
     /// Panics if `field >= M`.
     #[inline]
     pub fn read(&self, field: usize) -> u64 {
-        self.mutable[field].load(Ordering::SeqCst)
+        self.mutable[field].load(Ordering::SeqCst) // ord: SC mutable-field read (paper Fig. 4)
     }
 
     /// Access the immutable payload. Immutable fields never change after
@@ -69,7 +69,7 @@ impl<const M: usize, I> DataRecord<M, I> {
     /// returning [`LlxResult::Finalized`](crate::LlxResult::Finalized).
     #[inline]
     pub fn is_marked(&self) -> bool {
-        self.marked.load(Ordering::SeqCst)
+        self.marked.load(Ordering::SeqCst) // ord: SC marked read (paper Fig. 4)
     }
 
     /// Number of mutable fields, `M`.
@@ -80,7 +80,7 @@ impl<const M: usize, I> DataRecord<M, I> {
 
     #[inline]
     pub(crate) fn load_info(&self) -> *mut ScxHeader {
-        self.info.load(Ordering::SeqCst)
+        self.info.load(Ordering::SeqCst) // ord: SC info-pointer read (paper Fig. 4)
     }
 }
 

@@ -28,7 +28,7 @@ pub(crate) struct ScxRecord<const M: usize, I> {
     /// finalized).
     pub(crate) finalize_mask: u64,
     /// Pointer to the mutable field to be modified (`fld`).
-    pub(crate) fld: *const std::sync::atomic::AtomicU64,
+    pub(crate) fld: *const crate::sync::AtomicU64,
     /// The value read from `fld` by the linked LLX (`old`).
     pub(crate) old: u64,
     /// The value to store into `fld` (`new`).
@@ -46,8 +46,7 @@ pub(crate) struct ScxRecord<const M: usize, I> {
 /// Net count of live (allocated, not yet destroyed) SCX-records across
 /// all domains. Maintained only in debug builds; used by leak tests.
 #[cfg(debug_assertions)]
-pub(crate) static LIVE_SCX_RECORDS: std::sync::atomic::AtomicIsize =
-    std::sync::atomic::AtomicIsize::new(0);
+pub(crate) static LIVE_SCX_RECORDS: crate::sync::AtomicIsize = crate::sync::AtomicIsize::new(0);
 
 /// The number of SCX-records currently allocated, or `None` in release
 /// builds (where the counter is compiled out).
@@ -59,7 +58,7 @@ pub(crate) static LIVE_SCX_RECORDS: std::sync::atomic::AtomicIsize =
 pub fn live_scx_records() -> Option<isize> {
     #[cfg(debug_assertions)]
     {
-        Some(LIVE_SCX_RECORDS.load(std::sync::atomic::Ordering::SeqCst))
+        Some(LIVE_SCX_RECORDS.load(crate::sync::Ordering::SeqCst)) // ord: debug live-record count; SC so tests can assert exactly
     }
     #[cfg(not(debug_assertions))]
     {
@@ -70,17 +69,17 @@ pub fn live_scx_records() -> Option<isize> {
 #[cfg(debug_assertions)]
 impl<const M: usize, I> Drop for ScxRecord<M, I> {
     fn drop(&mut self) {
-        use std::sync::atomic::Ordering::SeqCst;
-        LIVE_SCX_RECORDS.fetch_sub(1, SeqCst);
+        use crate::sync::Ordering::SeqCst;
+        LIVE_SCX_RECORDS.fetch_sub(1, SeqCst); // ord: debug live-record count; SC so tests can assert exactly
         debug_assert!(
-            self.hdr.refs.load(SeqCst) == 0,
+            self.hdr.refs.load(SeqCst) == 0, // ord: drop-time sanity read; record is quiescent here
             "SCX-record destroyed with outstanding references: refs={} cas_refs={} \
              deps_scheduled={} deps_released={} claimed={} state={:?}",
-            self.hdr.refs.load(SeqCst),
-            self.hdr.cas_refs.load(SeqCst),
-            self.hdr.deps_scheduled.load(SeqCst),
-            self.hdr.deps_released.load(SeqCst),
-            self.hdr.claimed.load(SeqCst),
+            self.hdr.refs.load(SeqCst), // ord: drop-time sanity read; record is quiescent here
+            self.hdr.cas_refs.load(SeqCst), // ord: drop-time sanity read; record is quiescent here
+            self.hdr.deps_scheduled.load(SeqCst), // ord: drop-time sanity read; record is quiescent here
+            self.hdr.deps_released.load(SeqCst), // ord: drop-time sanity read; record is quiescent here
+            self.hdr.claimed.load(SeqCst), // ord: drop-time sanity read; record is quiescent here
             self.hdr.state(),
         );
     }
@@ -147,8 +146,8 @@ mod tests {
         // This record was never published; release the creator reference
         // so the debug Drop assertion (refs == 0) holds, and balance the
         // live-record ledger that normally counts `Domain::scx` allocs.
-        rec.hdr.refs.store(0, std::sync::atomic::Ordering::SeqCst);
+        rec.hdr.refs.store(0, crate::sync::Ordering::SeqCst); // ord: re-arm before reuse; record is thread-local here
         #[cfg(debug_assertions)]
-        LIVE_SCX_RECORDS.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        LIVE_SCX_RECORDS.fetch_add(1, crate::sync::Ordering::SeqCst); // ord: debug live-record count; SC so tests can assert exactly
     }
 }

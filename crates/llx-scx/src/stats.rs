@@ -11,7 +11,7 @@
 //! with [`Domain::with_stats`](crate::Domain::with_stats); when disabled
 //! the hot paths execute a single predictable branch.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 
 /// Internal counter block; one per stats-enabled domain.
 #[derive(Debug, Default)]
@@ -37,7 +37,7 @@ pub(crate) struct Stats {
 macro_rules! bump {
     ($domain:expr, $field:ident) => {
         if let Some(s) = $domain.stats.as_deref() {
-            s.$field.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            s.$field.fetch_add(1, $crate::sync::Ordering::Relaxed); // ord: stats counter; no sync role
         }
     };
 }
@@ -45,7 +45,7 @@ pub(crate) use bump;
 
 impl Stats {
     pub(crate) fn snapshot(&self) -> StatsSnapshot {
-        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed); // ord: stats counter snapshot; no sync role
         let pool = crate::pool_stats();
         StatsSnapshot {
             pool_hits: pool.hits,

@@ -1,0 +1,26 @@
+//! Cfg-gated sync facade: every atomic and mutex in this crate routes
+//! through here.
+//!
+//! Normally these are plain re-exports of `std::sync`, so release builds are
+//! byte-identical to using std directly. Under `--cfg llx_model` (set via
+//! `RUSTFLAGS` by ci.sh's `model` stage) they switch to the instrumented
+//! types from the `modelcheck` crate: every operation becomes a preemption
+//! point for the deterministic lockstep scheduler, and every store/load
+//! feeds the vector-clock happens-before checker.
+
+#[cfg(not(llx_model))]
+#[allow(unused_imports)]
+pub use std::sync::atomic::{
+    fence, AtomicBool, AtomicIsize, AtomicPtr, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+};
+
+#[cfg(not(llx_model))]
+#[allow(unused_imports)]
+pub use std::sync::{Mutex, MutexGuard};
+
+#[cfg(llx_model)]
+#[allow(unused_imports)]
+pub use modelcheck::sync::{
+    fence, AtomicBool, AtomicIsize, AtomicPtr, AtomicU64, AtomicU8, AtomicUsize, Mutex, MutexGuard,
+    Ordering,
+};

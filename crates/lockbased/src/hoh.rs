@@ -304,6 +304,7 @@ mod tests {
                 let mut rng = (t + 1).wrapping_mul(0x2545F4914F6CDD1D);
                 let mut net = 0i64;
                 while !stop.load(Ordering::Relaxed) {
+                    // ord: test stop flag; no data ordering
                     rng ^= rng << 13;
                     rng ^= rng >> 7;
                     rng ^= rng << 17;
@@ -319,7 +320,7 @@ mod tests {
             }));
         }
         std::thread::sleep(std::time::Duration::from_millis(150));
-        stop.store(true, Ordering::Relaxed);
+        stop.store(true, Ordering::Relaxed); // ord: test stop flag; no data ordering
         let net: i64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
         assert_eq!(s.len() as i64, net);
     }

@@ -43,12 +43,13 @@
 
 mod multiset;
 mod stats;
+pub(crate) mod sync;
 
 pub use multiset::{KcasMultiset, ScanWindow};
 pub use stats::{kcas_cas_count, kcas_reset_cas_count};
 
+use crate::sync::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use crossbeam_epoch::Guard;
 
@@ -93,7 +94,7 @@ impl KcasCell {
     /// Read the cell's current value, helping any operation in progress.
     pub fn read(&self, guard: &Guard) -> u64 {
         loop {
-            let w = self.word.load(Ordering::SeqCst);
+            let w = self.word.load(Ordering::SeqCst); // ord: SC read of the descriptor word; RDCSS proof assumes SC
             if is_kcas(w) {
                 // SAFETY: tagged pointers reference live descriptors
                 // (refcount + epoch; see `release_desc`).
@@ -169,7 +170,7 @@ fn word_of_rdesc(d: *const RdcssDescriptor) -> u64 {
 
 #[inline]
 fn acquire_desc(d: *const KcasDescriptor) {
-    unsafe { &*d }.refs.fetch_add(1, Ordering::SeqCst);
+    unsafe { &*d }.refs.fetch_add(1, Ordering::SeqCst); // ord: SC descriptor refcount; pairs with dec_refs
 }
 
 /// Release one reference; destroy (epoch-deferred) when the last drops.
@@ -180,6 +181,7 @@ fn acquire_desc(d: *const KcasDescriptor) {
 unsafe fn release_desc(d: *const KcasDescriptor, guard: &Guard) {
     let r = &*d;
     if r.refs.fetch_sub(1, Ordering::SeqCst) == 1 && !r.claimed.swap(true, Ordering::SeqCst) {
+        // ord: SC descriptor refcount + at-most-once claim
         let p = d as *mut KcasDescriptor;
         guard.defer_unchecked(move || drop(Box::from_raw(p)));
     }
@@ -212,7 +214,7 @@ unsafe fn rdcss(
         stats::bump_cas();
         match (*cell)
             .word
-            .compare_exchange(expected, rd_word, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(expected, rd_word, Ordering::SeqCst, Ordering::SeqCst) // ord: RDCSS install CAS; SC per Harris et al.
         {
             Ok(_) => {
                 // Installed: finish the double compare.
@@ -245,7 +247,7 @@ unsafe fn complete_rdcss(rd: *const RdcssDescriptor, guard: &Guard) {
     let r = &*rd;
     // SAFETY: `r.desc` is kept alive by the RDCSS descriptor's counted
     // reference.
-    let undecided = (*r.desc).status.load(Ordering::SeqCst) == Status::Undecided as u64;
+    let undecided = (*r.desc).status.load(Ordering::SeqCst) == Status::Undecided as u64; // ord: SC status read decides RDCSS completion
     let new_word = if undecided {
         word_of_desc(r.desc)
     } else {
@@ -261,8 +263,8 @@ unsafe fn complete_rdcss(rd: *const RdcssDescriptor, guard: &Guard) {
         .compare_exchange(
             word_of_rdesc(rd),
             new_word,
-            Ordering::SeqCst,
-            Ordering::SeqCst,
+            Ordering::SeqCst, // ord: RDCSS complete CAS; SC per Harris et al.
+            Ordering::SeqCst, // ord: RDCSS complete CAS; SC per Harris et al.
         )
         .is_ok();
     if undecided && !installed {
@@ -319,6 +321,7 @@ unsafe fn help_kcas(desc: *const KcasDescriptor, guard: &Guard) -> bool {
     acquire_desc(desc);
     let d = &*desc;
     if d.status.load(Ordering::SeqCst) == Status::Undecided as u64 {
+        // ord: SC status read; k-CAS decision point
         // Phase 1: install into each cell in address order.
         let mut status = Status::Succeeded;
         'phase1: for &(cell, expected, _new) in &d.entries {
@@ -343,13 +346,13 @@ unsafe fn help_kcas(desc: *const KcasDescriptor, guard: &Guard) -> bool {
         let _ = d.status.compare_exchange(
             Status::Undecided as u64,
             status as u64,
-            Ordering::SeqCst,
-            Ordering::SeqCst,
+            Ordering::SeqCst, // ord: k-CAS status-decide CAS; SC
+            Ordering::SeqCst, // ord: k-CAS status-decide CAS; SC
         );
     }
 
     // Phase 2: swap the descriptor out of every cell.
-    let succeeded = d.status.load(Ordering::SeqCst) == Status::Succeeded as u64;
+    let succeeded = d.status.load(Ordering::SeqCst) == Status::Succeeded as u64; // ord: SC status read after decide
     for &(cell, expected, new) in &d.entries {
         let final_val = if succeeded { new } else { expected };
         stats::bump_cas();
@@ -358,8 +361,8 @@ unsafe fn help_kcas(desc: *const KcasDescriptor, guard: &Guard) -> bool {
             .compare_exchange(
                 word_of_desc(desc),
                 final_val,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
+                Ordering::SeqCst, // ord: k-CAS unlock CAS; SC
+                Ordering::SeqCst, // ord: k-CAS unlock CAS; SC
             )
             .is_ok()
         {

@@ -438,6 +438,7 @@ mod tests {
                 let mut rng = (t + 1).wrapping_mul(0x9E3779B97F4A7C15);
                 let mut ledger = vec![0i64; KEYS as usize];
                 while !stop.load(Ordering::Relaxed) {
+                    // ord: test stop flag; no data ordering
                     rng ^= rng << 13;
                     rng ^= rng >> 7;
                     rng ^= rng << 17;
@@ -461,7 +462,7 @@ mod tests {
             }));
         }
         std::thread::sleep(std::time::Duration::from_millis(300));
-        stop.store(true, Ordering::Relaxed);
+        stop.store(true, Ordering::Relaxed); // ord: test stop flag; no data ordering
         let mut expected = vec![0i64; KEYS as usize];
         for h in handles {
             for (k, v) in h.join().unwrap().into_iter().enumerate() {

@@ -4,23 +4,23 @@
 //! uncontended single-threaded costs, differencing the counter around
 //! one operation.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 
 static CAS_COUNT: AtomicU64 = AtomicU64::new(0);
 
 #[inline]
 pub(crate) fn bump_cas() {
-    CAS_COUNT.fetch_add(1, Ordering::Relaxed);
+    CAS_COUNT.fetch_add(1, Ordering::Relaxed); // ord: stats counter; no sync role
 }
 
 /// Total CAS steps executed by this crate since the last reset.
 pub fn kcas_cas_count() -> u64 {
-    CAS_COUNT.load(Ordering::Relaxed)
+    CAS_COUNT.load(Ordering::Relaxed) // ord: stats counter snapshot; no sync role
 }
 
 /// Reset the CAS step counter to zero.
 pub fn kcas_reset_cas_count() {
-    CAS_COUNT.store(0, Ordering::Relaxed);
+    CAS_COUNT.store(0, Ordering::Relaxed); // ord: stats counter reset; no sync role
 }
 
 #[cfg(test)]

@@ -1,0 +1,11 @@
+//! Cfg-gated sync facade; see `llx-scx/src/sync.rs` for the full story.
+//! std re-exports normally, instrumented `modelcheck` types under
+//! `--cfg llx_model`.
+
+#[cfg(not(llx_model))]
+#[allow(unused_imports)]
+pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+#[cfg(llx_model)]
+#[allow(unused_imports)]
+pub use modelcheck::sync::{AtomicBool, AtomicU64, AtomicUsize, Ordering};

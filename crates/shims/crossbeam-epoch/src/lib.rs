@@ -59,12 +59,14 @@
 
 #![warn(missing_docs)]
 
+use crate::sync::{fence, AtomicBool, AtomicU64, AtomicUsize, Mutex, Ordering};
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::fmt;
 use std::marker::PhantomData;
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, Once, OnceLock};
+use std::sync::{Arc, Condvar, Once, OnceLock};
+
+pub(crate) mod sync;
 use std::time::Duration;
 
 /// Slot value meaning "this thread is not pinned".
@@ -137,12 +139,12 @@ fn config() -> &'static Config {
 /// `LLX_EPOCH_BUDGET`, runtime-tunable so one process can A/B modes.
 /// [`Guard::flush`] always collects without a budget.
 pub fn set_collect_budget(budget: usize) {
-    config().budget.store(budget, Ordering::Relaxed);
+    config().budget.store(budget, Ordering::Relaxed); // ord: config knob; no sync role
 }
 
 /// The current per-tick collection budget (`0` = unbounded).
 pub fn collect_budget() -> usize {
-    config().budget.load(Ordering::Relaxed)
+    config().budget.load(Ordering::Relaxed) // ord: config knob; no sync role
 }
 
 /// Closures queued for reclamation right now (global queue only; bags
@@ -150,6 +152,15 @@ pub fn collect_budget() -> usize {
 /// observability.
 pub fn queued_reclaims() -> usize {
     global().queue.lock().unwrap().len()
+}
+
+/// Run one unbudgeted collection from the calling thread *without*
+/// pinning it first. Shim extension for the model-checking scenarios:
+/// the interesting pin/collect races need a collector that is not
+/// itself protected by a pin, which `Guard::flush` (pin-then-collect)
+/// can never express. Returns how many deferred closures ran.
+pub fn collect_now() -> usize {
+    collect_budgeted(usize::MAX)
 }
 
 /// Closures detached by some collector but not yet finished running.
@@ -165,21 +176,21 @@ thread_local! {
 
 /// Background reclaimer: a parked thread nudged by amortized ticks.
 struct BgReclaimer {
-    pending: Mutex<bool>,
+    pending: std::sync::Mutex<bool>,
     wake: Condvar,
 }
 
 fn bg() -> &'static BgReclaimer {
     static BG: OnceLock<BgReclaimer> = OnceLock::new();
     BG.get_or_init(|| BgReclaimer {
-        pending: Mutex::new(false),
+        pending: std::sync::Mutex::new(false),
         wake: Condvar::new(),
     })
 }
 
 /// Whether the background reclaimer owns amortized collection.
 pub fn background_active() -> bool {
-    config().background.load(Ordering::Relaxed)
+    config().background.load(Ordering::Relaxed) // ord: config knob; no sync role
 }
 
 /// Hook run by the background reclaimer at the end of every drain
@@ -211,11 +222,12 @@ pub fn reclaimer_quiesce() {
         return;
     }
     ensure_bg_thread();
-    let start = BG_CYCLES.load(Ordering::SeqCst);
+    let start = BG_CYCLES.load(Ordering::SeqCst); // ord: SC handshake with the background thread
     bg_notify();
     // +2: cycle start+1 may already have been mid-flight when we
     // loaded; start+2 must have begun after our nudge.
     while BG_CYCLES.load(Ordering::SeqCst) < start + 2 {
+        // ord: SC handshake with the background thread
         bg_notify();
         std::thread::yield_now();
     }
@@ -227,7 +239,7 @@ pub fn reclaimer_quiesce() {
 /// Explicit [`Guard::flush`] calls still collect inline so tests keep
 /// their deterministic drain.
 pub fn enable_background_reclaimer() {
-    config().background.store(true, Ordering::Relaxed);
+    config().background.store(true, Ordering::Relaxed); // ord: config knob; no sync role
     ensure_bg_thread();
 }
 
@@ -290,7 +302,7 @@ fn bg_loop() {
         if cycle.is_err() {
             eprintln!("llx-epoch-reclaimer: a deferred closure panicked; reclamation continues");
         }
-        BG_CYCLES.fetch_add(1, Ordering::SeqCst);
+        BG_CYCLES.fetch_add(1, Ordering::SeqCst); // ord: SC handshake with wait_for_bg_cycles
     }
 }
 
@@ -398,10 +410,11 @@ pub fn pin() -> Guard {
             // moved while we were publishing, a concurrent collector may
             // have missed our slot, so publish the newer value instead.
             loop {
-                let e = global().epoch.load(Ordering::SeqCst);
-                local.slot.epoch.store(e, Ordering::SeqCst);
-                fence(Ordering::SeqCst);
+                let e = global().epoch.load(Ordering::SeqCst); // ord: SC pin: epoch read before announce
+                local.slot.epoch.store(e, Ordering::SeqCst); // ord: SC pin: announce slot epoch
+                fence(Ordering::SeqCst); // ord: SC store-load fence; announce must precede re-read
                 if global().epoch.load(Ordering::SeqCst) == e {
+                    // ord: SC pin: validate epoch after announce
                     break;
                 }
             }
@@ -429,7 +442,7 @@ impl Guard {
     where
         F: FnOnce() -> R,
     {
-        let epoch = global().epoch.load(Ordering::SeqCst);
+        let epoch = global().epoch.load(Ordering::SeqCst); // ord: SC epoch read stamps the deferred node
         let boxed: Box<dyn FnOnce() + '_> = Box::new(move || {
             let _ = f();
         });
@@ -473,6 +486,7 @@ impl Guard {
         collect_budgeted(usize::MAX);
         if RUNNING_CLOSURES.with(Cell::get) == 0 {
             while IN_FLIGHT.load(Ordering::SeqCst) > 0 {
+                // ord: SC drain handshake with executors
                 std::thread::yield_now();
             }
         }
@@ -487,7 +501,7 @@ impl Drop for Guard {
             let pins = local.pins.get();
             debug_assert!(pins > 0, "unpinning an unpinned thread");
             if pins == 1 {
-                local.slot.epoch.store(INACTIVE, Ordering::SeqCst);
+                local.slot.epoch.store(INACTIVE, Ordering::SeqCst); // ord: SC unpin announcement
             }
             local.pins.set(pins - 1);
         });
@@ -498,12 +512,12 @@ impl Drop for Guard {
 /// closures (the rest stay queued, in order). Returns how many ran.
 fn collect_budgeted(max_run: usize) -> usize {
     let g = global();
-    let epoch_now = g.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+    let epoch_now = g.epoch.fetch_add(1, Ordering::SeqCst) + 1; // ord: SC epoch advance; collectors race on this
     let min_pinned = {
         let slots = g.slots.lock().unwrap();
         slots
             .iter()
-            .map(|s| s.epoch.load(Ordering::SeqCst))
+            .map(|s| s.epoch.load(Ordering::SeqCst)) // ord: SC scan of pinned slots; pairs with pin announce
             .min()
             .unwrap_or(INACTIVE)
     };
@@ -514,7 +528,15 @@ fn collect_budgeted(max_run: usize) -> usize {
     // such a thread always publishes `epoch_now` (the pin verify loop
     // re-checks the counter), so anything it could still reach was
     // deferred with tag >= epoch_now and stays queued.
+    #[cfg(not(llx_model_bugs))]
     let limit = min_pinned.min(epoch_now);
+    // Model-checker regression gate: reopen the TOCTOU by dropping the
+    // `epoch_now` bound, so a pin racing the slot scan above is unprotected.
+    #[cfg(llx_model_bugs)]
+    let limit = {
+        let _ = epoch_now;
+        min_pinned
+    };
     // Detach the ready closures first, then run them with no lock or
     // thread-local borrow held: closures may re-enter
     // pin/defer_unchecked/flush. `IN_FLIGHT` covers the
@@ -542,7 +564,7 @@ fn collect_budgeted(max_run: usize) -> usize {
             }
         }
         if !ready.is_empty() {
-            IN_FLIGHT.fetch_add(ready.len(), Ordering::SeqCst);
+            IN_FLIGHT.fetch_add(ready.len(), Ordering::SeqCst); // ord: SC in-flight accounting; pairs with flush drain
         }
         ready
     };
@@ -556,7 +578,7 @@ fn collect_budgeted(max_run: usize) -> usize {
         impl Drop for InFlightGuard {
             fn drop(&mut self) {
                 RUNNING_CLOSURES.with(|c| c.set(c.get() - 1));
-                IN_FLIGHT.fetch_sub(1, Ordering::SeqCst);
+                IN_FLIGHT.fetch_sub(1, Ordering::SeqCst); // ord: SC in-flight accounting; pairs with flush drain
             }
         }
         let _guard = InFlightGuard;
@@ -587,13 +609,13 @@ mod tests {
         {
             let guard = pin();
             let ran2 = Arc::clone(&ran);
-            unsafe { guard.defer_unchecked(move || ran2.fetch_add(1, Ordering::SeqCst)) };
-            // Still pinned: a flush now must not run it.
+            unsafe { guard.defer_unchecked(move || ran2.fetch_add(1, Ordering::SeqCst)) }; // ord: test counter; exactness over speed
+                                                                                           // Still pinned: a flush now must not run it.
             guard.flush();
-            assert_eq!(ran.load(Ordering::SeqCst), 0);
+            assert_eq!(ran.load(Ordering::SeqCst), 0); // ord: test counter; exactness over speed
         }
         drain();
-        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert_eq!(ran.load(Ordering::SeqCst), 1); // ord: test counter; exactness over speed
     }
 
     #[test]
@@ -615,13 +637,14 @@ mod tests {
             let guard = pin();
             let ran2 = Arc::clone(&ran);
             unsafe { guard.defer_unchecked(move || ran2.fetch_add(1, Ordering::SeqCst)) };
+            // ord: test counter; exactness over speed
         }
         drain();
-        assert_eq!(ran.load(Ordering::SeqCst), 0, "peer still pinned");
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "peer still pinned"); // ord: test counter; exactness over speed
         release.wait();
         peer.join().unwrap();
         drain();
-        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert_eq!(ran.load(Ordering::SeqCst), 1); // ord: test counter; exactness over speed
     }
 
     #[test]
@@ -635,11 +658,12 @@ mod tests {
                     let inner = pin();
                     let ran3 = Arc::clone(&ran2);
                     inner.defer_unchecked(move || ran3.fetch_add(1, Ordering::SeqCst));
+                    // ord: test counter; exactness over speed
                 })
             };
         }
         drain();
-        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert_eq!(ran.load(Ordering::SeqCst), 1); // ord: test counter; exactness over speed
     }
 
     #[test]
@@ -650,12 +674,12 @@ mod tests {
         // Still pinned through b.
         let ran = Arc::new(AtomicUsize::new(0));
         let ran2 = Arc::clone(&ran);
-        unsafe { b.defer_unchecked(move || ran2.fetch_add(1, Ordering::SeqCst)) };
+        unsafe { b.defer_unchecked(move || ran2.fetch_add(1, Ordering::SeqCst)) }; // ord: test counter; exactness over speed
         b.flush();
-        assert_eq!(ran.load(Ordering::SeqCst), 0);
+        assert_eq!(ran.load(Ordering::SeqCst), 0); // ord: test counter; exactness over speed
         drop(b);
         drain();
-        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert_eq!(ran.load(Ordering::SeqCst), 1); // ord: test counter; exactness over speed
     }
 
     #[test]
@@ -669,6 +693,7 @@ mod tests {
             let guard = pin();
             let ran2 = Arc::clone(&ran);
             unsafe { guard.defer_unchecked(move || ran2.fetch_add(1, Ordering::SeqCst)) };
+            // ord: test counter; exactness over speed
         }
         // Loop some more pins with no defers so collection ticks fire.
         // In background mode the ticks only *nudge* the reclaimer, so
@@ -679,7 +704,7 @@ mod tests {
             for _ in 0..(COLLECT_EVERY as usize * 4) {
                 let _ = pin();
             }
-            let reclaimed = ran.load(Ordering::SeqCst);
+            let reclaimed = ran.load(Ordering::SeqCst); // ord: test counter; exactness over speed
             if reclaimed >= N / 2 {
                 break;
             }
@@ -700,10 +725,11 @@ mod tests {
             // Fewer than BAG_FLUSH items: they stay in the local bag
             // until the thread exits.
             unsafe { guard.defer_unchecked(move || ran2.fetch_add(1, Ordering::SeqCst)) };
+            // ord: test counter; exactness over speed
         })
         .join()
         .unwrap();
         drain();
-        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert_eq!(ran.load(Ordering::SeqCst), 1); // ord: test counter; exactness over speed
     }
 }

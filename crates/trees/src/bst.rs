@@ -457,6 +457,7 @@ mod tests {
                 let mut net = 0i64;
                 let mut rng = (tid + 1).wrapping_mul(0x9E3779B97F4A7C15);
                 while !stop.load(Ordering::Relaxed) {
+                    // ord: test stop flag; no data ordering
                     rng ^= rng << 13;
                     rng ^= rng >> 7;
                     rng ^= rng << 17;
@@ -473,7 +474,7 @@ mod tests {
             }));
         }
         std::thread::sleep(std::time::Duration::from_millis(300));
-        stop.store(true, Ordering::Relaxed);
+        stop.store(true, Ordering::Relaxed); // ord: test stop flag; no data ordering
         let net: i64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
         t.check_invariants().unwrap();
         assert_eq!(t.len() as i64, net);

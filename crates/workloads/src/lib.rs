@@ -268,6 +268,9 @@ pub fn prefill_keys(n: u64) -> impl Iterator<Item = u64> {
 /// | `LLX_SCX_SHARD` | `llx-scx` reclamation | blocks per handoff shard — the unit in which overflow blocks publish and allocating threads steal (default 16) |
 /// | `LLX_EPOCH_BUDGET` | `crossbeam-epoch` shim (and the `bench-harness lat` budgeted column, default 32 there) | max deferred closures run per amortized collection tick inside `pin()`; `0` (default) = unbounded. `Guard::flush` is never budgeted |
 /// | `LLX_EPOCH_BG` | `crossbeam-epoch` shim | `1`/`on`/`true` moves amortized collection to a dedicated background reclaimer thread — mutators never run deferred closures from `pin()`. Sticky for the process; `flush` still drains inline deterministically |
+/// | `LLX_MODEL_BOUND` | `tests/model.rs` under `--cfg llx_model` (ci.sh `model` stage) | preemption bound of the deterministic schedule explorer: max voluntary context switches the DFS may inject per execution (default 2; forced switches at blocking/termination are free). The full `./ci.sh` run exports `1` for speed; the regression scenarios pin `>= 2` themselves |
+/// | `LLX_MODEL_STEPS` | `tests/model.rs` under `--cfg llx_model` | per-execution scheduling-step cap before a schedule is abandoned as a suspected livelock (default 20000); abandoned schedules are reported and make the run non-exhaustive |
+/// | `LLX_MODEL_SCHEDULES` | `tests/model.rs` under `--cfg llx_model` | max schedules explored per scenario; `0` (default) = exhaustive up to the bound |
 /// | `PROPTEST_CASES` | every property test (proptest shim) | overrides the case count |
 /// | `PROPTEST_SEED` | every property test (proptest shim) | perturbs the otherwise deterministic streams |
 ///

@@ -1,0 +1,478 @@
+//! Deterministic schedule exploration of small LLX/SCX kernels.
+//!
+//! Compiled only under `--cfg llx_model` (ci.sh's `model` stage): the
+//! concurrency crates' `sync` facades then route every atomic through the
+//! `modelcheck` instrumented types, and the [`modelcheck::Explorer`]
+//! enumerates every interleaving up to the preemption bound
+//! (`LLX_MODEL_BOUND`, default 2).
+//!
+//! Two test families share the scenario kernels:
+//!
+//! * **Fixed semantics** (`not(llx_model_bugs)`): every schedule up to the
+//!   bound must pass — the exhaustive counterpart of the soak tests.
+//! * **Regression** (`llx_model_bugs`): the two PR-2 seed races are
+//!   re-introduced by cfg gates in `llx-scx`/the epoch shim, and the
+//!   explorer must find each one *deterministically* — same failing
+//!   schedule on every run — within the default bound.
+//!
+//! Scenario hygiene: each execution's factory runs on the (uninstrumented)
+//! controller thread and starts by draining process-global state —
+//! `flush_reclamation` (epoch queue + orphans), `reset_pool_stats`,
+//! `kcas_reset_cas_count` — so schedules are replayable and nothing bleeds
+//! between executions.
+#![cfg(llx_model)]
+// The regression family only exercises the kernels the bug gates touch.
+#![cfg_attr(llx_model_bugs, allow(dead_code))]
+
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as O};
+use std::sync::Arc;
+
+use llx_scx::{Domain, FieldId, ScxRequest};
+use modelcheck::{Execution, Explorer};
+
+/// Reset process-global counters and drain reclamation state so every
+/// execution starts from the same world. Runs uninstrumented (controller
+/// thread holds no model TID).
+fn reset_world() {
+    llx_scx::flush_reclamation();
+    llx_scx::reset_pool_stats();
+    mwcas::kcas_reset_cas_count();
+}
+
+/// Send wrapper for raw pointers threaded into worker closures.
+struct Ptr<T>(*const T);
+unsafe impl<T> Send for Ptr<T> {}
+impl<T> Clone for Ptr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Ptr<T> {}
+impl<T> Ptr<T> {
+    unsafe fn get(&self) -> &'static T {
+        &*self.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel 1: 2-thread SCX conflict with helping
+// ---------------------------------------------------------------------------
+
+/// Both threads SCX the same single-record field; helping must ensure
+/// lock-free progress (someone succeeds) and the final value must be the
+/// last committed writer's, under every schedule.
+fn scx_conflict() -> Execution {
+    reset_world();
+    let dom: Arc<Domain<1, ()>> = Arc::new(Domain::new());
+    let rec = Ptr(dom.alloc((), [0]));
+    let wins: Arc<StdAtomicUsize> = Arc::new(StdAtomicUsize::new(0));
+    let mut threads: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    for val in [1u64, 2u64] {
+        let dom = dom.clone();
+        let wins = wins.clone();
+        threads.push(Box::new(move || {
+            let guard = llx_scx::pin();
+            let r = unsafe { rec.get() };
+            for _ in 0..16 {
+                let Some(s) = dom.llx(r, &guard).snapshot() else {
+                    continue;
+                };
+                if dom.scx(ScxRequest::new(&[s], FieldId::new(0, 0), val), &guard) {
+                    wins.fetch_add(1, O::SeqCst);
+                    return;
+                }
+            }
+            panic!("SCX starved for 16 attempts under a bounded schedule");
+        }));
+    }
+    Execution::new(threads).with_check(move || {
+        assert_eq!(wins.load(O::SeqCst), 2, "both SCXs must eventually commit");
+        let guard = llx_scx::pin();
+        let v = unsafe { rec.get() }.read(0);
+        drop(guard);
+        assert!(v == 1 || v == 2, "final value {v} written by neither SCX");
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Kernel 2: LLX -> VLX -> SCX against a racing freeze
+// ---------------------------------------------------------------------------
+
+/// T0 snapshots records `a` and `b`, validates with VLX, then SCXes
+/// `b := a_snapshot + 10`. T1 races an SCX that changes `a` from 0 to 5.
+/// Snapshot atomicity (paper Cor. 60): `b` must end as `0` (T0 lost),
+/// `10` (T0 linked a = 0) or `15` (T0 linked a = 5) — never a mix.
+fn llx_vlx_scx() -> Execution {
+    reset_world();
+    let dom: Arc<Domain<1, ()>> = Arc::new(Domain::new());
+    let a = Ptr(dom.alloc((), [0]));
+    let b = Ptr(dom.alloc((), [0]));
+    let mut threads: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    {
+        let dom = dom.clone();
+        threads.push(Box::new(move || {
+            let guard = llx_scx::pin();
+            let (ra, rb) = unsafe { (a.get(), b.get()) };
+            for _ in 0..16 {
+                let Some(sa) = dom.llx(ra, &guard).snapshot() else {
+                    continue;
+                };
+                let Some(sb) = dom.llx(rb, &guard).snapshot() else {
+                    continue;
+                };
+                if !dom.vlx(&[sa]) {
+                    continue;
+                }
+                let new_b = sa.value(0) + 10;
+                if dom.scx(
+                    ScxRequest::new(&[sa, sb], FieldId::new(1, 0), new_b),
+                    &guard,
+                ) {
+                    return;
+                }
+            }
+            // Losing every retry is a legal (if extreme) outcome.
+        }));
+    }
+    {
+        let dom = dom.clone();
+        threads.push(Box::new(move || {
+            let guard = llx_scx::pin();
+            let ra = unsafe { a.get() };
+            for _ in 0..16 {
+                let Some(sa) = dom.llx(ra, &guard).snapshot() else {
+                    continue;
+                };
+                if dom.scx(ScxRequest::new(&[sa], FieldId::new(0, 0), 5), &guard) {
+                    return;
+                }
+            }
+            panic!("single-record SCX starved for 16 attempts");
+        }));
+    }
+    Execution::new(threads).with_check(move || {
+        let guard = llx_scx::pin();
+        let va = unsafe { a.get() }.read(0);
+        let vb = unsafe { b.get() }.read(0);
+        drop(guard);
+        assert_eq!(va, 5, "T1 must commit a := 5");
+        assert!(
+            vb == 0 || vb == 10 || vb == 15,
+            "b = {vb}: SCX wrote a value derived from a torn snapshot"
+        );
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Kernel 3: pool recycle across a stalled helper (the PR-2 ABA shape)
+// ---------------------------------------------------------------------------
+
+/// T0 runs a two-record SCX over `[a, b]` and can stall between its two
+/// freezing CASes, holding `b`'s old SCX-record address as an expected
+/// value. T1 meanwhile displaces that SCX-record twice; with the
+/// reclamation bug gates on (`llx_model_bugs`), the displaced record is
+/// destroyed and its block recycled *immediately*, so T1's second SCX can
+/// reinstall the same address and T0's stale freezing CAS succeeds
+/// spuriously — caught by the generation-stamp debug assert in `help`.
+/// With the real two-stage refcount protocol the address cannot be
+/// recycled while T0 can still reach it, so every schedule passes.
+fn pool_recycle() -> Execution {
+    reset_world();
+    let dom: Arc<Domain<1, ()>> = Arc::new(Domain::new());
+    let a = Ptr(dom.alloc((), [0]));
+    let b = Ptr(dom.alloc((), [0]));
+    {
+        // Give `b` a real (non-dummy) predecessor SCX-record, installed
+        // uninstrumented: the recycling race needs a freeing CAS whose
+        // expected value is a reclaimable record address.
+        let guard = llx_scx::pin();
+        let rb = unsafe { b.get() };
+        let sb = dom
+            .llx(rb, &guard)
+            .snapshot()
+            .expect("uncontended LLX cannot fail");
+        assert!(dom.scx(ScxRequest::new(&[sb], FieldId::new(0, 0), 1), &guard));
+    }
+    let mut threads: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    {
+        let dom = dom.clone();
+        threads.push(Box::new(move || {
+            let guard = llx_scx::pin();
+            let (ra, rb) = unsafe { (a.get(), b.get()) };
+            for _ in 0..16 {
+                let Some(sa) = dom.llx(ra, &guard).snapshot() else {
+                    continue;
+                };
+                let Some(sb) = dom.llx(rb, &guard).snapshot() else {
+                    continue;
+                };
+                // Freezes a first, then b: the window between the two
+                // freezing CASes is where the helper "stalls".
+                if dom.scx(ScxRequest::new(&[sa, sb], FieldId::new(0, 0), 7), &guard) {
+                    return;
+                }
+            }
+        }));
+    }
+    {
+        let dom = dom.clone();
+        threads.push(Box::new(move || {
+            let guard = llx_scx::pin();
+            let rb = unsafe { b.get() };
+            // Two displacing SCXs on b: the first retires b's old
+            // SCX-record, the second re-allocates (with the bug gates:
+            // recycles) a block for the new one.
+            for val in [2u64, 3u64] {
+                for _ in 0..16 {
+                    let Some(sb) = dom.llx(rb, &guard).snapshot() else {
+                        continue;
+                    };
+                    if dom.scx(ScxRequest::new(&[sb], FieldId::new(0, 0), val), &guard) {
+                        break;
+                    }
+                }
+            }
+        }));
+    }
+    Execution::new(threads).with_check(move || {
+        let guard = llx_scx::pin();
+        let vb = unsafe { b.get() }.read(0);
+        drop(guard);
+        assert!(
+            vb == 2 || vb == 3 || vb == 7,
+            "b = {vb}: committed SCX wrote none of the candidate values"
+        );
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Kernel 4: epoch pin/collect overlap (the PR-2 TOCTOU shape)
+// ---------------------------------------------------------------------------
+
+/// Poison sentinel a "reclaimed" victim is stamped with (the scenario
+/// models reclamation as a poison store, keeping the probe well-defined
+/// even when the checker's bug gates let the race fire).
+const POISON: u64 = 0xdead;
+
+/// T0 pins and dereferences a shared pointer; T1 swaps the pointer out
+/// and defers "reclamation" (a poison store) of the old target; T2 is an
+/// unpinned collector (`collect_now`) that can stall between its slot
+/// scan and its queue detach. The fixed collector bounds the detach by
+/// the epoch it installed, so a pin it missed stays protected; with the
+/// `llx_model_bugs` gate that bound is dropped and some schedule frees
+/// the victim under T0's pin.
+fn pin_collect() -> Execution {
+    reset_world();
+    // Victims are *instrumented* atomics (every access is a preemption
+    // point — the race needs reclamation to land between a reader's
+    // pointer load and its dereference), leaked so the poison probe
+    // stays defined even on buggy schedules that "free" under a reader.
+    type MAtomic = modelcheck::sync::AtomicU64;
+    use modelcheck::sync::Ordering as MO;
+    let victim: &'static MAtomic = Box::leak(Box::new(MAtomic::new(42)));
+    let replacement: &'static MAtomic = Box::leak(Box::new(MAtomic::new(43)));
+    let ptr: Arc<MAtomic> = Arc::new(MAtomic::new(victim as *const MAtomic as usize as u64));
+    let mut threads: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    {
+        let ptr = ptr.clone();
+        threads.push(Box::new(move || {
+            let guard = crossbeam_epoch::pin();
+            let p = ptr.load(MO::SeqCst) as usize as *const MAtomic;
+            let v = unsafe { &*p }.load(MO::SeqCst);
+            drop(guard);
+            assert_ne!(v, POISON, "epoch-protected read observed a reclaimed value");
+        }));
+    }
+    {
+        let ptr = ptr.clone();
+        threads.push(Box::new(move || {
+            let guard = crossbeam_epoch::pin();
+            let old = ptr.swap(replacement as *const MAtomic as usize as u64, MO::SeqCst) as usize
+                as *const MAtomic;
+            let old = Ptr(old);
+            // SAFETY: the "reclamation" is a poison store into a leaked
+            // allocation; running it early is the bug under test, not UB.
+            unsafe {
+                guard.defer_unchecked(move || {
+                    old.get().store(POISON, MO::SeqCst);
+                });
+            }
+            // Push the deferred closure into the global queue (and run a
+            // pinned collection, which must *not* reclaim it: this
+            // thread's own pin is younger than the closure's tag).
+            guard.flush();
+        }));
+    }
+    threads.push(Box::new(move || {
+        // The unpinned collector: its slot scan can miss a pin that
+        // lands right after it.
+        let _ = crossbeam_epoch::collect_now();
+    }));
+    Execution::new(threads)
+}
+
+// ---------------------------------------------------------------------------
+// Kernel 5: 2-thread kCAS conflict (descriptor helping)
+// ---------------------------------------------------------------------------
+
+/// Two kCAS operations race over the same two cells with the same
+/// expected values: exactly one must commit, and both cells must move
+/// together (all-or-nothing), under every schedule.
+fn kcas_conflict() -> Execution {
+    reset_world();
+    let c0 = Ptr(Box::leak(Box::new(mwcas::KcasCell::new(0))) as *const mwcas::KcasCell);
+    let c1 = Ptr(Box::leak(Box::new(mwcas::KcasCell::new(0))) as *const mwcas::KcasCell);
+    let wins: Arc<StdAtomicUsize> = Arc::new(StdAtomicUsize::new(0));
+    let mut threads: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    for val in [1u64, 2u64] {
+        let wins = wins.clone();
+        threads.push(Box::new(move || {
+            let guard = crossbeam_epoch::pin();
+            let (a, b) = unsafe { (c0.get(), c1.get()) };
+            if mwcas::kcas(&[(a, 0, val), (b, 0, val)], &guard) {
+                wins.fetch_add(1, O::SeqCst);
+            }
+        }));
+    }
+    Execution::new(threads).with_check(move || {
+        let guard = crossbeam_epoch::pin();
+        let (a, b) = unsafe { (c0.get(), c1.get()) };
+        let (va, vb) = (a.read(&guard), b.read(&guard));
+        drop(guard);
+        assert_eq!(wins.load(O::SeqCst), 1, "exactly one racing kCAS must win");
+        assert_eq!(va, vb, "kCAS tore: cells moved independently");
+        assert!(va == 1 || va == 2, "cells hold neither candidate value");
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-semantics suite: exhaustive up to the bound, zero failures
+// ---------------------------------------------------------------------------
+
+#[cfg(not(llx_model_bugs))]
+mod fixed {
+    use super::*;
+
+    #[test]
+    fn scx_conflict_exhaustive() {
+        let r = Explorer::from_env().check("scx_conflict", scx_conflict);
+        println!(
+            "scx_conflict: {} schedules, {} abandoned, {} hb warnings",
+            r.schedules,
+            r.abandoned,
+            r.warnings.len()
+        );
+    }
+
+    #[test]
+    fn llx_vlx_scx_exhaustive() {
+        let r = Explorer::from_env().check("llx_vlx_scx", llx_vlx_scx);
+        println!(
+            "llx_vlx_scx: {} schedules, {} abandoned",
+            r.schedules, r.abandoned
+        );
+    }
+
+    #[test]
+    fn pool_recycle_exhaustive() {
+        let r = Explorer::from_env().check("pool_recycle", pool_recycle);
+        println!(
+            "pool_recycle: {} schedules, {} abandoned",
+            r.schedules, r.abandoned
+        );
+    }
+
+    #[test]
+    fn pin_collect_exhaustive() {
+        let r = Explorer::from_env().check("pin_collect", pin_collect);
+        println!(
+            "pin_collect: {} schedules, {} abandoned",
+            r.schedules, r.abandoned
+        );
+    }
+
+    #[test]
+    fn kcas_conflict_exhaustive() {
+        let r = Explorer::from_env().check("kcas_conflict", kcas_conflict);
+        println!(
+            "kcas_conflict: {} schedules, {} abandoned",
+            r.schedules, r.abandoned
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regression suite: the PR-2 seed races must be found deterministically
+// ---------------------------------------------------------------------------
+
+#[cfg(llx_model_bugs)]
+mod regression {
+    use super::*;
+
+    /// Both seed races need two preemptions to fire, so detection is
+    /// guaranteed at the default bound (2) and the suite pins that as a
+    /// floor — a CI quick run exporting `LLX_MODEL_BOUND=1` must not
+    /// silently turn these into vacuous passes.
+    fn detector() -> Explorer {
+        let mut ex = Explorer::from_env();
+        ex.bound = ex.bound.max(2);
+        ex
+    }
+
+    /// The SCX-record address-recycling ABA (PR 2, seed race A): with the
+    /// `info_fields` holds and the epoch stage gated out, the explorer
+    /// must find a schedule where a stalled helper's freezing CAS runs
+    /// against a recycled block — and must find the *same* schedule every
+    /// time.
+    #[test]
+    fn finds_scx_recycling_aba() {
+        let run = || detector().explore("pool_recycle[bugs]", pool_recycle);
+        let first = run();
+        assert!(
+            !first.failures.is_empty(),
+            "bound {} explored {} schedules without finding the recycling ABA",
+            detector().bound,
+            first.schedules
+        );
+        let again = run();
+        assert_eq!(
+            first.failures[0].schedule, again.failures[0].schedule,
+            "detection must be deterministic, not probabilistic"
+        );
+        println!(
+            "recycling ABA found after {} schedules: {}",
+            first.schedules, first.failures[0].message
+        );
+    }
+
+    /// The epoch-shim collect TOCTOU (PR 2, seed race B): with the
+    /// `epoch_now` bound gated out of `collect_budgeted`, some schedule
+    /// reclaims under a pin the slot scan missed.
+    #[test]
+    fn finds_epoch_collect_toctou() {
+        let run = || detector().explore("pin_collect[bugs]", pin_collect);
+        let first = run();
+        assert!(
+            !first.failures.is_empty(),
+            "bound {} explored {} schedules without finding the collect TOCTOU",
+            detector().bound,
+            first.schedules
+        );
+        let again = run();
+        assert_eq!(
+            first.failures[0].schedule, again.failures[0].schedule,
+            "detection must be deterministic, not probabilistic"
+        );
+        println!(
+            "collect TOCTOU found after {} schedules: {}",
+            first.schedules, first.failures[0].message
+        );
+    }
+
+    /// Sanity: kernels that don't exercise the gated code still pass with
+    /// the bugs compiled in (the gates are narrow, not wholesale breakage).
+    #[test]
+    fn scx_conflict_still_clean_under_bug_cfg() {
+        Explorer::from_env().check("scx_conflict[bugs]", scx_conflict);
+    }
+}
