@@ -39,6 +39,19 @@
 #                  latency table is well-formed (every structure in
 #                  all three epoch modes x two mixes, 9 fields per
 #                  row) and that --json writes a non-empty document
+#   lin-long       long-history linearizability: every structure
+#                  records >= 2048-event rounds (LLX_LIN_EVENTS) and
+#                  the per-key-compositional JIT checker must accept
+#                  them (the 64-event WGL oracle cannot represent this
+#                  regime); also reruns the small rounds with
+#                  LLX_LIN_CHECKER=jit and the WGL/JIT differential +
+#                  corpus suites in release
+#   bench-diff     bench-regression gate: two fresh `lat --json` runs
+#                  against the latest committed BENCH_PR*.json; fails
+#                  if any cell's p99 regressed >20% and by more than
+#                  LLX_BENCH_DIFF_FLOOR_NS (per-cell min across the
+#                  fresh runs — noise only inflates p99;
+#                  LLX_BENCH_DIFF_WAIVE=1 waives a failure)
 #   model          deterministic schedule exploration (crates/modelcheck):
 #                  builds the workspace with `--cfg llx_model` so every
 #                  atomic routes through the instrumented sync facades,
@@ -59,7 +72,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(fmt build test pool-off debug-stress scanwin bg-reclaim doctest examples benches compare-smoke latency model audit clippy)
+ALL_STAGES=(fmt build test pool-off debug-stress scanwin bg-reclaim doctest examples benches compare-smoke latency lin-long bench-diff model audit clippy)
 QUICK_STAGES=(fmt build test)
 
 QUICK=0
@@ -258,6 +271,53 @@ stage_latency() {
     echo "    lat table: $((6 * ${#structures[@]})) rows, all structures in all modes, JSON sidecar ok"
 }
 
+stage_lin_long() {
+    # Long recorded rounds (>= 2048 events per round, every structure)
+    # under the per-key JIT checker — the regime the 64-event WGL
+    # bitmask cannot reach. Budget: well under 60s; the long tests
+    # themselves finish in well under a second in release.
+    LLX_LIN_EVENTS=2048 LLX_LIN_CHECKER=jit \
+        cargo test -q --release -p llx-scx-repro --test linearizability
+    # The checker's own evidence: WGL-vs-JIT differential agreement on
+    # thousands of generated histories, the committed bad-history
+    # corpus, the partitioner edge cases and the shrinker contracts.
+    cargo test -q --release -p linearize \
+        --test differential --test corpus --test partition_edge
+    echo "    lin-long: 2048-event rounds (JIT), differential + corpus + partition suites ok"
+}
+
+stage_bench_diff() {
+    # Bench-regression gate: fresh `lat` runs vs the latest committed
+    # BENCH_PR*.json baseline. Two fresh runs, per-cell min (scheduler
+    # noise only ever inflates a p99), >20% + absolute-floor rule;
+    # LLX_BENCH_DIFF_WAIVE=1 downgrades a failure to a warning.
+    local baseline n1 n2
+    baseline="$(ls BENCH_PR*.json | sort -V | tail -1)"
+    if [[ -z "$baseline" ]]; then
+        echo "no committed BENCH_PR*.json baseline found" >&2
+        return 1
+    fi
+    n1="$(mktemp)"; n2="$(mktemp)"; n3="$(mktemp)"
+    LLX_BENCH_CELL_MILLIS=120 \
+        cargo run -q --release -p bench-harness -- lat --json "$n1" >/dev/null
+    LLX_BENCH_CELL_MILLIS=120 \
+        cargo run -q --release -p bench-harness -- lat --json "$n2" >/dev/null
+    local rc=0
+    cargo run -q --release -p bench-harness -- diff "$baseline" "$n1" "$n2" || rc=$?
+    if [[ "$rc" -eq 1 ]]; then
+        # Escalate with a third run before failing: a genuine
+        # regression reproduces in every run and survives the
+        # min-of-3; a one-off scheduler spike does not.
+        echo "    bench-diff failed on 2 runs; recording a third for min-of-3"
+        LLX_BENCH_CELL_MILLIS=120 \
+            cargo run -q --release -p bench-harness -- lat --json "$n3" >/dev/null
+        rc=0
+        cargo run -q --release -p bench-harness -- diff "$baseline" "$n1" "$n2" "$n3" || rc=$?
+    fi
+    rm -f "$n1" "$n2" "$n3"
+    return "$rc"
+}
+
 stage_model() {
     # Separate target dirs: the model cfgs change type layouts workspace-wide,
     # so sharing ./target with the other stages would thrash the cache.
@@ -319,6 +379,8 @@ run_stage examples stage_examples
 run_stage benches stage_benches
 run_stage compare-smoke stage_compare_smoke
 run_stage latency stage_latency
+run_stage lin-long stage_lin_long
+run_stage bench-diff stage_bench_diff
 run_stage model stage_model
 run_stage audit stage_audit
 run_stage clippy stage_clippy

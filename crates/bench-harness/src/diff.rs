@@ -1,0 +1,290 @@
+//! `bench-harness diff OLD.json NEW.json [NEW2.json ...]`: the
+//! bench-regression gate.
+//!
+//! Compares the `lat` tables of `--json` result files and fails
+//! (exit 1) when any (epoch-mode, mix, structure) cell's p99 latency
+//! regressed by more than 20% **and** by more than an absolute floor
+//! (`LLX_BENCH_DIFF_FLOOR_NS`, default 5000ns — sub-floor deltas are
+//! scheduler noise on small hosts, not regressions).
+//!
+//! When several NEW files are given, each cell's candidate p99 is the
+//! **minimum** across them. Scheduler noise only ever inflates a
+//! tail-latency percentile, so min-of-N is the stable estimator of
+//! what the build can actually do — a genuine regression shows up in
+//! every run, a preempted-at-the-wrong-moment outlier in one.
+//! Committed baselines are produced the same way (per-cell min over
+//! several runs; see README), so both sides of the gate use the same
+//! estimator. `LLX_BENCH_DIFF_WAIVE=1` downgrades failures to
+//! warnings so a known-noisy host can keep CI green without losing
+//! the report.
+//!
+//! The parser is line-oriented over our own hand-rolled serializer
+//! (`json.rs` writes one table row per line), not a general JSON
+//! reader — the workspace is serde-free by constraint.
+
+/// One parsed results file: every table as (title, rows-of-cells).
+struct Results {
+    tables: Vec<(String, Vec<Vec<String>>)>,
+}
+
+/// Split one serialized `["a","b",...]` line into its cells. Only the
+/// escapes `json::esc` emits need undoing.
+fn parse_row(line: &str) -> Option<Vec<String>> {
+    let line = line.trim().trim_end_matches(',');
+    let inner = line.strip_prefix('[')?.strip_suffix(']')?;
+    let mut cells = Vec::new();
+    let mut chars = inner.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '"' {
+            continue; // separators, whitespace
+        }
+        let mut cell = String::new();
+        while let Some(c) = chars.next() {
+            match c {
+                '"' => break,
+                // `\uXXXX` is never emitted for the cells we write,
+                // so a bare escaped char is all we restore.
+                '\\' => match chars.next() {
+                    Some('n') => cell.push('\n'),
+                    Some('r') => cell.push('\r'),
+                    Some('t') => cell.push('\t'),
+                    Some(other) => cell.push(other),
+                    None => return None,
+                },
+                c => cell.push(c),
+            }
+        }
+        cells.push(cell);
+    }
+    Some(cells)
+}
+
+fn parse_results(path: &str) -> Result<Results, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut tables: Vec<(String, Vec<Vec<String>>)> = Vec::new();
+    let mut in_rows = false;
+    for line in text.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("\"title\":") {
+            let title = rest.trim().trim_end_matches(',').trim_matches('"');
+            tables.push((title.to_string(), Vec::new()));
+            in_rows = false;
+        } else if t.starts_with("\"rows\":") {
+            in_rows = true;
+        } else if in_rows && t.starts_with('[') {
+            if let (Some(row), Some(last)) = (parse_row(t), tables.last_mut()) {
+                last.1.push(row);
+            }
+        } else if t.starts_with(']') {
+            in_rows = false;
+        }
+    }
+    if tables.is_empty() {
+        return Err(format!(
+            "{path}: no tables found — not a --json results file?"
+        ));
+    }
+    Ok(Results { tables })
+}
+
+/// Parse a printed duration cell ("177ns", "3.4us", "78.12ms", "1.2s")
+/// into nanoseconds.
+fn duration_ns(cell: &str) -> Option<f64> {
+    let (num, scale) = if let Some(n) = cell.strip_suffix("ns") {
+        (n, 1.0)
+    } else if let Some(n) = cell.strip_suffix("us") {
+        (n, 1e3)
+    } else if let Some(n) = cell.strip_suffix("ms") {
+        (n, 1e6)
+    } else if let Some(n) = cell.strip_suffix('s') {
+        (n, 1e9)
+    } else {
+        return None;
+    };
+    num.trim().parse::<f64>().ok().map(|v| v * scale)
+}
+
+/// Pull the `lat` table's p99 column keyed by (epoch, mix, structure).
+/// Header: epoch, mix, structure, ops/s, p50, p99, p99.9, max, pool-hit.
+fn lat_p99s(r: &Results, path: &str) -> Result<Vec<(String, f64)>, String> {
+    let (_, rows) = r
+        .tables
+        .iter()
+        .find(|(title, _)| title.starts_with("lat:"))
+        .ok_or_else(|| format!("{path}: no `lat:` table (run `bench-harness lat --json`)"))?;
+    let mut out = Vec::new();
+    for row in rows {
+        if row.len() < 6
+            || !row[0]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_lowercase())
+        {
+            continue; // header echo or malformed line
+        }
+        let key = format!("{}/{}/{}", row[0], row[1], row[2]);
+        match duration_ns(&row[5]) {
+            Some(ns) => out.push((key, ns)),
+            None => return Err(format!("{path}: unparseable p99 {:?} for {key}", row[5])),
+        }
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: lat table has no data rows"));
+    }
+    Ok(out)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.1}us", ns / 1e3)
+    } else {
+        format!("{:.2}ms", ns / 1e6)
+    }
+}
+
+/// Per-cell minimum across several runs' p99 columns. The first run
+/// defines the cell set; a cell missing from a later run keeps the
+/// value it has (each run emits the same sweep, so this is academic).
+fn min_per_cell(runs: &[Vec<(String, f64)>]) -> Vec<(String, f64)> {
+    let mut out = runs[0].clone();
+    for run in &runs[1..] {
+        for (key, ns) in out.iter_mut() {
+            if let Some((_, other)) = run.iter().find(|(k, _)| k == key) {
+                *ns = ns.min(*other);
+            }
+        }
+    }
+    out
+}
+
+/// Entry point for the `diff` subcommand. Returns the process exit
+/// code: 0 = within budget (or waived), 1 = regression, 2 = bad input.
+pub fn run(old_path: &str, new_paths: &[String]) -> i32 {
+    let load = |path: &str| -> Result<Vec<(String, f64)>, String> {
+        lat_p99s(&parse_results(path)?, path)
+    };
+    let old_p99 = match load(old_path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench-diff: {e}");
+            return 2;
+        }
+    };
+    let mut new_runs = Vec::new();
+    for path in new_paths {
+        match load(path) {
+            Ok(v) => new_runs.push(v),
+            Err(e) => {
+                eprintln!("bench-diff: {e}");
+                return 2;
+            }
+        }
+    }
+    let new_p99 = min_per_cell(&new_runs);
+    let floor_ns = workloads::knobs::env_u64("LLX_BENCH_DIFF_FLOOR_NS", 5000) as f64;
+    let waived = matches!(
+        std::env::var("LLX_BENCH_DIFF_WAIVE").as_deref(),
+        Ok("1") | Ok("on") | Ok("true")
+    );
+    println!(
+        "bench-diff: p99 gate, {old_path} -> min of [{}]",
+        new_paths.join(", ")
+    );
+    println!(
+        "rule: fail if new > old * 1.2 AND new - old > {}",
+        fmt_ns(floor_ns)
+    );
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (key, new_ns) in &new_p99 {
+        let Some((_, old_ns)) = old_p99.iter().find(|(k, _)| k == key) else {
+            println!("  new cell (no baseline): {key} p99 {}", fmt_ns(*new_ns));
+            continue;
+        };
+        compared += 1;
+        let ratio = new_ns / old_ns;
+        let regressed = ratio > 1.2 && new_ns - old_ns > floor_ns;
+        if regressed {
+            regressions += 1;
+        }
+        // Print regressions, sub-floor would-be regressions, and big
+        // improvements; quiet cells stay quiet.
+        if regressed || !(0.6..=1.2).contains(&ratio) {
+            println!(
+                "  {} {key}: {} -> {} ({:+.0}%)",
+                if regressed { "REGRESSION" } else { "note" },
+                fmt_ns(*old_ns),
+                fmt_ns(*new_ns),
+                (ratio - 1.0) * 100.0
+            );
+        }
+    }
+    if compared == 0 {
+        eprintln!("bench-diff: no overlapping (epoch, mix, structure) cells to compare");
+        return 2;
+    }
+    if regressions == 0 {
+        println!("bench-diff: OK — {compared} cells within budget");
+        0
+    } else if waived {
+        println!(
+            "bench-diff: WAIVED — {regressions}/{compared} cells regressed \
+             (LLX_BENCH_DIFF_WAIVE is set)"
+        );
+        0
+    } else {
+        eprintln!(
+            "bench-diff: FAIL — {regressions}/{compared} cells regressed p99 by >20% \
+             (set LLX_BENCH_DIFF_WAIVE=1 to waive on a known-noisy host)"
+        );
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_parsing_and_durations() {
+        let row = parse_row(r#"        ["inline","mixed-40u","bst","2.63M","99ns","1.6us","4.1us","55.70ms","21.0%"],"#)
+            .unwrap();
+        assert_eq!(row.len(), 9);
+        assert_eq!(row[2], "bst");
+        assert_eq!(duration_ns(&row[5]), Some(1600.0));
+        assert_eq!(duration_ns("78.12ms"), Some(78.12e6));
+        assert_eq!(duration_ns("2s"), Some(2e9));
+        assert_eq!(duration_ns("-"), None);
+    }
+
+    #[test]
+    fn lat_extraction_from_serialized_file() {
+        let text = r#"{
+  "tables": [
+    {
+      "title": "lat: per-op latency by epoch-collection mode",
+      "header": ["epoch","mix","structure","ops/s","p50","p99","p99.9","max","pool-hit"],
+      "rows": [
+        ["inline","mixed-40u","bst","2.63M","99ns","1.6us","4.1us","55.70ms","21.0%"],
+        ["budgeted","pipeline","patricia","3.1M","82ns","900ns","3us","1ms","12%"]
+      ]
+    }
+  ]
+}"#;
+        let dir = std::env::temp_dir().join("llx-bench-diff-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lat.json");
+        std::fs::write(&path, text).unwrap();
+        let r = parse_results(path.to_str().unwrap()).unwrap();
+        let p99s = lat_p99s(&r, "lat.json").unwrap();
+        assert_eq!(
+            p99s,
+            vec![
+                ("inline/mixed-40u/bst".to_string(), 1600.0),
+                ("budgeted/pipeline/patricia".to_string(), 900.0),
+            ]
+        );
+    }
+}

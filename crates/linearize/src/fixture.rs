@@ -1,0 +1,166 @@
+//! A plain-text fixture format for ordered-set histories.
+//!
+//! One purpose, three consumers: the committed bad-history corpus
+//! (`crates/linearize/tests/corpus/*.hist`) is written in it, the
+//! shrinker prints minimized violations in it, and the differential
+//! harness dumps disagreements in it — so every failure anywhere in
+//! the checking stack is a literal you can paste into a `.hist` file
+//! and replay.
+//!
+//! Grammar (line-oriented; `#` starts a comment, blank lines are
+//! skipped):
+//!
+//! ```text
+//! semantics counting            # or: semantics distinct
+//! <thread> <invoked> <returned> get <k> ret <v>
+//! <thread> <invoked> <returned> insert <k> <c> ret <v>
+//! <thread> <invoked> <returned> remove <k> <c> ret <v>
+//! <thread> <invoked> <returned> rangesum <lo> <hi> ret <v>
+//! <thread> <invoked> <returned> winrangesum <lo> <hi> <w> ret <v>
+//! ```
+//!
+//! [`format`] and [`parse`] round-trip.
+
+use crate::{Event, History, OrderedSetOp, OrderedSetSpec};
+
+/// Render `events` (checked under `counting` semantics) as fixture
+/// text, one event per line.
+pub fn format(counting: bool, events: &[Event<OrderedSetOp, u64>]) -> String {
+    let mut out = String::new();
+    out.push_str(if counting {
+        "semantics counting\n"
+    } else {
+        "semantics distinct\n"
+    });
+    for e in events {
+        let op = match &e.op {
+            OrderedSetOp::Get(k) => format!("get {k}"),
+            OrderedSetOp::Insert(k, c) => format!("insert {k} {c}"),
+            OrderedSetOp::Remove(k, c) => format!("remove {k} {c}"),
+            OrderedSetOp::RangeSum(lo, hi) => format!("rangesum {lo} {hi}"),
+            OrderedSetOp::WindowedRangeSum(lo, hi, w) => format!("winrangesum {lo} {hi} {w}"),
+        };
+        out.push_str(&format!(
+            "{} {} {} {op} ret {}\n",
+            e.thread, e.invoked, e.returned, e.ret
+        ));
+    }
+    out
+}
+
+/// Parse fixture text into its spec and history.
+pub fn parse(text: &str) -> Result<(OrderedSetSpec, History<OrderedSetOp, u64>), String> {
+    let mut spec: Option<OrderedSetSpec> = None;
+    let mut h = History::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| format!("line {}: {msg}: {raw:?}", lineno + 1);
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks[0] == "semantics" {
+            spec = Some(OrderedSetSpec {
+                counting: match toks.get(1).copied() {
+                    Some("counting") => true,
+                    Some("distinct") => false,
+                    _ => return Err(err("semantics must be `counting` or `distinct`")),
+                },
+            });
+            continue;
+        }
+        let int = |i: usize| -> Result<u64, String> {
+            toks.get(i)
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err("expected an integer field"))
+        };
+        let (thread, invoked, returned) = (int(0)? as usize, int(1)?, int(2)?);
+        let op_tok = *toks.get(3).ok_or_else(|| err("missing op"))?;
+        let (op, ret_at) = match op_tok {
+            "get" => (OrderedSetOp::Get(int(4)?), 5),
+            "insert" => (OrderedSetOp::Insert(int(4)?, int(5)?), 6),
+            "remove" => (OrderedSetOp::Remove(int(4)?, int(5)?), 6),
+            "rangesum" => (OrderedSetOp::RangeSum(int(4)?, int(5)?), 6),
+            "winrangesum" => (OrderedSetOp::WindowedRangeSum(int(4)?, int(5)?, int(6)?), 7),
+            _ => return Err(err("unknown op (get/insert/remove/rangesum/winrangesum)")),
+        };
+        if toks.get(ret_at).copied() != Some("ret") {
+            return Err(err("expected `ret <value>` after the op"));
+        }
+        if returned <= invoked {
+            return Err(err("response must follow invocation"));
+        }
+        h.push(Event {
+            thread,
+            invoked,
+            returned,
+            op,
+            ret: int(ret_at + 1)?,
+        });
+    }
+    let spec = spec.ok_or("missing `semantics counting|distinct` line")?;
+    Ok((spec, h))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let events = vec![
+            Event {
+                thread: 0,
+                invoked: 0,
+                returned: 3,
+                op: OrderedSetOp::Insert(7, 2),
+                ret: 2,
+            },
+            Event {
+                thread: 1,
+                invoked: 1,
+                returned: 2,
+                op: OrderedSetOp::RangeSum(0, 9),
+                ret: 2,
+            },
+            Event {
+                thread: 2,
+                invoked: 4,
+                returned: 5,
+                op: OrderedSetOp::WindowedRangeSum(0, 9, 4),
+                ret: 2,
+            },
+        ];
+        let text = format(true, &events);
+        let (spec, h) = parse(&text).unwrap();
+        assert!(spec.counting);
+        assert_eq!(h.len(), 3);
+        assert_eq!(format(spec.counting, h.events()), text);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "\
+# a comment
+semantics distinct
+
+0 0 1 insert 5 1 ret 1   # trailing comment
+";
+        let (spec, h) = parse(text).unwrap();
+        assert!(!spec.counting);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        for bad in [
+            "0 0 1 insert 5 1 ret 1",                 // missing semantics
+            "semantics maybe",                        // bad semantics
+            "semantics counting\n0 0 1 frob 5 ret 1", // unknown op
+            "semantics counting\n0 5 1 get 5 ret 1",  // returned <= invoked
+            "semantics counting\n0 0 1 get 5 1",      // missing ret keyword
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?}");
+        }
+    }
+}

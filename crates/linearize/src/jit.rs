@@ -1,0 +1,302 @@
+//! The just-in-time linearizability engine.
+//!
+//! The WGL backend in `lib.rs` encodes the pending set as a `u64`
+//! bitmask, which caps histories at 64 events — exactly the regime
+//! where rare races stay invisible. This module is the scalable
+//! backend: the same search (find a total order consistent with real
+//! time that the sequential [`Spec`] accepts), reorganized so that
+//! recorded rounds of thousands of events check in milliseconds:
+//!
+//! * **Frontier configurations.** Events are sorted by invocation.
+//!   A configuration is `(idx, holes, state)`: every event before
+//!   `idx` is linearized except the `holes`, nothing at or after
+//!   `idx` is. In a real recorded round at most `threads` operations
+//!   overlap at any instant, so `holes` stays tiny and the search is
+//!   near-linear in history length instead of exponential.
+//! * **Just-in-time pruning of minimal ops.** A schedulable event
+//!   whose operation does not change the abstract state and whose
+//!   recorded return matches the current state — a successful `get`,
+//!   a failed distinct-`insert`, a scan summing to the current range
+//!   sum — is linearized *immediately*, without branching. This is
+//!   lossless: such an event is minimal (no pending event's response
+//!   precedes its invocation, or it would not be schedulable), so any
+//!   witness order can be rewritten to put it first (moving it
+//!   earlier violates no real-time edge) and, being pure, deleting it
+//!   from a witness perturbs nobody else's return value.
+//! * **Memoized configurations.** Branching only happens on
+//!   state-*changing* candidates; visited `(idx, holes, state)`
+//!   triples are memoized so converging interleavings are explored
+//!   once.
+//!
+//! The engine is generic over [`Spec`]; purity is detected
+//! semantically (`apply` returns a state equal to the input), so
+//! specs need no extra annotations.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+use crate::{Event, Spec};
+
+/// Verdict of one engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JitOutcome {
+    /// A witness order exists: the history is linearizable.
+    Linearizable,
+    /// The search space is exhausted: no witness order exists.
+    Violation,
+    /// The configuration budget ran out before the search finished —
+    /// the history is neither accepted nor refuted. Only bounded
+    /// callers (the shrinker) see this; checking runs unbounded.
+    OutOfBudget,
+}
+
+/// One search configuration: everything before `idx` (in
+/// invocation-sorted order) is linearized except `holes`; `state` is
+/// the abstract state reached.
+struct Config<St> {
+    idx: u32,
+    holes: Vec<u32>,
+    state: St,
+}
+
+/// Check `events` against `spec` with the JIT engine, visiting at most
+/// `max_configs` branch configurations.
+pub(crate) fn check_events<S>(
+    spec: &S,
+    events: &[Event<S::Op, S::Ret>],
+    max_configs: usize,
+) -> JitOutcome
+where
+    S: Spec,
+    S::State: Clone + Hash + Eq,
+{
+    let n = events.len();
+    if n == 0 {
+        return JitOutcome::Linearizable;
+    }
+    // Invocation-sorted view of the history; `order[i]` is the
+    // original index of the i-th event by invocation time.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&i| {
+        let e = &events[i as usize];
+        (e.invoked, e.returned)
+    });
+    let ev = |i: usize| &events[order[i] as usize];
+    // suffix_min_ret[i] = earliest response among events[i..] — the
+    // suffix half of the minimal-op (real-time) eligibility bound.
+    let mut suffix_min_ret = vec![u64::MAX; n + 1];
+    for i in (0..n).rev() {
+        suffix_min_ret[i] = suffix_min_ret[i + 1].min(ev(i).returned);
+    }
+    // Schedulable events of `cfg`: pending ones whose invocation
+    // precedes (or ties) every pending response, i.e. those that may
+    // linearize first without violating real-time order.
+    let candidates = |cfg: &Config<S::State>| -> Vec<u32> {
+        let mut min_ret = suffix_min_ret[cfg.idx as usize];
+        for &h in &cfg.holes {
+            min_ret = min_ret.min(ev(h as usize).returned);
+        }
+        let mut cands: Vec<u32> = cfg
+            .holes
+            .iter()
+            .copied()
+            .filter(|&h| ev(h as usize).invoked <= min_ret)
+            .collect();
+        let mut j = cfg.idx as usize;
+        while j < n && ev(j).invoked <= min_ret {
+            cands.push(j as u32);
+            j += 1;
+        }
+        cands
+    };
+    // Linearize candidate `c`, preserving the frontier invariant
+    // (holes stay strictly below idx).
+    let take = |cfg: &Config<S::State>, c: u32, state: S::State| -> Config<S::State> {
+        let mut holes = cfg.holes.clone();
+        let idx = if c >= cfg.idx {
+            holes.extend(cfg.idx..c);
+            c + 1
+        } else {
+            holes.retain(|&h| h != c);
+            cfg.idx
+        };
+        Config { idx, holes, state }
+    };
+    let done = |cfg: &Config<S::State>| cfg.idx as usize == n && cfg.holes.is_empty();
+
+    let mut memo: HashSet<(u32, Vec<u32>, S::State)> = HashSet::new();
+    let mut stack = vec![Config {
+        idx: 0,
+        holes: Vec::new(),
+        state: spec.initial(),
+    }];
+    let mut visited = 0usize;
+    while let Some(mut cfg) = stack.pop() {
+        visited += 1;
+        if visited > max_configs {
+            return JitOutcome::OutOfBudget;
+        }
+        // JIT phase: greedily linearize pure matching minimal ops.
+        // Each take can raise the real-time bound, so recompute.
+        loop {
+            if done(&cfg) {
+                return JitOutcome::Linearizable;
+            }
+            let mut took = false;
+            for c in candidates(&cfg) {
+                let e = ev(c as usize);
+                let (next, ret) = spec.apply(&cfg.state, &e.op);
+                if ret == e.ret && next == cfg.state {
+                    cfg = take(&cfg, c, next);
+                    took = true;
+                    break;
+                }
+            }
+            if !took {
+                break;
+            }
+        }
+        if !memo.insert((cfg.idx, cfg.holes.clone(), cfg.state.clone())) {
+            continue;
+        }
+        // Branch phase: state-changing candidates whose recorded
+        // return the spec reproduces. (Pure matching candidates were
+        // consumed above; mismatching ones cannot linearize *here*,
+        // though they may later, under a different branch's state.)
+        for c in candidates(&cfg) {
+            let e = ev(c as usize);
+            let (next, ret) = spec.apply(&cfg.state, &e.op);
+            if ret == e.ret && next != cfg.state {
+                stack.push(take(&cfg, c, next));
+            }
+        }
+    }
+    JitOutcome::Violation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MultisetOp, MultisetSpec};
+
+    fn e(
+        thread: usize,
+        invoked: u64,
+        returned: u64,
+        op: MultisetOp,
+        ret: u64,
+    ) -> Event<MultisetOp, u64> {
+        Event {
+            thread,
+            invoked,
+            returned,
+            op,
+            ret,
+        }
+    }
+
+    #[test]
+    fn empty_is_linearizable() {
+        assert_eq!(
+            check_events(&MultisetSpec, &[], usize::MAX),
+            JitOutcome::Linearizable
+        );
+    }
+
+    #[test]
+    fn sequential_tape_accepts_and_corruption_rejects() {
+        let mut evs = vec![
+            e(0, 0, 1, MultisetOp::Insert(1, 2), 1),
+            e(0, 2, 3, MultisetOp::Get(1), 2),
+            e(0, 4, 5, MultisetOp::Delete(1, 2), 1),
+            e(0, 6, 7, MultisetOp::Get(1), 0),
+        ];
+        assert_eq!(
+            check_events(&MultisetSpec, &evs, usize::MAX),
+            JitOutcome::Linearizable
+        );
+        evs[1].ret = 3;
+        assert_eq!(
+            check_events(&MultisetSpec, &evs, usize::MAX),
+            JitOutcome::Violation
+        );
+    }
+
+    #[test]
+    fn overlap_allows_either_order_but_not_torn_values() {
+        for (seen, want) in [
+            (0, JitOutcome::Linearizable),
+            (2, JitOutcome::Linearizable),
+            (1, JitOutcome::Violation),
+        ] {
+            let evs = vec![
+                e(0, 0, 10, MultisetOp::Insert(1, 2), 1),
+                e(1, 5, 6, MultisetOp::Get(1), seen),
+            ];
+            assert_eq!(
+                check_events(&MultisetSpec, &evs, usize::MAX),
+                want,
+                "seen {seen}"
+            );
+        }
+    }
+
+    #[test]
+    fn real_time_order_is_enforced() {
+        // Get = 2 strictly before the only insert.
+        let evs = vec![
+            e(1, 0, 1, MultisetOp::Get(1), 2),
+            e(0, 2, 3, MultisetOp::Insert(1, 2), 1),
+        ];
+        assert_eq!(
+            check_events(&MultisetSpec, &evs, usize::MAX),
+            JitOutcome::Violation
+        );
+    }
+
+    #[test]
+    fn long_low_contention_history_is_fast_and_accepted() {
+        // 4 "threads" with interleaved-but-mostly-disjoint windows; a
+        // bitmask checker cannot even represent this length.
+        let mut evs = Vec::new();
+        let mut t = 0u64;
+        let mut count = 0u64;
+        for i in 0..4096u64 {
+            let (op, ret) = if i % 3 == 0 {
+                count += 1;
+                (MultisetOp::Insert(1, 1), 1)
+            } else if i % 3 == 1 {
+                (MultisetOp::Get(1), count)
+            } else {
+                count -= 1;
+                (MultisetOp::Delete(1, 1), 1)
+            };
+            evs.push(e((i % 4) as usize, t, t + 3, op, ret));
+            t += 2; // windows overlap the next event's invocation
+        }
+        assert_eq!(
+            check_events(&MultisetSpec, &evs, usize::MAX),
+            JitOutcome::Linearizable
+        );
+    }
+
+    #[test]
+    fn budget_surfaces_as_out_of_budget() {
+        // Heavily overlapping state-changing ops force branching; a
+        // budget of 1 configuration cannot finish them.
+        let evs = vec![
+            e(0, 0, 100, MultisetOp::Insert(1, 1), 1),
+            e(1, 1, 100, MultisetOp::Insert(1, 2), 1),
+            e(2, 2, 100, MultisetOp::Insert(1, 3), 1),
+            e(3, 3, 99, MultisetOp::Get(1), 6),
+        ];
+        assert_eq!(
+            check_events(&MultisetSpec, &evs, 1),
+            JitOutcome::OutOfBudget
+        );
+        assert_eq!(
+            check_events(&MultisetSpec, &evs, usize::MAX),
+            JitOutcome::Linearizable
+        );
+    }
+}

@@ -4,13 +4,25 @@
 //! (paper Theorem 6 for the multiset; the §6 trees by the same
 //! technique). This crate provides the testing substrate to check that
 //! claim on real executions: record a [`History`] of timestamped
-//! operations, then [`check`](History::check) it against a sequential
-//! [`Spec`] using the Wing & Gong / WGL search: find a total order of
-//! the operations, consistent with real-time order, that the sequential
-//! specification accepts.
+//! operations, then check it against a sequential [`Spec`] — find a
+//! total order of the operations, consistent with real-time order,
+//! that the sequential specification accepts.
 //!
-//! The search is exponential in the worst case; it is intended for the
-//! small, highly-contended histories used in tests (up to 64 events).
+//! Two backends implement that search:
+//!
+//! * **WGL** ([`History::check`]) — the Wing & Gong / WGL exhaustive
+//!   search over a `u64` pending-set bitmask. Exponential in the worst
+//!   case and limited to 64 events; it is the simple *oracle* the
+//!   scalable backend is differentially tested against.
+//! * **JIT** ([`History::check_jit`], and the per-key-partitioned
+//!   [`check_ordered_set`] for ordered-set histories) — a
+//!   just-in-time engine ([`jit`] module) with frontier
+//!   configurations, memoization and immediate linearization of
+//!   minimal pure ops, scaling to histories of thousands of events.
+//!   For ordered-set specs the [`partition`] module first splits the
+//!   history into key-disjoint groups (compositionality), checks each
+//!   independently, and on refutation [`shrink`]s the offending group
+//!   to a replayable core printed in the [`fixture`] format.
 //!
 //! # Example
 //!
@@ -52,10 +64,47 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fixture;
+mod jit;
+pub mod partition;
+pub mod shrink;
+
+pub use partition::{check_ordered_set, check_ordered_set_with, partition_ordered_set, Violation};
+pub use shrink::shrink_events;
+
 use std::collections::HashSet;
 use std::fmt::Debug;
 use std::hash::Hash;
+use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which linearizability backend(s) to run — the value space of the
+/// `LLX_LIN_CHECKER` knob (see `workloads::knobs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckerKind {
+    /// The exponential WGL bitmask oracle (histories ≤ 64 events).
+    Wgl,
+    /// The partitioned just-in-time checker (any history length).
+    Jit,
+    /// Both, cross-checked: WGL runs wherever it can represent the
+    /// history (≤ 64 events) and any disagreement with JIT is an
+    /// error in its own right.
+    Both,
+}
+
+impl FromStr for CheckerKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "wgl" => Ok(CheckerKind::Wgl),
+            "jit" => Ok(CheckerKind::Jit),
+            "both" => Ok(CheckerKind::Both),
+            other => Err(format!(
+                "unknown checker {other:?} (expected wgl, jit or both)"
+            )),
+        }
+    }
+}
 
 /// A sequential specification: deterministic state machine with return
 /// values.
@@ -110,7 +159,9 @@ impl Clock {
     }
 }
 
-/// A recorded concurrent history of up to 64 events.
+/// A recorded concurrent history — growable storage, no length cap.
+/// (The 64-event `u64` bitmask that used to live here is now an
+/// internal detail of the WGL backend; see [`History::check`].)
 #[derive(Debug, Clone, Default)]
 pub struct History<O, R> {
     events: Vec<Event<O, R>>,
@@ -126,12 +177,15 @@ impl<O: Clone + Debug, R: PartialEq + Clone + Debug> History<O, R> {
     ///
     /// # Panics
     ///
-    /// Panics if the history already holds 64 events, or if
-    /// `returned <= invoked`.
+    /// Panics if `returned <= invoked`.
     pub fn push(&mut self, e: Event<O, R>) {
-        assert!(self.events.len() < 64, "histories are limited to 64 events");
         assert!(e.returned > e.invoked, "response must follow invocation");
         self.events.push(e);
+    }
+
+    /// The recorded events, in push order.
+    pub fn events(&self) -> &[Event<O, R>] {
+        &self.events
     }
 
     /// Merge per-thread event logs into one history.
@@ -155,13 +209,21 @@ impl<O: Clone + Debug, R: PartialEq + Clone + Debug> History<O, R> {
         self.events.is_empty()
     }
 
-    /// Is this history linearizable with respect to `spec`?
+    /// Is this history linearizable with respect to `spec`, per the
+    /// WGL backend?
     ///
     /// WGL search: repeatedly choose a *minimal* pending operation (one
     /// whose invocation precedes the earliest response among pending
     /// operations), apply it to the abstract state, and check the
     /// recorded return value; backtrack on mismatch. Memoizes visited
-    /// `(pending-set, state)` pairs.
+    /// `(pending-set, state)` pairs. The pending set is a `u64`
+    /// bitmask, so this backend is the small-history oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the history holds more than 64 events — use
+    /// [`check_jit`](History::check_jit) (or, for ordered-set
+    /// histories, [`check_ordered_set`]) for long histories.
     pub fn check<S>(&self, spec: &S) -> bool
     where
         S: Spec<Op = O, Ret = R>,
@@ -171,9 +233,31 @@ impl<O: Clone + Debug, R: PartialEq + Clone + Debug> History<O, R> {
         if n == 0 {
             return true;
         }
+        assert!(
+            n <= 64,
+            "the WGL backend's bitmask holds at most 64 events (history has {n}); \
+             use check_jit / check_ordered_set"
+        );
         let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
         let mut memo: HashSet<(u64, S::State)> = HashSet::new();
         self.dfs(spec, full, spec.initial(), &mut memo)
+    }
+
+    /// Is this history linearizable with respect to `spec`, per the
+    /// just-in-time backend ([`jit`] module)? Exact like
+    /// [`check`](History::check) but with no length cap; this variant
+    /// runs the engine on the whole history. Ordered-set histories
+    /// should prefer [`check_ordered_set`], which additionally
+    /// partitions by key before searching.
+    pub fn check_jit<S>(&self, spec: &S) -> bool
+    where
+        S: Spec<Op = O, Ret = R>,
+        S::State: Clone + Hash + Eq,
+    {
+        matches!(
+            jit::check_events(spec, &self.events, usize::MAX),
+            jit::JitOutcome::Linearizable
+        )
     }
 
     fn dfs<S>(
@@ -392,8 +476,10 @@ impl Spec for OrderedSetSpec {
 /// `gen_op` receives `(thread, op_index, rng_word)` where `rng_word` is
 /// a per-call deterministic 64-bit value derived from `seed`, so rounds
 /// are reproducible. Threads start together on a barrier to maximize
-/// real overlap. Keep `threads * ops_per_thread` within the checker's
-/// 64-event budget.
+/// real overlap. Keep `threads * ops_per_thread` within the WGL
+/// backend's 64-event budget if the round will be checked with
+/// [`History::check`]; the JIT backend ([`check_ordered_set`],
+/// [`History::check_jit`]) takes rounds of thousands of events.
 ///
 /// This is the driver previously hand-rolled per structure in the
 /// repository's `tests/linearizability.rs`; it is generic so one test

@@ -1,0 +1,341 @@
+//! Per-key compositional partitioning of ordered-set histories.
+//!
+//! Point operations on *different* keys of an ordered set commute, and
+//! the abstract state ([`OrderedSetSpec`]'s map) is a product of
+//! independent per-key counts. Treating each key as its own object,
+//! Herlihy & Wing's locality theorem applies: a history is
+//! linearizable iff its projection onto every object is. So instead
+//! of searching one giant interleaving, the checker partitions the
+//! history into **groups** that share no key and checks each group
+//! independently with the [JIT engine](crate::jit) — turning one
+//! search over `n` events into many searches over `n / #keys`-ish
+//! events, each with its own tiny frontier.
+//!
+//! **The scan caveat:** a range scan ([`OrderedSetOp::RangeSum`])
+//! observes every key in its interval at once, so it is one operation
+//! over many "objects" and locality no longer separates them. The
+//! partitioner therefore merges (union-find) every key the history
+//! actually touches inside a scan's interval into the scan's group;
+//! overlapping scans chain through shared keys. Keys the history
+//! never writes are permanently at count 0 and cannot couple scans —
+//! a scan whose interval contains no touched key forms a singleton
+//! group whose sum must be 0. In the worst case (every scan spans
+//! every key) the whole history degenerates to a single group: the
+//! parallel decomposition is lost but correctness is not, since the
+//! JIT engine is exact on any group size.
+
+use std::collections::BTreeMap;
+
+use crate::jit::{self, JitOutcome};
+use crate::shrink;
+use crate::{CheckerKind, Event, History, OrderedSetOp, OrderedSetSpec};
+
+/// A refuted group: the smallest unit of evidence the partitioned
+/// checker produces, plus its ddmin-shrunken core.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The full violating group, in recorded order.
+    pub events: Vec<Event<OrderedSetOp, u64>>,
+    /// The shrinker's fixed point: a (usually tiny) sub-history that
+    /// is still not linearizable. See [`crate::shrink::shrink_events`].
+    pub minimized: Vec<Event<OrderedSetOp, u64>>,
+    /// The spec semantics the group was checked under.
+    pub counting: bool,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "non-linearizable group of {} events, minimized to {} (replayable fixture):",
+            self.events.len(),
+            self.minimized.len()
+        )?;
+        write!(
+            f,
+            "{}",
+            crate::fixture::format(self.counting, &self.minimized)
+        )
+    }
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// The key set an operation touches, as the partitioner sees it:
+/// point ops name one key, scans an inclusive interval (`None` lo > hi
+/// = the empty interval).
+fn op_interval(op: &OrderedSetOp) -> Option<(u64, u64)> {
+    match op {
+        OrderedSetOp::Get(k) | OrderedSetOp::Insert(k, _) | OrderedSetOp::Remove(k, _) => {
+            Some((*k, *k))
+        }
+        OrderedSetOp::RangeSum(lo, hi) | OrderedSetOp::WindowedRangeSum(lo, hi, _) => {
+            if lo > hi {
+                None
+            } else {
+                Some((*lo, *hi))
+            }
+        }
+    }
+}
+
+fn is_point(op: &OrderedSetOp) -> bool {
+    matches!(
+        op,
+        OrderedSetOp::Get(_) | OrderedSetOp::Insert(_, _) | OrderedSetOp::Remove(_, _)
+    )
+}
+
+/// Partition a history's events into independent groups of indices:
+/// two events land in the same group iff they are connected through
+/// shared *touched* keys (see the module docs for why untouched keys
+/// cannot connect scans). Groups come back in order of first
+/// appearance; indices within a group keep recorded order. Scans over
+/// intervals containing no point-op key each form their own singleton
+/// group.
+pub fn partition_ordered_set<R>(events: &[Event<OrderedSetOp, R>]) -> Vec<Vec<usize>> {
+    // Distinct point-op keys -> union-find node.
+    let mut key_node: BTreeMap<u64, usize> = BTreeMap::new();
+    for e in events {
+        if is_point(&e.op) {
+            if let Some((k, _)) = op_interval(&e.op) {
+                let next = key_node.len();
+                key_node.entry(k).or_insert(next);
+            }
+        }
+    }
+    let mut uf = UnionFind::new(key_node.len());
+    // Every event's home node, or None for a singleton (empty-interval
+    // scans and scans over untouched regions).
+    let homes: Vec<Option<usize>> = events
+        .iter()
+        .map(|e| {
+            let (lo, hi) = op_interval(&e.op)?;
+            if is_point(&e.op) {
+                return Some(key_node[&lo]);
+            }
+            let mut in_range = key_node.range(lo..=hi).map(|(_, &node)| node);
+            let first = in_range.next()?;
+            for node in in_range {
+                uf.union(first, node);
+            }
+            Some(first)
+        })
+        .collect();
+    // Bucket by union-find root, preserving first-appearance order.
+    let mut root_group: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, home) in homes.iter().enumerate() {
+        match home {
+            Some(node) => {
+                let root = uf.find(*node);
+                let g = *root_group.entry(root).or_insert_with(|| {
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                });
+                groups[g].push(i);
+            }
+            None => {
+                groups.push(vec![i]);
+            }
+        }
+    }
+    groups
+}
+
+/// Check an ordered-set history by partitioning it into key-disjoint
+/// groups and running the JIT engine on each; on refutation the
+/// offending group is ddmin-shrunken before being reported.
+///
+/// This is the scalable front door: histories of thousands of events
+/// check in milliseconds when keys partition well, and still
+/// terminate (single group) when they do not.
+pub fn check_ordered_set(
+    h: &History<OrderedSetOp, u64>,
+    spec: &OrderedSetSpec,
+) -> Result<(), Violation> {
+    check_event_groups(h.events(), spec)
+}
+
+fn check_event_groups(
+    events: &[Event<OrderedSetOp, u64>],
+    spec: &OrderedSetSpec,
+) -> Result<(), Violation> {
+    for group in partition_ordered_set(events) {
+        let sub: Vec<Event<OrderedSetOp, u64>> = group.iter().map(|&i| events[i].clone()).collect();
+        match jit::check_events(spec, &sub, usize::MAX) {
+            JitOutcome::Linearizable => {}
+            JitOutcome::Violation => {
+                let minimized = shrink::shrink_events(spec, sub.clone());
+                return Err(Violation {
+                    events: sub,
+                    minimized,
+                    counting: spec.counting,
+                });
+            }
+            JitOutcome::OutOfBudget => unreachable!("unbounded check cannot exhaust its budget"),
+        }
+    }
+    Ok(())
+}
+
+/// Run the checker selected by `kind` (see [`CheckerKind`]):
+///
+/// * [`Wgl`](CheckerKind::Wgl) — the exponential bitmask oracle;
+///   errors on histories over 64 events instead of panicking.
+/// * [`Jit`](CheckerKind::Jit) — the partitioned JIT checker, any
+///   length.
+/// * [`Both`](CheckerKind::Both) — both backends on histories the
+///   WGL oracle can represent (≤ 64 events), **erroring on any
+///   disagreement** — a differential check on every round; silently
+///   degrades to JIT-only above 64 events.
+///
+/// `Err` carries a human-readable report; for refutations it embeds
+/// the shrunken group as a replayable fixture.
+pub fn check_ordered_set_with(
+    h: &History<OrderedSetOp, u64>,
+    spec: &OrderedSetSpec,
+    kind: CheckerKind,
+) -> Result<(), String> {
+    let jit_verdict = || check_ordered_set(h, spec);
+    match kind {
+        CheckerKind::Wgl => {
+            if h.len() > 64 {
+                return Err(format!(
+                    "history has {} events; the WGL backend is limited to 64 \
+                     (run with LLX_LIN_CHECKER=jit)",
+                    h.len()
+                ));
+            }
+            if h.check(spec) {
+                Ok(())
+            } else {
+                // Reuse the JIT shrinker for the report; the backends
+                // agree (the differential suite holds them to it).
+                match jit_verdict() {
+                    Err(v) => Err(format!("WGL: not linearizable\n{v}")),
+                    Ok(()) => Err(
+                        "checker disagreement: WGL rejects but JIT accepts this history"
+                            .to_string(),
+                    ),
+                }
+            }
+        }
+        CheckerKind::Jit => jit_verdict().map_err(|v| format!("JIT: not linearizable\n{v}")),
+        CheckerKind::Both => {
+            let jit = jit_verdict();
+            if h.len() <= 64 {
+                let wgl = h.check(spec);
+                if wgl != jit.is_ok() {
+                    return Err(format!(
+                        "checker disagreement: WGL says {}, JIT says {} on:\n{}",
+                        if wgl { "linearizable" } else { "violation" },
+                        if jit.is_ok() {
+                            "linearizable"
+                        } else {
+                            "violation"
+                        },
+                        crate::fixture::format(spec.counting, h.events()),
+                    ));
+                }
+            }
+            jit.map_err(|v| format!("not linearizable (WGL and JIT agree)\n{v}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(op: OrderedSetOp, ret: u64, invoked: u64, returned: u64) -> Event<OrderedSetOp, u64> {
+        Event {
+            thread: 0,
+            invoked,
+            returned,
+            op,
+            ret,
+        }
+    }
+
+    #[test]
+    fn point_ops_partition_by_key() {
+        let events = vec![
+            ev(OrderedSetOp::Insert(1, 1), 1, 0, 1),
+            ev(OrderedSetOp::Insert(9, 1), 1, 2, 3),
+            ev(OrderedSetOp::Get(1), 1, 4, 5),
+            ev(OrderedSetOp::Remove(9, 1), 1, 6, 7),
+        ];
+        let groups = partition_ordered_set(&events);
+        assert_eq!(groups, vec![vec![0, 2], vec![1, 3]]);
+    }
+
+    #[test]
+    fn scans_merge_the_keys_they_touch() {
+        let events = vec![
+            ev(OrderedSetOp::Insert(1, 1), 1, 0, 1),
+            ev(OrderedSetOp::Insert(9, 1), 1, 2, 3),
+            ev(OrderedSetOp::Insert(50, 1), 1, 4, 5),
+            // Spans keys 1 and 9 but not 50.
+            ev(OrderedSetOp::RangeSum(0, 10), 2, 6, 7),
+        ];
+        let groups = partition_ordered_set(&events);
+        assert_eq!(groups.len(), 2);
+        let with_scan: Vec<usize> = groups
+            .into_iter()
+            .find(|g| g.contains(&3))
+            .expect("scan is somewhere");
+        assert_eq!(with_scan, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn scan_over_untouched_region_is_a_singleton() {
+        let events = vec![
+            ev(OrderedSetOp::Insert(1, 1), 1, 0, 1),
+            ev(OrderedSetOp::RangeSum(100, 200), 0, 2, 3),
+            // lo > hi: the empty interval touches nothing at all.
+            ev(OrderedSetOp::RangeSum(5, 2), 0, 4, 5),
+        ];
+        let groups = partition_ordered_set(&events);
+        assert_eq!(groups, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn partitioned_check_rejects_cross_group_violation_locally() {
+        let spec = OrderedSetSpec { counting: true };
+        let mut h = History::new();
+        // Key 3 is fine; key 8's get is stale (remove finished first).
+        h.push(ev(OrderedSetOp::Insert(3, 1), 1, 0, 1));
+        h.push(ev(OrderedSetOp::Insert(8, 2), 2, 2, 3));
+        h.push(ev(OrderedSetOp::Remove(8, 2), 2, 4, 5));
+        h.push(ev(OrderedSetOp::Get(8), 2, 6, 7));
+        h.push(ev(OrderedSetOp::Get(3), 1, 8, 9));
+        let v = check_ordered_set(&h, &spec).unwrap_err();
+        assert_eq!(v.events.len(), 3, "only key 8's group is reported");
+        assert!(v.minimized.len() <= 3);
+        assert!(check_ordered_set_with(&h, &spec, CheckerKind::Both).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Failing-history shrinking: turn a multi-thousand-event refutation
+//! into a handful of events a human can replay and reason about.
+//!
+//! The strategy is greedy delta-debugging (ddmin): repeatedly try
+//! deleting chunks of events — halving the chunk size down to single
+//! events — and keep any deletion under which the JIT engine still
+//! refutes the history. The result is a *fixed point* (no single
+//! remaining event can be deleted), not a guaranteed global minimum,
+//! which in practice lands real violations well under 15 events.
+//!
+//! Each candidate re-check runs with a configuration budget: a
+//! deletion that makes the verdict too expensive to establish is
+//! treated as "not known to preserve the violation" and rejected, so
+//! shrinking is safe even around pathological schedules.
+
+use std::hash::Hash;
+
+use crate::jit::{self, JitOutcome};
+use crate::{Event, Spec};
+
+/// Configuration budget per candidate re-check. Rejections of small
+/// histories exhaust their (memoized) search space in far fewer
+/// configurations; the cap only exists to bound adversarial inputs.
+const SHRINK_CHECK_BUDGET: usize = 1 << 20;
+
+/// Shrink `events` — which the caller has established the JIT engine
+/// refutes — to a smaller sub-history it still refutes. If `events`
+/// is in fact linearizable (precondition violated), it is returned
+/// unchanged.
+pub fn shrink_events<S>(spec: &S, events: Vec<Event<S::Op, S::Ret>>) -> Vec<Event<S::Op, S::Ret>>
+where
+    S: Spec,
+    S::State: Clone + Hash + Eq,
+{
+    let refuted = |evs: &[Event<S::Op, S::Ret>]| {
+        jit::check_events(spec, evs, SHRINK_CHECK_BUDGET) == JitOutcome::Violation
+    };
+    if !refuted(&events) {
+        return events;
+    }
+    let mut cur = events;
+    loop {
+        let mut deleted_any = false;
+        let mut chunk = (cur.len() / 2).max(1);
+        loop {
+            let mut i = 0;
+            while i < cur.len() && cur.len() > 1 {
+                let mut cand = Vec::with_capacity(cur.len().saturating_sub(chunk));
+                cand.extend_from_slice(&cur[..i]);
+                cand.extend_from_slice(&cur[(i + chunk).min(cur.len())..]);
+                if refuted(&cand) {
+                    cur = cand;
+                    deleted_any = true;
+                    // Do not advance: the next chunk slid into place.
+                } else {
+                    i += chunk;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk = (chunk / 2).max(1);
+        }
+        if !deleted_any {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OrderedSetOp, OrderedSetSpec};
+
+    fn ev(op: OrderedSetOp, ret: u64, at: u64) -> Event<OrderedSetOp, u64> {
+        Event {
+            thread: 0,
+            invoked: 2 * at,
+            returned: 2 * at + 1,
+            op,
+            ret,
+        }
+    }
+
+    #[test]
+    fn linearizable_input_comes_back_unchanged() {
+        let spec = OrderedSetSpec { counting: true };
+        let evs = vec![
+            ev(OrderedSetOp::Insert(1, 1), 1, 0),
+            ev(OrderedSetOp::Get(1), 1, 1),
+        ];
+        assert_eq!(shrink_events(&spec, evs.clone()).len(), evs.len());
+    }
+
+    #[test]
+    fn padding_around_a_stale_read_is_deleted() {
+        let spec = OrderedSetSpec { counting: true };
+        let mut evs = Vec::new();
+        // 200 events of irrelevant-but-valid churn on key 5.
+        for i in 0..200u64 {
+            if i % 2 == 0 {
+                evs.push(ev(OrderedSetOp::Insert(5, 1), 1, i));
+            } else {
+                evs.push(ev(OrderedSetOp::Remove(5, 1), 1, i));
+            }
+        }
+        // The violation: a get on key 5 seeing a count that never
+        // existed, sequenced strictly after all the churn.
+        evs.push(ev(OrderedSetOp::Get(5), 77, 500));
+        let shrunk = shrink_events(&spec, evs);
+        assert!(
+            shrunk.len() <= 15,
+            "expected a tiny core, got {} events",
+            shrunk.len()
+        );
+        assert_eq!(
+            jit::check_events(&spec, &shrunk, usize::MAX),
+            JitOutcome::Violation,
+            "the core still refutes"
+        );
+    }
+}

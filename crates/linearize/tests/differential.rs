@@ -1,0 +1,162 @@
+//! Differential testing of the two linearizability backends: on
+//! thousands of randomly generated small histories — clean ones built
+//! from a simulated execution, plus systematically mutated ones
+//! (corrupted and swapped return values, reordered invoke/return
+//! timestamps) — the WGL bitmask oracle and the partitioned JIT
+//! checker must agree accept/reject on every single one. A
+//! disagreement prints the offending history as a replayable fixture
+//! literal.
+//!
+//! Knob: `LLX_LIN_DIFF_CASES` (default 3000, floor 2000) sets how many
+//! histories are generated; roughly half are mutated.
+
+use linearize::{check_ordered_set, fixture, Event, History, OrderedSetOp, OrderedSetSpec, Spec};
+
+/// SplitMix64: cheap, deterministic, dependency-free.
+fn split(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A clean history: a sequential execution (return values computed by
+/// the spec itself) over keys 0..5 with scans, timestamped so that
+/// adjacent operations overlap — the sequential order stays a valid
+/// witness, so clean histories are linearizable by construction.
+fn gen_clean(seed: u64) -> (OrderedSetSpec, History<OrderedSetOp, u64>) {
+    let mut rng = seed;
+    let spec = OrderedSetSpec {
+        counting: split(&mut rng).is_multiple_of(2),
+    };
+    let n = 2 + split(&mut rng) % 39; // 2..=40 events
+    let mut state = spec.initial();
+    let mut h = History::new();
+    for i in 0..n {
+        let r = split(&mut rng);
+        let key = r % 5;
+        let count = 1 + (r >> 8) % 2;
+        let op = match (r >> 16) % 8 {
+            0..=2 => OrderedSetOp::Insert(key, count),
+            3 | 4 => OrderedSetOp::Remove(key, count),
+            5 | 6 => OrderedSetOp::Get(key),
+            // Includes lo > hi (the empty range) and cross-key spans.
+            _ => OrderedSetOp::RangeSum(key, (r >> 24) % 6),
+        };
+        let (next, ret) = spec.apply(&state, &op);
+        state = next;
+        h.push(Event {
+            thread: (i % 4) as usize,
+            invoked: 4 * i + (r >> 32) % 3,
+            returned: 4 * i + 5 + (r >> 40) % 3,
+            op,
+            ret,
+        });
+    }
+    (spec, h)
+}
+
+/// Systematic mutations over a clean history. Each may or may not
+/// break linearizability — the point is only that both backends judge
+/// the result identically.
+fn mutate(h: &History<OrderedSetOp, u64>, rng: &mut u64) -> History<OrderedSetOp, u64> {
+    let mut events = h.events().to_vec();
+    let n = events.len();
+    let pick = |rng: &mut u64| (split(rng) % n as u64) as usize;
+    match split(rng) % 4 {
+        // Corrupt one return value by a small delta.
+        0 => {
+            let i = pick(rng);
+            events[i].ret = events[i].ret.wrapping_add(1 + split(rng) % 3);
+        }
+        // Swap the return values of two events.
+        1 => {
+            let (i, j) = (pick(rng), pick(rng));
+            let (ri, rj) = (events[i].ret, events[j].ret);
+            events[i].ret = rj;
+            events[j].ret = ri;
+        }
+        // Swap the invoke/return timestamp pairs of two events —
+        // reordering them in real time while each stays well-formed.
+        2 => {
+            let (i, j) = (pick(rng), pick(rng));
+            let (ti, tj) = (
+                (events[i].invoked, events[i].returned),
+                (events[j].invoked, events[j].returned),
+            );
+            events[i].invoked = tj.0;
+            events[i].returned = tj.1;
+            events[j].invoked = ti.0;
+            events[j].returned = ti.1;
+        }
+        // Shrink one event's span to a point *after* it originally
+        // returned — sequencing it later than its neighbors.
+        _ => {
+            let i = pick(rng);
+            events[i].invoked = events[i].returned + 1 + split(rng) % 8;
+            events[i].returned = events[i].invoked + 1;
+        }
+    }
+    let mut out = History::new();
+    for e in events {
+        out.push(e);
+    }
+    out
+}
+
+fn cases() -> u64 {
+    std::env::var("LLX_LIN_DIFF_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3000)
+        .max(2000)
+}
+
+#[test]
+fn wgl_and_jit_agree_on_generated_histories() {
+    let cases = cases();
+    let (mut accepted, mut rejected) = (0u64, 0u64);
+    for seed in 0..cases {
+        let (spec, clean) = gen_clean(seed);
+        let mut rng = seed.wrapping_mul(0xA24BAED4963EE407);
+        let h = if seed % 2 == 0 {
+            clean
+        } else {
+            mutate(&clean, &mut rng)
+        };
+        let wgl = h.check(&spec);
+        let jit = check_ordered_set(&h, &spec).is_ok();
+        assert_eq!(
+            wgl,
+            jit,
+            "checker disagreement on seed {seed} (WGL {}, JIT {}):\n{}",
+            wgl,
+            jit,
+            fixture::format(spec.counting, h.events())
+        );
+        if wgl {
+            accepted += 1;
+        } else {
+            rejected += 1;
+        }
+    }
+    // The sweep must exercise both verdicts, or agreement is vacuous.
+    assert!(
+        accepted > cases / 4 && rejected > cases / 20,
+        "degenerate sweep: {accepted} accepted, {rejected} rejected of {cases}"
+    );
+    println!("differential: {cases} histories, {accepted} accepted, {rejected} rejected, 0 disagreements");
+}
+
+#[test]
+fn clean_histories_are_linearizable_by_construction() {
+    for seed in 0..200 {
+        let (spec, h) = gen_clean(seed);
+        assert!(
+            h.check(&spec),
+            "clean history {seed} rejected:\n{}",
+            fixture::format(spec.counting, h.events())
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Partitioner edge cases: histories where per-key decomposition buys
+//! nothing (one key, or scans coupling every key) must still be
+//! checked correctly, and degenerate groups (empty history,
+//! single-event groups) must behave.
+
+use linearize::{
+    check_ordered_set, partition_ordered_set, Event, History, OrderedSetOp, OrderedSetSpec,
+};
+
+fn ev(op: OrderedSetOp, ret: u64, at: u64) -> Event<OrderedSetOp, u64> {
+    Event {
+        thread: (at % 3) as usize,
+        invoked: 2 * at,
+        returned: 2 * at + 1,
+        op,
+        ret,
+    }
+}
+
+#[test]
+fn all_one_key_history_is_one_group_and_still_checked() {
+    let spec = OrderedSetSpec { counting: true };
+    let mut h = History::new();
+    // 600 events, all on key 3 — no parallelism win to be had.
+    let mut count = 0u64;
+    for i in 0..600u64 {
+        match i % 3 {
+            0 => {
+                count += 1;
+                h.push(ev(OrderedSetOp::Insert(3, 1), 1, i));
+            }
+            1 => h.push(ev(OrderedSetOp::Get(3), count, i)),
+            _ => {
+                count -= 1;
+                h.push(ev(OrderedSetOp::Remove(3, 1), 1, i));
+            }
+        }
+    }
+    assert_eq!(partition_ordered_set(h.events()).len(), 1);
+    check_ordered_set(&h, &spec).expect("valid single-key history accepted");
+    // Same shape with one stale read is rejected, and the report
+    // shrinks within the group.
+    h.push(ev(OrderedSetOp::Get(3), 999, 1000));
+    let v = check_ordered_set(&h, &spec).unwrap_err();
+    assert!(
+        v.minimized.len() <= 15,
+        "minimized to {}",
+        v.minimized.len()
+    );
+}
+
+#[test]
+fn scan_heavy_history_degenerates_to_one_group() {
+    let spec = OrderedSetSpec { counting: true };
+    let mut h = History::new();
+    let keys = [1u64, 20, 300, 4000];
+    let mut sum = 0u64;
+    for (i, &k) in keys.iter().enumerate() {
+        sum += 1;
+        h.push(ev(OrderedSetOp::Insert(k, 1), 1, 2 * i as u64));
+        // Every scan spans every key: all groups merge into one.
+        h.push(ev(OrderedSetOp::RangeSum(0, 5000), sum, 2 * i as u64 + 1));
+    }
+    let groups = partition_ordered_set(h.events());
+    assert_eq!(groups.len(), 1, "full-range scans couple every key");
+    assert_eq!(groups[0].len(), h.len());
+    check_ordered_set(&h, &spec).expect("degenerate single group still checks");
+}
+
+#[test]
+fn scans_chain_groups_transitively() {
+    // Scan A spans keys {1, 5}, scan B spans {5, 9}: key 5 chains all
+    // three point keys and both scans into one group.
+    let events = vec![
+        ev(OrderedSetOp::Insert(1, 1), 1, 0),
+        ev(OrderedSetOp::Insert(5, 1), 1, 1),
+        ev(OrderedSetOp::Insert(9, 1), 1, 2),
+        ev(OrderedSetOp::RangeSum(1, 5), 2, 3),
+        ev(OrderedSetOp::RangeSum(5, 9), 2, 4),
+    ];
+    assert_eq!(partition_ordered_set(&events).len(), 1);
+    // Disjoint scans do not chain.
+    let events = vec![
+        ev(OrderedSetOp::Insert(1, 1), 1, 0),
+        ev(OrderedSetOp::Insert(9, 1), 1, 1),
+        ev(OrderedSetOp::RangeSum(0, 2), 1, 2),
+        ev(OrderedSetOp::RangeSum(8, 10), 1, 3),
+    ];
+    assert_eq!(partition_ordered_set(&events).len(), 2);
+}
+
+#[test]
+fn empty_history_has_no_groups_and_is_linearizable() {
+    let h: History<OrderedSetOp, u64> = History::new();
+    assert!(partition_ordered_set(h.events()).is_empty());
+    check_ordered_set(&h, &OrderedSetSpec { counting: true }).expect("empty is linearizable");
+}
+
+#[test]
+fn single_event_groups_are_judged_alone() {
+    let spec = OrderedSetSpec { counting: true };
+    // A scan over a region no point op ever touches is a singleton
+    // group; it must still be *checked* — its sum can only be 0.
+    let mut h = History::new();
+    h.push(ev(OrderedSetOp::Insert(1, 1), 1, 0));
+    h.push(ev(OrderedSetOp::RangeSum(100, 200), 0, 1));
+    assert_eq!(partition_ordered_set(h.events()).len(), 2);
+    check_ordered_set(&h, &spec).expect("zero-sum scan over untouched region");
+
+    let mut h = History::new();
+    h.push(ev(OrderedSetOp::RangeSum(100, 200), 7, 0));
+    let v = check_ordered_set(&h, &spec).unwrap_err();
+    assert_eq!(
+        v.events.len(),
+        1,
+        "the singleton scan itself is the violation"
+    );
+
+    // The empty interval (lo > hi) is its own singleton too.
+    let mut h = History::new();
+    h.push(ev(OrderedSetOp::Insert(1, 1), 1, 0));
+    h.push(ev(OrderedSetOp::RangeSum(5, 2), 0, 1));
+    check_ordered_set(&h, &spec).expect("empty interval sums to zero");
+}

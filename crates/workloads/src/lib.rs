@@ -271,6 +271,11 @@ pub fn prefill_keys(n: u64) -> impl Iterator<Item = u64> {
 /// | `LLX_MODEL_BOUND` | `tests/model.rs` under `--cfg llx_model` (ci.sh `model` stage) | preemption bound of the deterministic schedule explorer: max voluntary context switches the DFS may inject per execution (default 2; forced switches at blocking/termination are free). The full `./ci.sh` run exports `1` for speed; the regression scenarios pin `>= 2` themselves |
 /// | `LLX_MODEL_STEPS` | `tests/model.rs` under `--cfg llx_model` | per-execution scheduling-step cap before a schedule is abandoned as a suspected livelock (default 20000); abandoned schedules are reported and make the run non-exhaustive |
 /// | `LLX_MODEL_SCHEDULES` | `tests/model.rs` under `--cfg llx_model` | max schedules explored per scenario; `0` (default) = exhaustive up to the bound |
+/// | `LLX_LIN_EVENTS` | root `linearizability` long-round tests (ci.sh `lin-long` stage) | events per long recorded round checked by the partitioned JIT checker (default 2048, floored at 64) |
+/// | `LLX_LIN_CHECKER` | root `linearizability` small-round tests | which backend judges the small WGL-sized rounds: `wgl`, `jit`, or `both` (default `both` — cross-checks and fails on disagreement). Long rounds always use JIT; the WGL bitmask cannot represent them |
+/// | `LLX_LIN_DIFF_CASES` | `linearize` `differential` test | histories generated for the WGL-vs-JIT differential sweep (default 3000, floor 2000; half are mutated) |
+/// | `LLX_BENCH_DIFF_FLOOR_NS` | ci.sh `bench-diff` stage (`bench-harness diff`) | absolute p99 slack in nanoseconds below which a relative regression is ignored (default 5000; 1-core CI hosts cannot resolve finer tail deltas) |
+/// | `LLX_BENCH_DIFF_WAIVE` | ci.sh `bench-diff` stage (`bench-harness diff`) | `1`/`on`/`true` downgrades a detected p99 regression from a hard failure to a warning (for known-noisy hosts) |
 /// | `PROPTEST_CASES` | every property test (proptest shim) | overrides the case count |
 /// | `PROPTEST_SEED` | every property test (proptest shim) | perturbs the otherwise deterministic streams |
 ///
@@ -323,6 +328,20 @@ pub mod knobs {
     /// (whole-range snapshots).
     pub fn scan_window() -> u64 {
         env_u64("LLX_SCAN_WINDOW", 0)
+    }
+
+    /// `LLX_LIN_EVENTS`: events per long linearizability round (default
+    /// 2048). Callers floor this at 64 so a tiny override still
+    /// exercises the long-round code paths.
+    pub fn lin_events() -> u64 {
+        env_u64("LLX_LIN_EVENTS", 2048)
+    }
+
+    /// `LLX_LIN_CHECKER`: which backend judges small recorded rounds —
+    /// `wgl`, `jit`, or `both`. `None` (unset) lets the caller pick its
+    /// default (the root tests use `both`).
+    pub fn lin_checker() -> Option<String> {
+        std::env::var("LLX_LIN_CHECKER").ok()
     }
 
     /// `LLX_BENCH_PAR`: whether bench-harness sweeps run their cells in
