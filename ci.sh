@@ -25,6 +25,13 @@
 #                  (per-window conservation laws checked mid-churn) and
 #                  a debug leg so the generation-stamp ABA detectors
 #                  soak the new cursor paths
+#   shard          the sharded scale-out facade: linearizability, stress
+#                  conservation, scan-cursor edge cases and the sharded
+#                  integration suite all at LLX_STRUCT='sharded(patricia,4)'
+#                  (release), a debug ABA soak across the shard seams,
+#                  and a best-of-3 compare leg asserting the facade's
+#                  wide-range read throughput stays at parity with the
+#                  bare backend
 #   bg-reclaim     the stress/linearizability/reclamation suites again
 #                  with the epoch shim in background-reclaimer mode and
 #                  a small collection budget (LLX_EPOCH_BG=1
@@ -72,7 +79,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(fmt build test pool-off debug-stress scanwin bg-reclaim doctest examples benches compare-smoke latency lin-long bench-diff model audit clippy)
+ALL_STAGES=(fmt build test pool-off debug-stress scanwin shard bg-reclaim doctest examples benches compare-smoke latency lin-long bench-diff model audit clippy)
 QUICK_STAGES=(fmt build test)
 
 QUICK=0
@@ -160,6 +167,59 @@ stage_scanwin() {
         --test scan_cursor windowed_scans_survive_concurrent_churn
 }
 
+stage_shard() {
+    # Release legs: the whole generic harness surface driven through the
+    # spec grammar at a 4-shard Patricia facade — WGL/JIT-cross-checked
+    # linearizability, the stress conservation laws, every scan-cursor
+    # edge case, and the sharded integration suite (seam resume,
+    # boundary keys, per-domain pool stats, validation report).
+    LLX_STRUCT='sharded(patricia,4)' LLX_STRESS_MILLIS=150 \
+        cargo test -q --release -p llx-scx-repro \
+        --test linearizability --test conc_stress --test scan \
+        --test scan_cursor --test sharded
+    # Debug soak: the generation-stamp ABA detectors and reclamation
+    # ledgers only exist under debug_assertions — run the churn legs
+    # with them armed while stitched cursors cross shard seams.
+    LLX_STRUCT='sharded(patricia,4)' LLX_SCAN_WINDOW=4 LLX_STRESS_MILLIS=250 \
+        cargo test -q -p llx-scx-repro --test sharded --test scan_cursor
+    # Perf leg: the facade's per-op overhead (route + affinity TLS) on
+    # the wide-range read row must stay bounded — the gate catches
+    # pathological regressions (e.g. routing gone O(shards)), not the
+    # single-digit facade tax. Best-of-3 per column with 25% tolerance:
+    # observed overhead swings 5-15% run-to-run on the 1-core host, so
+    # anything tighter flakes on scheduler noise.
+    #
+    # Each run is time-boxed with one retry: the SCX-record recycling
+    # path has a rare latent use-after-free that can wedge a compare
+    # run in an infinite help loop (see ROADMAP "Latent UAF in
+    # SCX-record recycling" for the reproducer) — a hang must fail
+    # the stage loudly, never block CI forever.
+    cargo build -q --release -p bench-harness
+    local i
+    for i in 1 2 3; do
+        LLX_BENCH_CELL_MILLIS=100 LLX_STRUCT='patricia,sharded(patricia,4)' \
+            timeout 300 target/release/bench-harness compare && continue
+        echo "    shard perf: run $i wedged or failed; retrying once (latent recycling UAF, see ROADMAP)" >&2
+        LLX_BENCH_CELL_MILLIS=100 LLX_STRUCT='patricia,sharded(patricia,4)' \
+            timeout 300 target/release/bench-harness compare
+    done | awk '
+        function v(s) {
+            if (s ~ /G$/) return s * 1e9
+            if (s ~ /M$/) return s * 1e6
+            if (s ~ /k$/) return s * 1e3
+            return s + 0
+        }
+        /^ *1024 +0% +4 / { b = v($4); s = v($5); if (b > bb) bb = b; if (s > bs) bs = s; n++ }
+        END {
+            if (n != 3) { print "expected 3 read-row samples, got " n > "/dev/stderr"; exit 1 }
+            printf "    shard perf: bare best %.4g ops/s, sharded(patricia,4) best %.4g ops/s\n", bb, bs
+            if (bs < 0.75 * bb) {
+                print "sharded(patricia,4) read throughput fell >25% below bare patricia" > "/dev/stderr"
+                exit 1
+            }
+        }'
+}
+
 stage_bg_reclaim() {
     # Background-reclaimer mode with a deliberately small budget: the
     # linearizability harness, the cross-structure stress laws and the
@@ -212,6 +272,27 @@ stage_compare_smoke() {
         return 1
     fi
     echo "    compare table: 14 rows x ${#structures[@]} structure columns, all present"
+
+    # Spec-selected columns: LLX_STRUCT must narrow the sweep to the
+    # listed specs, with a sharded facade appearing under its canonical
+    # spec name next to the bare backend (3 key columns + 2 structures).
+    out="$(LLX_BENCH_CELL_MILLIS=15 LLX_STRUCT='patricia,sharded(patricia,4)' \
+        cargo run -q --release -p bench-harness -- compare)"
+    if ! grep -q 'sharded(patricia,4)' <<<"$out"; then
+        echo "compare under LLX_STRUCT is missing the sharded(patricia,4) column" >&2
+        echo "$out" >&2
+        return 1
+    fi
+    if grep -q 'scx-multiset' <<<"$out"; then
+        echo "compare under LLX_STRUCT leaked an unselected structure column" >&2
+        echo "$out" >&2
+        return 1
+    fi
+    if ! awk '/^ *(64|1024) / { if (NF != 5) { print "malformed sharded row (" NF " fields): " $0; exit 1 } }' \
+        <<<"$out"; then
+        return 1
+    fi
+    echo "    compare table under LLX_STRUCT: sharded(patricia,4) column present, unselected columns absent"
 
     # The scanwin table: one row per structure (LLX_SCAN_WINDOW pins a
     # single window size, 2 ranges), every structure present, and the
@@ -373,6 +454,7 @@ run_stage test stage_test
 run_stage pool-off stage_pool_off
 run_stage debug-stress stage_debug_stress
 run_stage scanwin stage_scanwin
+run_stage shard stage_shard
 run_stage bg-reclaim stage_bg_reclaim
 run_stage doctest stage_doctest
 run_stage examples stage_examples

@@ -9,7 +9,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use conc_set::{ConcurrentOrderedSet, ScanOpts, ScanStep};
+use conc_set::{ConcurrentOrderedSet, ScanOpts, ScanStep, StructureSpec};
 use llx_scx::{Domain, FieldId, ScxRequest};
 use multiset::Multiset;
 use mwcas::{kcas, KcasCell};
@@ -68,17 +68,20 @@ fn set_worker<'a>(
     }
 }
 
-/// Look up registry factories by structure name, preserving order.
-fn factories_named(names: &[&str]) -> Vec<conc_set::Factory> {
-    names.iter().map(|n| conc_set::factory_by_name(n)).collect()
+/// Bare registry structures by name, as specs, preserving order.
+fn specs_named(names: &[&str]) -> Vec<StructureSpec> {
+    names
+        .iter()
+        .map(|n| StructureSpec::Base((*n).to_string()))
+        .collect()
 }
 
 /// Measure one throughput cell: fresh structure, standard 50% prefill
 /// in shuffled order (ascending order would degenerate the unbalanced
 /// BST into a list — shuffled inserts give ~log height, and the other
 /// structures hold identical content either way), one timed run.
-fn measure_cell(factory: conc_set::Factory, threads: usize, range: u64, mix: Mix) -> f64 {
-    let set = factory();
+fn measure_cell(spec: &StructureSpec, threads: usize, range: u64, mix: Mix) -> f64 {
+    let set = spec.build();
     let mut keys: Vec<u64> = workloads::prefill_keys(range).collect();
     use rand::seq::SliceRandom;
     keys.shuffle(&mut rand::rngs::SmallRng::seed_from_u64(99));
@@ -92,15 +95,18 @@ fn measure_cell(factory: conc_set::Factory, threads: usize, range: u64, mix: Mix
     )
 }
 
-/// `compare` — every structure in the registry through one sweep
+/// `compare` — every selected structure through one sweep
 /// (threads × update-mix × key-range), the cross-structure table the
-/// unified trait exists to enable. Cells are independent structures,
-/// so `LLX_BENCH_PAR` fans them out across scoped worker threads
-/// ([`run_cells`]); the default stays sequential so single-core
-/// baseline numbers remain comparable across PRs.
+/// unified trait exists to enable. The column set is `LLX_STRUCT`
+/// (parsed as a comma list of [`StructureSpec`]s — bare names and
+/// `sharded(name,n)` facades mix freely), defaulting to the whole
+/// registry. Cells are independent structures, so `LLX_BENCH_PAR` fans
+/// them out across scoped worker threads ([`run_cells`]); the default
+/// stays sequential so single-core baseline numbers remain comparable
+/// across PRs.
 pub fn compare() {
-    let factories = conc_set::all_factories();
-    let names: Vec<String> = factories.iter().map(|f| f().name().to_string()).collect();
+    let selected = conc_set::selected_specs();
+    let names: Vec<String> = selected.iter().map(|s| s.to_string()).collect();
     let mut header = vec!["range".to_string(), "upd".to_string(), "thr".to_string()];
     header.extend(names.iter().cloned());
 
@@ -120,10 +126,10 @@ pub fn compare() {
     let jobs: Vec<_> = specs
         .iter()
         .flat_map(|&(range, updates, threads)| {
-            factories.iter().map(move |&factory| {
+            selected.iter().map(move |spec| {
                 move || {
                     let mix = mix_with_env_scans(Mix::with_update_percent(updates));
-                    measure_cell(factory, threads, range, mix)
+                    measure_cell(spec, threads, range, mix)
                 }
             })
         })
@@ -131,7 +137,7 @@ pub fn compare() {
     let cells = run_cells(jobs);
     let rows: Vec<Vec<String>> = specs
         .iter()
-        .zip(cells.chunks(factories.len()))
+        .zip(cells.chunks(selected.len()))
         .map(|(&(range, updates, threads), tps)| {
             let mut row = vec![
                 range.to_string(),
@@ -351,14 +357,14 @@ pub fn e4_multiset_scaling() {
         "coarse-multiset",
         "hoh-multiset",
     ];
-    let factories = factories_named(&names);
+    let specs = specs_named(&names);
     let mut rows = Vec::new();
     for &updates in &[0u32, 20, 50, 100] {
         let mix = mix_with_env_scans(Mix::with_update_percent(updates));
         for &threads in THREADS {
             let mut row = vec![format!("{updates}%"), threads.to_string()];
-            for &factory in &factories {
-                row.push(fmt_ops(measure_cell(factory, threads, range, mix)));
+            for spec in &specs {
+                row.push(fmt_ops(measure_cell(spec, threads, range, mix)));
             }
             rows.push(row);
         }
@@ -377,7 +383,7 @@ pub fn e4_multiset_scaling() {
 /// coarse-locked map (the §6 / PPoPP'14 evaluation shape).
 pub fn e5_tree_scaling() {
     let names = ["chromatic", "bst", "patricia", "coarse-multiset"];
-    let factories = factories_named(&names);
+    let specs = specs_named(&names);
     let mut rows = Vec::new();
     for &range in &[1_024u64, 65_536] {
         for &updates in &[10u32, 50] {
@@ -388,8 +394,8 @@ pub fn e5_tree_scaling() {
                     format!("{updates}%"),
                     threads.to_string(),
                 ];
-                for &factory in &factories {
-                    row.push(fmt_ops(measure_cell(factory, threads, range, mix)));
+                for spec in &specs {
+                    row.push(fmt_ops(measure_cell(spec, threads, range, mix)));
                 }
                 rows.push(row);
             }
@@ -629,16 +635,49 @@ pub fn e6_progress() {
     println!("expected shape: both complete on a preemptive scheduler, but KCSS worst-case retries grow much faster (obstruction freedom vs non-blocking helping)");
 }
 
+/// Pool-hit probe for one `lat` cell. Bare structures read the global
+/// pool counters; a sharded facade reads only the affinity domains its
+/// shards map to, so the cell's hit rate reflects its own shards'
+/// allocation traffic rather than whatever else the process pooled.
+enum PoolProbe {
+    Global(llx_scx::PoolStats),
+    Domains(Vec<llx_scx::PoolStats>),
+}
+
+impl PoolProbe {
+    fn start(spec: &StructureSpec) -> Self {
+        match spec {
+            StructureSpec::Sharded { shards, .. } => {
+                // Shard i declares affinity domain i % POOL_AFFINITY_DOMAINS,
+                // so the facade touches exactly min(shards, domains) buckets.
+                let n = (*shards).min(llx_scx::POOL_AFFINITY_DOMAINS);
+                PoolProbe::Domains((0..n).map(llx_scx::pool_domain_stats).collect())
+            }
+            StructureSpec::Base(_) => PoolProbe::Global(llx_scx::pool_stats()),
+        }
+    }
+
+    fn hit_rate(&self) -> Option<f64> {
+        match self {
+            PoolProbe::Global(before) => before.snapshot_delta().hit_rate(),
+            PoolProbe::Domains(before) => {
+                let (mut hits, mut misses) = (0u64, 0u64);
+                for (d, earlier) in before.iter().enumerate() {
+                    let delta = llx_scx::pool_domain_stats(d).delta_since(earlier);
+                    hits += delta.hits;
+                    misses += delta.misses;
+                }
+                (hits + misses > 0).then(|| hits as f64 / (hits + misses) as f64)
+            }
+        }
+    }
+}
+
 /// One latency cell: fresh prefilled structure, every operation timed
 /// into a log₂ histogram on the measured thread (no allocation, no
 /// shared state on the timed path).
-fn lat_cell(
-    factory: conc_set::Factory,
-    threads: usize,
-    range: u64,
-    pipeline: bool,
-) -> (f64, Histogram) {
-    let set = factory();
+fn lat_cell(spec: &StructureSpec, threads: usize, range: u64, pipeline: bool) -> (f64, Histogram) {
+    let set = spec.build();
     let mut keys: Vec<u64> = workloads::prefill_keys(range).collect();
     use rand::seq::SliceRandom;
     keys.shuffle(&mut rand::rngs::SmallRng::seed_from_u64(99));
@@ -698,7 +737,7 @@ pub fn lat() {
     } else {
         &["inline", "budgeted", "bg"]
     };
-    let factories = conc_set::all_factories();
+    let selected = conc_set::selected_specs();
     let range = 64u64;
     let mut rows = Vec::new();
     for &mode in modes {
@@ -711,18 +750,17 @@ pub fn lat() {
             }
         }
         for &(mix_name, threads, pipeline) in &[("mixed-40u", 4, false), ("pipeline", 2, true)] {
-            for &factory in factories {
-                let before = llx_scx::pool_stats();
-                let (ops, hist) = lat_cell(factory, threads, range, pipeline);
-                let pool = before
-                    .snapshot_delta()
+            for spec in &selected {
+                let probe = PoolProbe::start(spec);
+                let (ops, hist) = lat_cell(spec, threads, range, pipeline);
+                let pool = probe
                     .hit_rate()
                     .map(|r| format!("{:.1}%", r * 100.0))
                     .unwrap_or_else(|| "-".to_string());
                 rows.push(vec![
                     mode.to_string(),
                     mix_name.to_string(),
-                    factory().name().to_string(),
+                    spec.to_string(),
                     fmt_ops(ops),
                     fmt_ns(hist.quantile(0.50)),
                     fmt_ns(hist.quantile(0.99)),
@@ -760,12 +798,12 @@ pub fn lat() {
 /// `(writes/s, atomic scans, atomic retries, windowed scans,
 /// windowed retries, windowed windows)`.
 fn scanwin_cell(
-    factory: conc_set::Factory,
+    spec: &StructureSpec,
     range: u64,
     window: u64,
     write_rate: u64,
 ) -> (f64, u64, u64, u64, u64, u64) {
-    let set = factory();
+    let set = spec.build();
     let mut keys: Vec<u64> = workloads::prefill_keys(range).collect();
     use rand::seq::SliceRandom;
     keys.shuffle(&mut rand::rngs::SmallRng::seed_from_u64(99));
@@ -880,21 +918,19 @@ pub fn scanwin() {
     };
     let ranges: &[u64] = &[256, 1024];
     let write_rate = workloads::knobs::env_u64("LLX_SCANWIN_WRITE_RATE", 2000);
-    let factories = conc_set::all_factories();
+    let selected = conc_set::selected_specs();
 
-    let mut specs: Vec<(u64, u64, conc_set::Factory, String)> = Vec::new();
+    let mut specs: Vec<(u64, u64, &StructureSpec, String)> = Vec::new();
     for &range in ranges {
         for &window in &windows {
-            for &factory in factories {
-                specs.push((range, window, factory, factory().name().to_string()));
+            for spec in &selected {
+                specs.push((range, window, spec, spec.to_string()));
             }
         }
     }
     let jobs: Vec<_> = specs
         .iter()
-        .map(|&(range, window, factory, _)| {
-            move || scanwin_cell(factory, range, window, write_rate)
-        })
+        .map(|&(range, window, spec, _)| move || scanwin_cell(spec, range, window, write_rate))
         .collect();
     let cells = run_cells(jobs);
 

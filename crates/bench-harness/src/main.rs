@@ -46,6 +46,11 @@ EXPERIMENTS:
              downgrades failures to warnings
 
 ENVIRONMENT:
+    LLX_STRUCT selects the structures for compare/scanwin/lat as a
+    comma list of specs: bare registry names and sharded facades mix
+    freely, e.g. LLX_STRUCT='patricia,sharded(patricia,8)' (default:
+    the whole registry; sharded(name) takes its shard count from
+    LLX_SHARDS, the partition covers [0, LLX_SHARD_DOMAIN));
     LLX_BENCH_PAR=1 runs compare/scanwin sweep cells on parallel scoped
     threads (default off so 1-core baselines stay comparable);
     LLX_BENCH_JSON=PATH mirrors --json; LLX_EPOCH_BUDGET sets the

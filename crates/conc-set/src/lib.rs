@@ -65,9 +65,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod scan;
+pub mod sharded;
+pub mod spec;
 pub mod stress;
 
 pub use scan::{ScanConsistency, ScanCursor, ScanIter, ScanOpts, ScanStats, ScanStep};
+pub use sharded::ShardedSet;
+pub use spec::{selected_specs, SpecError, StructureSpec};
 
 use linearize::{OrderedSetOp, OrderedSetSpec};
 
@@ -100,6 +104,58 @@ fn assert_in_domain(name: &str, key: u64, count: Option<u64>) {
              domain (counts must be <= MAX_COUNT = 2^62 - 1; kCAS \
              values are 62-bit)"
         );
+    }
+}
+
+/// The findings of one
+/// [`validate_report`](ConcurrentOrderedSet::validate_report) sweep:
+/// one [`ShardValidation`] entry per constituent (bare structures have
+/// exactly one; a [`ShardedSet`] has one per shard), so a failure
+/// names *which* part failed instead of only that something did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// The validated structure's registry/spec name.
+    pub structure: String,
+    /// Per-constituent findings, in partition order.
+    pub shards: Vec<ShardValidation>,
+}
+
+/// One constituent's findings in a [`ValidationReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardValidation {
+    /// Human label: the structure name, or `shard i (backend)`.
+    pub label: String,
+    /// Inclusive lower bound of the keys this constituent owns.
+    pub lo: u64,
+    /// Inclusive upper bound of the keys this constituent owns.
+    pub hi: u64,
+    /// The constituent's `len()` (total occurrences) at sweep time.
+    pub len: u64,
+    /// Distinct keys the sweep visited.
+    pub keys: u64,
+    /// Total occurrences the sweep visited (equals `len` at
+    /// quiescence).
+    pub occurrences: u64,
+    /// The first violation found, or `None` if the constituent is
+    /// clean. Formatted exactly as
+    /// [`validate`](ConcurrentOrderedSet::validate) would report it.
+    pub error: Option<String>,
+}
+
+impl ValidationReport {
+    /// Whether every constituent validated cleanly.
+    pub fn ok(&self) -> bool {
+        self.shards.iter().all(|s| s.error.is_none())
+    }
+
+    /// Collapse to the panicking-wrapper shape existing call sites
+    /// expect: `Ok(())` when clean, the first constituent's error
+    /// otherwise.
+    pub fn into_result(self) -> Result<(), String> {
+        match self.shards.into_iter().find_map(|s| s.error) {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 }
 
@@ -291,15 +347,25 @@ pub trait ConcurrentOrderedSet: Send + Sync {
         out
     }
 
-    /// Validate the structure; call at quiescence.
+    /// Validate the structure and report per-constituent findings;
+    /// call at quiescence.
     ///
-    /// Uniform across the zoo: first sweeps the live contents against
-    /// the trait's key/count domain ([`MAX_KEY`] / [`MAX_COUNT`]), then
-    /// runs the structure-specific invariants
+    /// Uniform across the zoo: sweeps the live contents against the
+    /// trait's key/count domain ([`MAX_KEY`] / [`MAX_COUNT`]) while
+    /// counting keys and occurrences, then runs the
+    /// structure-specific invariants
     /// ([`validate_structure`](ConcurrentOrderedSet::validate_structure)).
-    fn validate(&self) -> Result<(), String> {
+    /// Bare structures return a single-entry report covering the whole
+    /// domain; composites like [`ShardedSet`] override this with one
+    /// entry per shard (plus a partition-ownership check), so a
+    /// violation names the shard it lives in.
+    fn validate_report(&self) -> ValidationReport {
+        let mut keys = 0u64;
+        let mut occurrences = 0u64;
         let mut domain_err: Option<String> = None;
         self.fold_range(0, u64::MAX, &mut |k, c| {
+            keys += 1;
+            occurrences += c;
             if domain_err.is_none() {
                 if k > MAX_KEY {
                     domain_err = Some(format!("key {k} above the trait domain cap {MAX_KEY}"));
@@ -310,10 +376,30 @@ pub trait ConcurrentOrderedSet: Send + Sync {
                 }
             }
         });
-        match domain_err {
-            Some(e) => Err(format!("{}: {e}", self.name())),
-            None => self.validate_structure(),
+        let error = match domain_err {
+            Some(e) => Some(format!("{}: {e}", self.name())),
+            None => self.validate_structure().err(),
+        };
+        ValidationReport {
+            structure: self.name().to_string(),
+            shards: vec![ShardValidation {
+                label: self.name().to_string(),
+                lo: 0,
+                hi: MAX_KEY,
+                len: self.len(),
+                keys,
+                occurrences,
+                error,
+            }],
         }
+    }
+
+    /// Validate the structure; call at quiescence. The panicking-free
+    /// collapse of [`validate_report`](ConcurrentOrderedSet::validate_report):
+    /// `Ok(())` when every constituent is clean, the first violation
+    /// otherwise.
+    fn validate(&self) -> Result<(), String> {
+        self.validate_report().into_result()
     }
 
     /// Structure-specific invariant validation; call at quiescence.

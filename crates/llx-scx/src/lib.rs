@@ -155,12 +155,21 @@ impl PoolStats {
     /// # assert_eq!(allocs, 0);
     /// ```
     pub fn snapshot_delta(&self) -> PoolStats {
-        let now = pool_stats();
+        pool_stats().delta_since(self)
+    }
+
+    /// The counter movement from `earlier` to `self` (two snapshots of
+    /// the same counter set — global or the same domain's), saturating
+    /// at zero if [`reset_pool_stats`] intervened. This is
+    /// [`snapshot_delta`](PoolStats::snapshot_delta) generalized to
+    /// per-domain snapshots ([`pool_domain_stats`]), which must not be
+    /// diffed against the global counters.
+    pub fn delta_since(&self, earlier: &PoolStats) -> PoolStats {
         PoolStats {
-            hits: now.hits.saturating_sub(self.hits),
-            misses: now.misses.saturating_sub(self.misses),
-            defers: now.defers.saturating_sub(self.defers),
-            handoffs: now.handoffs.saturating_sub(self.handoffs),
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            defers: self.defers.saturating_sub(earlier.defers),
+            handoffs: self.handoffs.saturating_sub(earlier.handoffs),
         }
     }
 
@@ -183,6 +192,53 @@ pub fn pool_stats() -> PoolStats {
     }
 }
 
+/// Number of pool-affinity domains (see [`with_pool_affinity`]). A
+/// facade with more shards than this folds its shard index modulo
+/// `POOL_AFFINITY_DOMAINS`.
+pub const POOL_AFFINITY_DOMAINS: usize = pool::AFFINITY_DOMAINS;
+
+/// Run `f` with the calling thread's pool affinity set to
+/// `domain % POOL_AFFINITY_DOMAINS`, restoring the previous affinity on
+/// the way out (panic-safe).
+///
+/// Affinity steers the SCX-record pool's cross-thread handoff: shards
+/// published by an affined thread park in that domain's bucket, and an
+/// affined allocator steals from its own bucket before scanning the
+/// rest — so under a range-partitioned facade, blocks retired by one
+/// shard's operations are preferentially recycled by that same shard.
+/// It also attributes the pool counters to the domain, readable via
+/// [`pool_domain_stats`]. Unaffined threads (the default) share one
+/// extra bucket and only appear in the process-global [`pool_stats`].
+pub fn with_pool_affinity<R>(domain: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            pool::set_affinity(self.0);
+        }
+    }
+    let _restore = Restore(pool::set_affinity(Some(domain % POOL_AFFINITY_DOMAINS)));
+    f()
+}
+
+/// The pool counters attributed to one affinity domain — traffic from
+/// threads running under [`with_pool_affinity`]`(domain, …)` only.
+/// The process-global [`pool_stats`] additionally includes unaffined
+/// traffic, so per-domain numbers are a partition of (a subset of) the
+/// global ones.
+///
+/// # Panics
+///
+/// Panics if `domain >= POOL_AFFINITY_DOMAINS`.
+pub fn pool_domain_stats(domain: usize) -> PoolStats {
+    let [hits, misses, defers, handoffs] = pool::domain_snapshot(domain);
+    PoolStats {
+        hits,
+        misses,
+        defers,
+        handoffs,
+    }
+}
+
 /// Zero the process-global pool counters. Prefer
 /// [`PoolStats::snapshot_delta`] for phase comparisons — a reset
 /// yanks the baseline out from under every other snapshot holder —
@@ -193,6 +249,7 @@ pub fn reset_pool_stats() {
     pool::POOL_MISSES.store(0, Ordering::Relaxed); // ord: stats counter reset; no sync role
     pool::POOL_DEFERS.store(0, Ordering::Relaxed); // ord: stats counter reset; no sync role
     pool::POOL_HANDOFFS.store(0, Ordering::Relaxed); // ord: stats counter reset; no sync role
+    pool::reset_domain_counters();
 }
 
 /// Drive SCX-record reclamation to quiescence from the calling thread.

@@ -55,13 +55,19 @@
 //!
 //! * when a thread's free list is at capacity, a matured block goes
 //!   into the thread's bounded **outbox** instead of the allocator;
-//!   a full outbox is published wholesale as one *shard* on a global
-//!   parked-shard stack (bounded — beyond [`MAX_PARKED_SHARDS`] the
-//!   shard's blocks are genuinely freed);
+//!   a full outbox is published wholesale as one *shard* into the
+//!   parked-shard bucket of the thread's **affinity domain** (set with
+//!   [`crate::with_pool_affinity`]; unaffined threads share one extra
+//!   bucket). Each bucket is bounded — beyond [`MAX_PARKED_SHARDS`]
+//!   the shard's blocks are genuinely freed;
 //! * an allocating thread that misses its free list **steals a whole
-//!   shard** before touching the allocator: one lock acquisition
+//!   shard** — its own affinity bucket first, then a scan of the
+//!   others — before touching the allocator: one lock acquisition
 //!   amortized over a shard's worth of future allocations, counted
-//!   through `POOL_HANDOFFS` and served as pool hits.
+//!   through `POOL_HANDOFFS` and served as pool hits. Under a
+//!   range-partitioned facade the affinity index is the facade's shard
+//!   index, so freed blocks circulate within the shard that retired
+//!   them instead of round-robining through one global stack.
 //!
 //! Blocks only enter the outbox *after* their destruction epoch
 //! expired (they are plain dead memory), so handing them to any other
@@ -76,7 +82,7 @@
 
 use crate::sync::{AtomicU64, Mutex, Ordering};
 use std::alloc::Layout;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::OnceLock;
 
 use crossbeam_epoch::Guard;
@@ -133,10 +139,50 @@ fn handoff_enabled() -> bool {
 struct Shard(Vec<*mut u8>);
 unsafe impl Send for Shard {}
 
-/// Parked shards awaiting a stealing allocator thread.
-fn shards() -> &'static Mutex<Vec<Shard>> {
-    static SHARDS: OnceLock<Mutex<Vec<Shard>>> = OnceLock::new();
-    SHARDS.get_or_init(|| Mutex::new(Vec::new()))
+/// Number of pool-affinity domains: threads driving shard `i` of a
+/// partitioned facade declare affinity `i % AFFINITY_DOMAINS`, so
+/// parked shards and the per-domain stats index by a small fixed range
+/// regardless of the facade's shard count.
+pub(crate) const AFFINITY_DOMAINS: usize = 16;
+
+thread_local! {
+    /// This thread's declared pool-affinity domain; `None` (the
+    /// default) parks into and steals from the shared unaffined bucket
+    /// first.
+    static AFFINITY: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Set the calling thread's pool-affinity domain, returning the
+/// previous value (for scoped restore). `domain` must be
+/// `< AFFINITY_DOMAINS`.
+pub(crate) fn set_affinity(domain: Option<usize>) -> Option<usize> {
+    debug_assert!(domain.is_none_or(|d| d < AFFINITY_DOMAINS));
+    AFFINITY.try_with(|a| a.replace(domain)).unwrap_or(None)
+}
+
+fn current_affinity() -> Option<usize> {
+    AFFINITY.try_with(|a| a.get()).unwrap_or(None)
+}
+
+/// Parked shards awaiting a stealing allocator thread, bucketed by the
+/// parking thread's affinity domain (the last bucket holds unaffined
+/// threads' shards). An allocating thread that misses its free list
+/// checks its own bucket first, so under a partitioned facade the
+/// blocks a shard's retire-heavy thread publishes flow back to that
+/// same shard's allocate-heavy threads instead of round-robining
+/// through one global stack.
+fn shard_buckets() -> &'static [Mutex<Vec<Shard>>] {
+    static BUCKETS: OnceLock<Vec<Mutex<Vec<Shard>>>> = OnceLock::new();
+    BUCKETS.get_or_init(|| {
+        (0..=AFFINITY_DOMAINS)
+            .map(|_| Mutex::new(Vec::new()))
+            .collect()
+    })
+}
+
+/// The bucket the calling thread parks into (and steals from first).
+fn home_bucket() -> usize {
+    current_affinity().unwrap_or(AFFINITY_DOMAINS)
 }
 
 /// Route one matured block that overflowed its thread's free list:
@@ -168,11 +214,12 @@ unsafe fn overflow(p: *mut u8) {
     }
 }
 
-/// Park a sealed shard for stealing; free its blocks if the parking
-/// lot is full (the bound that keeps handoff memory finite).
+/// Park a sealed shard for stealing in the calling thread's affinity
+/// bucket; free its blocks if that bucket is full (the per-bucket
+/// bound that keeps handoff memory finite).
 fn park_shard(shard: Shard) {
     let spill = {
-        let mut parked = shards().lock().unwrap();
+        let mut parked = shard_buckets()[home_bucket()].lock().unwrap();
         if parked.len() < MAX_PARKED_SHARDS {
             parked.push(shard);
             None
@@ -188,11 +235,25 @@ fn park_shard(shard: Shard) {
     }
 }
 
+/// Pop one parked shard: the calling thread's own affinity bucket
+/// first (shard-local handoff under a partitioned facade), then a scan
+/// of every other bucket so no parked block is ever stranded.
+fn pop_parked() -> Option<Shard> {
+    let buckets = shard_buckets();
+    let home = home_bucket();
+    if let Some(shard) = buckets[home].lock().unwrap().pop() {
+        return Some(shard);
+    }
+    (0..buckets.len())
+        .filter(|&b| b != home)
+        .find_map(|b| buckets[b].lock().unwrap().pop())
+}
+
 /// Steal one parked shard for the current thread: returns a block to
 /// serve the triggering allocation and caches the rest on the local
 /// free list. Bumps `POOL_HANDOFFS` by the blocks adopted.
 fn steal_shard() -> Option<*mut u8> {
-    let Shard(mut blocks) = shards().lock().unwrap().pop()?;
+    let Shard(mut blocks) = pop_parked()?;
     debug_assert!(!blocks.is_empty(), "parked shards are never empty");
     let total = blocks.len();
     let serve = blocks.pop()?;
@@ -211,6 +272,11 @@ fn steal_shard() -> Option<*mut u8> {
     // Count only the blocks actually adopted (served + cached); spill
     // that goes straight back to the allocator is not a handoff.
     POOL_HANDOFFS.fetch_add((total - spill.len()) as u64, Ordering::Relaxed); // ord: pool stats counter; no sync role
+    if let Some(d) = current_affinity() {
+        domain_counters()[d]
+            .handoffs
+            .fetch_add((total - spill.len()) as u64, Ordering::Relaxed); // ord: pool stats counter; no sync role
+    }
     for p in spill {
         // SAFETY: shard blocks are dead and pool_layout-sized.
         unsafe { std::alloc::dealloc(p, pool_layout()) };
@@ -354,6 +420,64 @@ pub(crate) static POOL_DEFERS: AtomicU64 = AtomicU64::new(0);
 /// `StatsSnapshot` so the handoff rate is measurable per workload.
 pub(crate) static POOL_HANDOFFS: AtomicU64 = AtomicU64::new(0);
 
+/// Per-affinity-domain views of the same four counters. Only threads
+/// that declared an affinity (`llx_scx::with_pool_affinity`) bump
+/// these — the unaffined default path pays one thread-local read and
+/// nothing else — so a partitioned facade can attribute pool traffic
+/// to the shard that caused it instead of reading one process-global
+/// blend.
+struct DomainCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    defers: AtomicU64,
+    handoffs: AtomicU64,
+}
+
+fn domain_counters() -> &'static [DomainCounters] {
+    static COUNTERS: OnceLock<Vec<DomainCounters>> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        (0..AFFINITY_DOMAINS)
+            .map(|_| DomainCounters {
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                defers: AtomicU64::new(0),
+                handoffs: AtomicU64::new(0),
+            })
+            .collect()
+    })
+}
+
+/// Bump one per-domain counter iff the calling thread has an affinity.
+fn bump_domain(pick: fn(&DomainCounters) -> &AtomicU64) {
+    if let Some(d) = current_affinity() {
+        pick(&domain_counters()[d]).fetch_add(1, Ordering::Relaxed); // ord: pool stats counter; no sync role
+    }
+}
+
+/// `[hits, misses, defers, handoffs]` attributed to one affinity
+/// domain (affined threads only; the process-global counters include
+/// unaffined traffic too).
+pub(crate) fn domain_snapshot(domain: usize) -> [u64; 4] {
+    let c = &domain_counters()[domain];
+    [
+        c.hits.load(Ordering::Relaxed), // ord: stats counter snapshot; no sync role
+        c.misses.load(Ordering::Relaxed), // ord: stats counter snapshot; no sync role
+        c.defers.load(Ordering::Relaxed), // ord: stats counter snapshot; no sync role
+        c.handoffs.load(Ordering::Relaxed), // ord: stats counter snapshot; no sync role
+    ]
+}
+
+/// Zero every per-domain counter (companion of
+/// [`crate::reset_pool_stats`]).
+pub(crate) fn reset_domain_counters() {
+    for c in domain_counters() {
+        c.hits.store(0, Ordering::Relaxed); // ord: stats counter reset; no sync role
+        c.misses.store(0, Ordering::Relaxed); // ord: stats counter reset; no sync role
+        c.defers.store(0, Ordering::Relaxed); // ord: stats counter reset; no sync role
+        c.handoffs.store(0, Ordering::Relaxed); // ord: stats counter reset; no sync role
+    }
+}
+
 fn poolable<const M: usize, I>() -> bool {
     pooling_enabled() && Layout::new::<ScxRecord<M, I>>() == pool_layout()
 }
@@ -378,6 +502,7 @@ pub(crate) fn alloc<const M: usize, I>(record: ScxRecord<M, I>) -> *mut ScxRecor
             .or_else(|| handoff_enabled().then(steal_shard).flatten());
         if let Some(block) = reused {
             POOL_HITS.fetch_add(1, Ordering::Relaxed); // ord: pool stats counter; no sync role
+            bump_domain(|c| &c.hits);
             let p = block as *mut ScxRecord<M, I>;
             // SAFETY: the block is unaliased (popped from the free list
             // or adopted from a parked shard, past its retirement
@@ -386,6 +511,7 @@ pub(crate) fn alloc<const M: usize, I>(record: ScxRecord<M, I>) -> *mut ScxRecor
             return p;
         }
         POOL_MISSES.fetch_add(1, Ordering::Relaxed); // ord: pool stats counter; no sync role
+        bump_domain(|c| &c.misses);
     }
     Box::into_raw(Box::new(record))
 }
@@ -516,10 +642,11 @@ pub(crate) unsafe fn retire<const M: usize, I>(rec: *mut ScxRecord<M, I>, guard:
 /// and recycle destruction-stage blocks.
 fn defer_batch(batch: Vec<Pending>, guard: &Guard) {
     POOL_DEFERS.fetch_add(1, Ordering::Relaxed); // ord: pool stats counter; no sync role
-                                                 // SAFETY: each staged record passed its stage's zero-crossing; by
-                                                 // the time the closure runs, no thread pinned at defer time remains
-                                                 // pinned, so no stale holder — via `r.info` or a newer record's
-                                                 // `info_fields` — can still act on these addresses.
+    bump_domain(|c| &c.defers);
+    // SAFETY: each staged record passed its stage's zero-crossing; by
+    // the time the closure runs, no thread pinned at defer time remains
+    // pinned, so no stale holder — via `r.info` or a newer record's
+    // `info_fields` — can still act on these addresses.
     unsafe {
         guard.defer_unchecked(move || {
             let g = crossbeam_epoch::pin();
@@ -571,6 +698,11 @@ pub(crate) fn drain_orphans(guard: &Guard) {
     let parked = std::mem::take(&mut *orphans().lock().unwrap());
     if !parked.is_empty() {
         POOL_HANDOFFS.fetch_add(parked.len() as u64, Ordering::Relaxed); // ord: pool stats counter; no sync role
+        if let Some(d) = current_affinity() {
+            domain_counters()[d]
+                .handoffs
+                .fetch_add(parked.len() as u64, Ordering::Relaxed); // ord: pool stats counter; no sync role
+        }
         defer_batch(parked, guard);
     }
 }

@@ -276,6 +276,9 @@ pub fn prefill_keys(n: u64) -> impl Iterator<Item = u64> {
 /// | `LLX_LIN_DIFF_CASES` | `linearize` `differential` test | histories generated for the WGL-vs-JIT differential sweep (default 3000, floor 2000; half are mutated) |
 /// | `LLX_BENCH_DIFF_FLOOR_NS` | ci.sh `bench-diff` stage (`bench-harness diff`) | absolute p99 slack in nanoseconds below which a relative regression is ignored (default 5000; 1-core CI hosts cannot resolve finer tail deltas) |
 /// | `LLX_BENCH_DIFF_WAIVE` | ci.sh `bench-diff` stage (`bench-harness diff`) | `1`/`on`/`true` downgrades a detected p99 regression from a hard failure to a warning (for known-noisy hosts) |
+/// | `LLX_STRUCT` | `conc-set` registry (`selected_specs`), so `bench-harness` `compare`/`lat`/`scanwin` and the root linearizability/stress/scan tests | comma-separated `StructureSpec` list selecting which structures the generic harnesses run — e.g. `patricia,sharded(patricia,4)`. Unset = every registered bare structure. Bad specs fail fast with a line/column parse error |
+/// | `LLX_SHARDS` | `conc-set` `StructureSpec` parsing | shard count a `sharded(X)` spec without an explicit count resolves to (default 4, clamped to at least 1) |
+/// | `LLX_SHARD_DOMAIN` | `conc-set` `ShardedSet` partition map | the key prefix `[0, domain)` that is split evenly across shards; the last shard also owns the tail up to `MAX_KEY` (default 1024, clamped to at least 1). Keep it near the workload's key-range so small-key benches actually spread across shards |
 /// | `PROPTEST_CASES` | every property test (proptest shim) | overrides the case count |
 /// | `PROPTEST_SEED` | every property test (proptest shim) | perturbs the otherwise deterministic streams |
 ///
@@ -351,6 +354,30 @@ pub mod knobs {
             std::env::var("LLX_BENCH_PAR").as_deref(),
             Ok("1") | Ok("on") | Ok("true")
         )
+    }
+
+    /// `LLX_STRUCT`: the comma-separated `StructureSpec` list the
+    /// generic harnesses run against (parsed by
+    /// `conc_set::StructureSpec`), or `None` (unset / empty) for every
+    /// registered bare structure.
+    pub fn struct_spec() -> Option<String> {
+        std::env::var("LLX_STRUCT")
+            .ok()
+            .filter(|s| !s.trim().is_empty())
+    }
+
+    /// `LLX_SHARDS`: the shard count a `sharded(X)` spec without an
+    /// explicit count resolves to (default 4, clamped to at least 1).
+    pub fn shards() -> u64 {
+        env_u64("LLX_SHARDS", 4).max(1)
+    }
+
+    /// `LLX_SHARD_DOMAIN`: the key prefix `[0, domain)` a `ShardedSet`
+    /// splits evenly across its shards; the last shard also owns the
+    /// tail up to the trait's `MAX_KEY` (default 1024, clamped to at
+    /// least 1).
+    pub fn shard_domain() -> u64 {
+        env_u64("LLX_SHARD_DOMAIN", 1024).max(1)
     }
 
     #[cfg(test)]

@@ -29,8 +29,8 @@ fn stress_millis(default_ms: u64) -> Duration {
 #[test]
 fn every_structure_balances_under_stress() {
     let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-    for factory in conc_set::all_factories() {
-        let set = factory();
+    for spec in conc_set::selected_specs() {
+        let set = spec.build();
         let pre = stress::prefill(&*set, 32);
         let report = stress::run(
             &*set,
@@ -74,8 +74,8 @@ fn every_structure_balances_under_windowed_scans() {
         0 => 4,
         w => w,
     };
-    for factory in conc_set::all_factories() {
-        let set = factory();
+    for spec in conc_set::selected_specs() {
+        let set = spec.build();
         let pre = stress::prefill(&*set, 32);
         let report = stress::run(
             &*set,
@@ -118,8 +118,8 @@ fn every_structure_balances_under_windowed_scans() {
 #[test]
 fn skewed_stress_balances() {
     let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-    for factory in conc_set::all_factories() {
-        let set = factory();
+    for spec in conc_set::selected_specs() {
+        let set = spec.build();
         let report = stress::run(
             &*set,
             4,
@@ -140,6 +140,48 @@ fn skewed_stress_balances() {
     }
 }
 
+/// Conservation over the sharded facade at 1, 2 and 8 shards for each
+/// LLX/SCX backend, selected purely through the `StructureSpec`
+/// grammar: occurrences route to per-shard instances (and per-shard
+/// pool-affinity buckets) yet the global laws must still hold — net
+/// occurrences = `len()` = stitched full-range scan at quiescence, and
+/// every shard's own invariants validate.
+#[test]
+fn sharded_combinations_balance_under_stress() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    for backend in ["scx-multiset", "patricia", "chromatic"] {
+        for shards in [1usize, 2, 8] {
+            let spec = conc_set::StructureSpec::parse(&format!("sharded({backend},{shards})"))
+                .expect("spec");
+            let set = spec.build();
+            let pre = stress::prefill(&*set, 32);
+            let report = stress::run(
+                &*set,
+                4,
+                stress_millis(60),
+                stress::Load::new(
+                    KeyDist::uniform(32),
+                    Mix::with_update_percent(60).with_scan_percent(10),
+                )
+                .scan_width(workloads::knobs::scan_range()),
+                13,
+                pre,
+            );
+            assert!(report.ops > 0, "{}: no progress", set.name());
+            assert!(
+                report.balanced(),
+                "{}: net occurrences {} but len {} (full-range scan {})",
+                set.name(),
+                report.net_occurrences,
+                report.final_len,
+                report.final_range_count
+            );
+            set.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", set.name()));
+        }
+    }
+}
+
 /// SCX-record pool balance: after stressing every LLX/SCX structure
 /// through the trait and dropping them, `llx_scx::live_scx_records()`
 /// returns to its baseline once reclamation is flushed — no record is
@@ -152,11 +194,13 @@ fn scx_record_pool_drains_after_generic_stress() {
     llx_scx::flush_reclamation();
     let baseline = llx_scx::live_scx_records();
     let scx_structures = ["scx-multiset", "chromatic", "bst", "patricia"];
-    for factory in conc_set::all_factories() {
-        let set = factory();
-        if !scx_structures.contains(&set.name()) {
+    for spec in conc_set::selected_specs() {
+        // Base-name match so `sharded(patricia,4)` also takes this leg:
+        // every shard retires through the same process-global pool.
+        if !scx_structures.contains(&spec.base_name()) {
             continue;
         }
+        let set = spec.build();
         let pre = stress::prefill(&*set, 24);
         let report = stress::run(
             &*set,

@@ -20,8 +20,8 @@ fn collect(set: &dyn ConcurrentOrderedSet, lo: u64, hi: u64) -> Vec<(u64, u64)> 
 
 #[test]
 fn empty_structure_scans_are_empty() {
-    for factory in conc_set::all_factories() {
-        let set = factory();
+    for spec in conc_set::selected_specs() {
+        let set = spec.build();
         let name = set.name();
         assert_eq!(collect(&*set, 0, conc_set::MAX_KEY), vec![], "{name}");
         assert_eq!(set.range_count(0, u64::MAX), 0, "{name}");
@@ -36,8 +36,8 @@ fn empty_structure_scans_are_empty() {
 
 #[test]
 fn inverted_and_degenerate_bounds() {
-    for factory in conc_set::all_factories() {
-        let set = factory();
+    for spec in conc_set::selected_specs() {
+        let set = spec.build();
         let name = set.name();
         for k in [10u64, 20, 30] {
             set.insert(k, 2);
@@ -63,8 +63,8 @@ fn inverted_and_degenerate_bounds() {
 fn full_range_fold_matches_len_after_concurrent_churn() {
     const RANGE: u64 = 48;
     let millis = workloads::knobs::env_millis("LLX_STRESS_MILLIS", 120);
-    for factory in conc_set::all_factories() {
-        let set = factory();
+    for spec in conc_set::selected_specs() {
+        let set = spec.build();
         let name = set.name();
         for k in workloads::prefill_keys(RANGE) {
             set.insert(k, 1);

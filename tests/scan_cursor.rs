@@ -51,8 +51,8 @@ fn drive(set: &dyn ConcurrentOrderedSet, lo: u64, hi: u64, window: u64) -> Vec<(
 
 #[test]
 fn window_one_and_window_beyond_range_agree_with_atomic() {
-    for factory in conc_set::all_factories() {
-        let set = factory();
+    for spec in conc_set::selected_specs() {
+        let set = spec.build();
         let name = set.name();
         for k in [1u64, 7, 8, 30, 31, 32, 90] {
             set.insert(k, 3);
@@ -76,8 +76,8 @@ fn window_one_and_window_beyond_range_agree_with_atomic() {
 
 #[test]
 fn empty_and_inverted_ranges_through_the_cursor() {
-    for factory in conc_set::all_factories() {
-        let set = factory();
+    for spec in conc_set::selected_specs() {
+        let set = spec.build();
         let name = set.name();
         // Empty structure: a single empty window certifies the range.
         assert_eq!(drive(&*set, 0, 50, 4), vec![], "{name}: empty structure");
@@ -96,8 +96,8 @@ fn empty_and_inverted_ranges_through_the_cursor() {
 /// checked deterministically, single-threaded.
 #[test]
 fn writer_races_the_cursor_across_a_window_boundary() {
-    for factory in conc_set::all_factories() {
-        let set = factory();
+    for spec in conc_set::selected_specs() {
+        let set = spec.build();
         let name = set.name();
         for k in [10u64, 11, 20, 21, 30, 31] {
             set.insert(k, 1);
@@ -143,8 +143,8 @@ fn writer_races_the_cursor_across_a_window_boundary() {
 /// were still present when their window validated.
 #[test]
 fn cursor_over_keys_deleted_mid_scan() {
-    for factory in conc_set::all_factories() {
-        let set = factory();
+    for spec in conc_set::selected_specs() {
+        let set = spec.build();
         let name = set.name();
         for k in 0..32u64 {
             set.insert(k, 1);
@@ -209,8 +209,8 @@ fn windowed_scans_survive_concurrent_churn() {
     const RANGE: u64 = 48;
     let millis = workloads::knobs::env_millis("LLX_STRESS_MILLIS", 120);
     let window = workloads::knobs::scan_window().max(3);
-    for factory in conc_set::all_factories() {
-        let set = factory();
+    for spec in conc_set::selected_specs() {
+        let set = spec.build();
         let name = set.name();
         for k in workloads::prefill_keys(RANGE) {
             set.insert(k, 1);

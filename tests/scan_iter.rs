@@ -10,8 +10,8 @@ use conc_set::ScanOpts;
 
 #[test]
 fn iterator_agrees_with_fold_range_at_quiescence() {
-    for factory in conc_set::all_factories() {
-        let set = factory();
+    for spec in conc_set::selected_specs() {
+        let set = spec.build();
         let name = set.name();
         for k in [3u64, 8, 9, 21, 22, 40] {
             set.insert(k, 2);
@@ -46,8 +46,8 @@ fn iterator_agrees_with_fold_range_at_quiescence() {
 
 #[test]
 fn iterator_handles_empty_and_inverted_ranges() {
-    for factory in conc_set::all_factories() {
-        let set = factory();
+    for spec in conc_set::selected_specs() {
+        let set = spec.build();
         let name = set.name();
         assert_eq!(
             set.iter_range(0, 50, ScanOpts::windowed(4)).count(),
@@ -74,8 +74,8 @@ fn iterator_handles_empty_and_inverted_ranges() {
 #[test]
 fn iterator_completes_under_churn() {
     let millis = workloads::knobs::env_millis("LLX_STRESS_MILLIS", 120);
-    for factory in conc_set::all_factories() {
-        let set = factory();
+    for spec in conc_set::selected_specs() {
+        let set = spec.build();
         let name = set.name();
         for k in workloads::prefill_keys(48) {
             set.insert(k, 1);
