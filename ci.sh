@@ -46,6 +46,11 @@
 #                  latency table is well-formed (every structure in
 #                  all three epoch modes x two mixes, 9 fields per
 #                  row) and that --json writes a non-empty document
+#   serve          the network service tier end to end: bench-harness
+#                  `serve` spawns a loopback netsvc server over two
+#                  specs (one sharded), runs the pipelined client mix
+#                  under `timeout`, and asserts well-formed latency
+#                  rows (both depths, 9 fields) plus the --json sidecar
 #   lin-long       long-history linearizability: every structure
 #                  records >= 2048-event rounds (LLX_LIN_EVENTS) and
 #                  the per-key-compositional JIT checker must accept
@@ -54,6 +59,7 @@
 #                  LLX_LIN_CHECKER=jit and the WGL/JIT differential +
 #                  corpus suites in release
 #   bench-diff     bench-regression gate: two fresh `lat --json` runs
+#                  plus two fresh loopback `serve --json` runs
 #                  against the latest committed BENCH_PR*.json; fails
 #                  if any cell's p99 regressed >20% and by more than
 #                  LLX_BENCH_DIFF_FLOOR_NS (per-cell min across the
@@ -79,7 +85,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(fmt build test pool-off debug-stress scanwin shard bg-reclaim doctest examples benches compare-smoke latency lin-long bench-diff model audit clippy)
+ALL_STAGES=(fmt build test pool-off debug-stress scanwin shard bg-reclaim doctest examples benches compare-smoke latency serve lin-long bench-diff model audit clippy)
 QUICK_STAGES=(fmt build test)
 
 QUICK=0
@@ -189,17 +195,14 @@ stage_shard() {
     # observed overhead swings 5-15% run-to-run on the 1-core host, so
     # anything tighter flakes on scheduler noise.
     #
-    # Each run is time-boxed with one retry: the SCX-record recycling
-    # path has a rare latent use-after-free that can wedge a compare
-    # run in an infinite help loop (see ROADMAP "Latent UAF in
-    # SCX-record recycling" for the reproducer) — a hang must fail
-    # the stage loudly, never block CI forever.
+    # Each run is still time-boxed (any hang must fail the stage, not
+    # block CI), but with no retry: the recycling use-after-free that
+    # used to wedge compare runs in an infinite help loop is fixed
+    # (packed stage-2 claim word in ScxHeader::rc), so a timeout here
+    # is a real bug again, not known flakiness to paper over.
     cargo build -q --release -p bench-harness
-    local i
-    for i in 1 2 3; do
-        LLX_BENCH_CELL_MILLIS=100 LLX_STRUCT='patricia,sharded(patricia,4)' \
-            timeout 300 target/release/bench-harness compare && continue
-        echo "    shard perf: run $i wedged or failed; retrying once (latent recycling UAF, see ROADMAP)" >&2
+    local _run
+    for _run in 1 2 3; do
         LLX_BENCH_CELL_MILLIS=100 LLX_STRUCT='patricia,sharded(patricia,4)' \
             timeout 300 target/release/bench-harness compare
     done | awk '
@@ -352,6 +355,42 @@ stage_latency() {
     echo "    lat table: $((6 * ${#structures[@]})) rows, all structures in all modes, JSON sidecar ok"
 }
 
+stage_serve() {
+    # The network service tier end to end: a loopback netsvc server
+    # over two specs (one a sharded facade), the pipelined client mix,
+    # the whole run under `timeout` so a wedged accept loop or session
+    # thread fails the stage instead of hanging CI. The table must
+    # carry both specs at both pipeline depths with well-formed rows.
+    local out json s rows
+    json="$(mktemp)"
+    cargo build -q --release -p bench-harness
+    out="$(LLX_STRUCT='scx-multiset,sharded(patricia,4)' LLX_BENCH_CELL_MILLIS=100 \
+        timeout 180 target/release/bench-harness serve --json "$json")"
+    for s in 'scx-multiset' 'sharded(patricia,4)'; do
+        rows=$(grep -cF "$s " <<<"$out" || true)
+        if [[ "$rows" -lt 2 ]]; then
+            echo "serve table has $rows rows for spec '$s', expected 2 (depth 1 + deep)" >&2
+            echo "$out" >&2
+            rm -f "$json"
+            return 1
+        fi
+    done
+    # Data rows: structure conns depth ops/s p50 p99 p99.9 max batch.
+    if ! awk '/^ *(scx-multiset|sharded\(patricia,4\)) / \
+        { if (NF != 9) { print "malformed serve row (" NF " fields): " $0; exit 1 } }' \
+        <<<"$out"; then
+        rm -f "$json"
+        return 1
+    fi
+    if [[ ! -s "$json" ]] || ! grep -q '"serve:' "$json"; then
+        echo "serve --json sidecar missing or lacks the serve table" >&2
+        rm -f "$json"
+        return 1
+    fi
+    rm -f "$json"
+    echo "    serve table: both specs at both depths, rows well-formed, JSON sidecar ok"
+}
+
 stage_lin_long() {
     # Long recorded rounds (>= 2048 events per round, every structure)
     # under the per-key JIT checker — the regime the 64-event WGL
@@ -368,34 +407,45 @@ stage_lin_long() {
 }
 
 stage_bench_diff() {
-    # Bench-regression gate: fresh `lat` runs vs the latest committed
-    # BENCH_PR*.json baseline. Two fresh runs, per-cell min (scheduler
+    # Bench-regression gate: fresh `lat` runs plus fresh loopback
+    # `serve` runs (two specs, one sharded) vs the latest committed
+    # BENCH_PR*.json baseline — the diff unions cells across the NEW
+    # files, so serve cells gate the service tier next to the raw
+    # structures. Two fresh runs per table, per-cell min (scheduler
     # noise only ever inflates a p99), >20% + absolute-floor rule;
     # LLX_BENCH_DIFF_WAIVE=1 downgrades a failure to a warning.
-    local baseline n1 n2
+    local baseline n1 n2 n3 s1 s2 s3
     baseline="$(ls BENCH_PR*.json | sort -V | tail -1)"
     if [[ -z "$baseline" ]]; then
         echo "no committed BENCH_PR*.json baseline found" >&2
         return 1
     fi
+    cargo build -q --release -p bench-harness
     n1="$(mktemp)"; n2="$(mktemp)"; n3="$(mktemp)"
+    s1="$(mktemp)"; s2="$(mktemp)"; s3="$(mktemp)"
     LLX_BENCH_CELL_MILLIS=120 \
-        cargo run -q --release -p bench-harness -- lat --json "$n1" >/dev/null
+        target/release/bench-harness lat --json "$n1" >/dev/null
     LLX_BENCH_CELL_MILLIS=120 \
-        cargo run -q --release -p bench-harness -- lat --json "$n2" >/dev/null
+        target/release/bench-harness lat --json "$n2" >/dev/null
+    LLX_BENCH_CELL_MILLIS=120 LLX_STRUCT='scx-multiset,sharded(patricia,4)' \
+        timeout 180 target/release/bench-harness serve --json "$s1" >/dev/null
+    LLX_BENCH_CELL_MILLIS=120 LLX_STRUCT='scx-multiset,sharded(patricia,4)' \
+        timeout 180 target/release/bench-harness serve --json "$s2" >/dev/null
     local rc=0
-    cargo run -q --release -p bench-harness -- diff "$baseline" "$n1" "$n2" || rc=$?
+    target/release/bench-harness diff "$baseline" "$n1" "$n2" "$s1" "$s2" || rc=$?
     if [[ "$rc" -eq 1 ]]; then
-        # Escalate with a third run before failing: a genuine
+        # Escalate with a third run of each before failing: a genuine
         # regression reproduces in every run and survives the
         # min-of-3; a one-off scheduler spike does not.
         echo "    bench-diff failed on 2 runs; recording a third for min-of-3"
         LLX_BENCH_CELL_MILLIS=120 \
-            cargo run -q --release -p bench-harness -- lat --json "$n3" >/dev/null
+            target/release/bench-harness lat --json "$n3" >/dev/null
+        LLX_BENCH_CELL_MILLIS=120 LLX_STRUCT='scx-multiset,sharded(patricia,4)' \
+            timeout 180 target/release/bench-harness serve --json "$s3" >/dev/null
         rc=0
-        cargo run -q --release -p bench-harness -- diff "$baseline" "$n1" "$n2" "$n3" || rc=$?
+        target/release/bench-harness diff "$baseline" "$n1" "$n2" "$n3" "$s1" "$s2" "$s3" || rc=$?
     fi
-    rm -f "$n1" "$n2" "$n3"
+    rm -f "$n1" "$n2" "$n3" "$s1" "$s2" "$s3"
     return "$rc"
 }
 
@@ -461,6 +511,7 @@ run_stage examples stage_examples
 run_stage benches stage_benches
 run_stage compare-smoke stage_compare_smoke
 run_stage latency stage_latency
+run_stage serve stage_serve
 run_stage lin-long stage_lin_long
 run_stage bench-diff stage_bench_diff
 run_stage model stage_model

@@ -1,11 +1,14 @@
 //! `bench-harness diff OLD.json NEW.json [NEW2.json ...]`: the
 //! bench-regression gate.
 //!
-//! Compares the `lat` tables of `--json` result files and fails
-//! (exit 1) when any (epoch-mode, mix, structure) cell's p99 latency
+//! Compares the `lat` and `serve` tables of `--json` result files and
+//! fails (exit 1) when any cell's p99 latency — (epoch-mode, mix,
+//! structure) for `lat`, (structure, conns, depth) for `serve` —
 //! regressed by more than 20% **and** by more than an absolute floor
 //! (`LLX_BENCH_DIFF_FLOOR_NS`, default 5000ns — sub-floor deltas are
-//! scheduler noise on small hosts, not regressions).
+//! scheduler noise on small hosts, not regressions; serve cells are
+//! loopback round trips and use `LLX_BENCH_DIFF_NET_FLOOR_NS`,
+//! default 25µs).
 //!
 //! When several NEW files are given, each cell's candidate p99 is the
 //! **minimum** across them. Scheduler noise only ever inflates a
@@ -104,32 +107,56 @@ fn duration_ns(cell: &str) -> Option<f64> {
     num.trim().parse::<f64>().ok().map(|v| v * scale)
 }
 
-/// Pull the `lat` table's p99 column keyed by (epoch, mix, structure).
-/// Header: epoch, mix, structure, ops/s, p50, p99, p99.9, max, pool-hit.
-fn lat_p99s(r: &Results, path: &str) -> Result<Vec<(String, f64)>, String> {
-    let (_, rows) = r
-        .tables
-        .iter()
-        .find(|(title, _)| title.starts_with("lat:"))
-        .ok_or_else(|| format!("{path}: no `lat:` table (run `bench-harness lat --json`)"))?;
+/// Pull the p99 column of every gated table, keyed by the row's first
+/// three cells. Two table families are gated:
+///
+/// - `lat:` — header epoch, mix, structure, ops/s, p50, p99, … —
+///   key `epoch/mix/structure`;
+/// - `serve:` — header structure, conns, depth, ops/s, p50, p99, … —
+///   key `serve/structure/conns/depth`. The `serve/` prefix both
+///   avoids collisions with lat keys and marks the cell as a network
+///   round-trip for the looser absolute floor (loopback scheduling
+///   noise dwarfs the in-process floor).
+///
+/// A file may carry either family or both (the committed baselines
+/// carry both; a fresh `lat --json` or `serve --json` run carries
+/// one), so a missing table is only an error when NO gated table is
+/// present.
+fn gated_p99s(r: &Results, path: &str) -> Result<Vec<(String, f64)>, String> {
     let mut out = Vec::new();
-    for row in rows {
-        if row.len() < 6
-            || !row[0]
-                .chars()
-                .next()
-                .is_some_and(|c| c.is_ascii_lowercase())
-        {
-            continue; // header echo or malformed line
-        }
-        let key = format!("{}/{}/{}", row[0], row[1], row[2]);
-        match duration_ns(&row[5]) {
-            Some(ns) => out.push((key, ns)),
-            None => return Err(format!("{path}: unparseable p99 {:?} for {key}", row[5])),
+    let mut saw_table = false;
+    for (title, rows) in &r.tables {
+        let prefix = if title.starts_with("lat:") {
+            ""
+        } else if title.starts_with("serve:") {
+            "serve/"
+        } else {
+            continue;
+        };
+        saw_table = true;
+        for row in rows {
+            if row.len() < 6
+                || !row[0]
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_lowercase())
+            {
+                continue; // header echo or malformed line
+            }
+            let key = format!("{prefix}{}/{}/{}", row[0], row[1], row[2]);
+            match duration_ns(&row[5]) {
+                Some(ns) => out.push((key, ns)),
+                None => return Err(format!("{path}: unparseable p99 {:?} for {key}", row[5])),
+            }
         }
     }
+    if !saw_table {
+        return Err(format!(
+            "{path}: no `lat:` or `serve:` table (run `bench-harness lat --json`)"
+        ));
+    }
     if out.is_empty() {
-        return Err(format!("{path}: lat table has no data rows"));
+        return Err(format!("{path}: gated tables have no data rows"));
     }
     Ok(out)
 }
@@ -144,15 +171,17 @@ fn fmt_ns(ns: f64) -> String {
     }
 }
 
-/// Per-cell minimum across several runs' p99 columns. The first run
-/// defines the cell set; a cell missing from a later run keeps the
-/// value it has (each run emits the same sweep, so this is academic).
+/// Per-cell minimum across several runs' p99 columns — the union of
+/// every run's cells, so a `lat --json` run and a `serve --json` run
+/// can be handed to one diff invocation and each contributes the
+/// cells the other doesn't have.
 fn min_per_cell(runs: &[Vec<(String, f64)>]) -> Vec<(String, f64)> {
     let mut out = runs[0].clone();
     for run in &runs[1..] {
-        for (key, ns) in out.iter_mut() {
-            if let Some((_, other)) = run.iter().find(|(k, _)| k == key) {
-                *ns = ns.min(*other);
+        for (key, ns) in run {
+            match out.iter_mut().find(|(k, _)| k == key) {
+                Some((_, have)) => *have = have.min(*ns),
+                None => out.push((key.clone(), *ns)),
             }
         }
     }
@@ -163,7 +192,7 @@ fn min_per_cell(runs: &[Vec<(String, f64)>]) -> Vec<(String, f64)> {
 /// code: 0 = within budget (or waived), 1 = regression, 2 = bad input.
 pub fn run(old_path: &str, new_paths: &[String]) -> i32 {
     let load = |path: &str| -> Result<Vec<(String, f64)>, String> {
-        lat_p99s(&parse_results(path)?, path)
+        gated_p99s(&parse_results(path)?, path)
     };
     let old_p99 = match load(old_path) {
         Ok(v) => v,
@@ -184,6 +213,10 @@ pub fn run(old_path: &str, new_paths: &[String]) -> i32 {
     }
     let new_p99 = min_per_cell(&new_runs);
     let floor_ns = workloads::knobs::env_u64("LLX_BENCH_DIFF_FLOOR_NS", 5000) as f64;
+    // Serve cells measure loopback round trips: socket wakeups and
+    // scheduler noise move their p99 by tens of microseconds on a
+    // loaded 1-core host, so they get their own absolute floor.
+    let net_floor_ns = workloads::knobs::env_u64("LLX_BENCH_DIFF_NET_FLOOR_NS", 25_000) as f64;
     let waived = matches!(
         std::env::var("LLX_BENCH_DIFF_WAIVE").as_deref(),
         Ok("1") | Ok("on") | Ok("true")
@@ -193,8 +226,9 @@ pub fn run(old_path: &str, new_paths: &[String]) -> i32 {
         new_paths.join(", ")
     );
     println!(
-        "rule: fail if new > old * 1.2 AND new - old > {}",
-        fmt_ns(floor_ns)
+        "rule: fail if new > old * 1.2 AND new - old > {} ({} for serve/ cells)",
+        fmt_ns(floor_ns),
+        fmt_ns(net_floor_ns)
     );
     let mut regressions = 0usize;
     let mut compared = 0usize;
@@ -204,8 +238,13 @@ pub fn run(old_path: &str, new_paths: &[String]) -> i32 {
             continue;
         };
         compared += 1;
+        let cell_floor = if key.starts_with("serve/") {
+            net_floor_ns
+        } else {
+            floor_ns
+        };
         let ratio = new_ns / old_ns;
-        let regressed = ratio > 1.2 && new_ns - old_ns > floor_ns;
+        let regressed = ratio > 1.2 && new_ns - old_ns > cell_floor;
         if regressed {
             regressions += 1;
         }
@@ -260,7 +299,7 @@ mod tests {
     }
 
     #[test]
-    fn lat_extraction_from_serialized_file() {
+    fn lat_and_serve_extraction_from_serialized_file() {
         let text = r#"{
   "tables": [
     {
@@ -270,6 +309,13 @@ mod tests {
         ["inline","mixed-40u","bst","2.63M","99ns","1.6us","4.1us","55.70ms","21.0%"],
         ["budgeted","pipeline","patricia","3.1M","82ns","900ns","3us","1ms","12%"]
       ]
+    },
+    {
+      "title": "serve: loopback network service, 4 connections",
+      "header": ["structure","conns","depth","ops/s","p50","p99","p99.9","max","batch"],
+      "rows": [
+        ["sharded(patricia,4)","4","16","300.2k","52.4us","209.7us","419.4us","3.15ms","13.9"]
+      ]
     }
   ]
 }"#;
@@ -278,12 +324,33 @@ mod tests {
         let path = dir.join("lat.json");
         std::fs::write(&path, text).unwrap();
         let r = parse_results(path.to_str().unwrap()).unwrap();
-        let p99s = lat_p99s(&r, "lat.json").unwrap();
+        let p99s = gated_p99s(&r, "lat.json").unwrap();
         assert_eq!(
             p99s,
             vec![
                 ("inline/mixed-40u/bst".to_string(), 1600.0),
                 ("budgeted/pipeline/patricia".to_string(), 900.0),
+                ("serve/sharded(patricia,4)/4/16".to_string(), 209_700.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn min_per_cell_unions_cells_across_runs() {
+        let runs = vec![
+            vec![("a/b/c".to_string(), 100.0), ("x/y/z".to_string(), 50.0)],
+            vec![
+                ("a/b/c".to_string(), 80.0),
+                ("serve/s/4/16".to_string(), 9000.0),
+            ],
+        ];
+        let merged = min_per_cell(&runs);
+        assert_eq!(
+            merged,
+            vec![
+                ("a/b/c".to_string(), 80.0),
+                ("x/y/z".to_string(), 50.0),
+                ("serve/s/4/16".to_string(), 9000.0),
             ]
         );
     }

@@ -982,3 +982,136 @@ pub fn scanwin() {
     );
     println!("atomic retries/scan grow with range (one conflict restarts the whole validation); windowed retries/window stay flat (only the dirty window restarts, the cursor resumes from the last emitted key); lock-based structures never retry by construction");
 }
+
+/// `serve` — the network service tier measured end to end: a loopback
+/// [`netsvc::Server`] over every selected spec, hammered by
+/// `LLX_NET_CONNS` client connections at pipeline depth 1 vs
+/// `LLX_NET_PIPELINE`, 40%-update point-op mix, per-request latency
+/// through the `lat` histogram machinery.
+///
+/// Depth 1 is classic request/response: every operation pays a full
+/// loopback round trip plus its own epoch entry at the server. The
+/// deep pipeline keeps `depth` requests in flight per connection, so
+/// the session's drain loop packs them into batches executed under
+/// one epoch pin and replied in one flush — `batch` (mean requests
+/// per server-side batch) is the achieved amortization, and the
+/// ops/s ratio between the two depths is what it buys. Per-request
+/// latency *rises* with depth (requests queue behind their own
+/// pipeline); that trade is the point of the table.
+pub fn serve() {
+    use netsvc::{Client, Request, Response, Server, ServerConfig};
+    use std::collections::VecDeque;
+
+    let specs = conc_set::selected_specs();
+    assert!(
+        specs.len() <= u16::MAX as usize,
+        "structure-id space is u16"
+    );
+    let conns = workloads::knobs::net_conns();
+    let depth_hi = workloads::knobs::net_pipeline();
+    let duration = cell();
+    let server = Server::spawn(&specs, ServerConfig::default())
+        .expect("bind the loopback service address (LLX_NET_ADDR)");
+    let addr = server.local_addr();
+    let mut rows = Vec::new();
+    for (sid, spec) in specs.iter().enumerate() {
+        let sid = sid as u16;
+        // Prefill through the wire so gets hit and removes contend.
+        {
+            let mut c = Client::connect(addr).expect("prefill connect");
+            for k in workloads::prefill_keys(512) {
+                c.insert(sid, k, 1).expect("prefill insert");
+            }
+        }
+        for &depth in &[1usize, depth_hi] {
+            let (b0, o0) = server.batch_stats();
+            let (ops, hist) = run_latency(conns, duration, |t| {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut gen = WorkloadGen::new(
+                    0xC0FFEE ^ depth as u64,
+                    t,
+                    KeyDist::uniform(1024),
+                    Mix::with_update_percent(40),
+                );
+                let mut next_req = move || {
+                    let (kind, key) = gen.next_op();
+                    match kind {
+                        OpKind::Get => Request::Get {
+                            structure: sid,
+                            key,
+                        },
+                        OpKind::Insert => Request::Insert {
+                            structure: sid,
+                            key,
+                            count: 1,
+                        },
+                        OpKind::Remove => Request::Remove {
+                            structure: sid,
+                            key,
+                            count: 1,
+                        },
+                        OpKind::Scan => unreachable!("serve mixes carry no scans"),
+                    }
+                };
+                // Prime the pipeline: `depth` requests in flight before
+                // the measured window opens.
+                let mut inflight: VecDeque<Instant> = VecDeque::with_capacity(depth);
+                for _ in 0..depth {
+                    inflight.push_back(Instant::now());
+                    client.send(&next_req()).expect("send");
+                }
+                client.flush().expect("flush");
+                Box::new(move |hist| {
+                    // One worker call = one completed request: receive
+                    // the oldest in-flight reply, then refill the
+                    // pipeline to `depth`.
+                    let resp = client.recv().expect("recv");
+                    debug_assert!(
+                        matches!(resp, Response::Value(_)),
+                        "point op answered {resp:?}"
+                    );
+                    let sent = inflight.pop_front().expect("an in-flight request");
+                    hist.record(sent.elapsed().as_nanos() as u64);
+                    inflight.push_back(Instant::now());
+                    client.send(&next_req()).expect("send");
+                    client.flush().expect("flush");
+                })
+            });
+            let (b1, o1) = server.batch_stats();
+            let batches = (b1 - b0).max(1);
+            rows.push(vec![
+                spec.to_string(),
+                conns.to_string(),
+                depth.to_string(),
+                fmt_ops(ops),
+                fmt_ns(hist.quantile(0.50)),
+                fmt_ns(hist.quantile(0.99)),
+                fmt_ns(hist.quantile(0.999)),
+                fmt_ns(hist.max()),
+                format!("{:.1}", (o1 - o0) as f64 / batches as f64),
+            ]);
+        }
+    }
+    server.shutdown();
+    print_table(
+        &format!(
+            "serve: loopback network service, {conns} connections, \
+             40%-update mix, pipeline depth 1 vs {depth_hi} \
+             (batch = mean requests per server-side batch, executed \
+             under one epoch pin)"
+        ),
+        &[
+            "structure".into(),
+            "conns".into(),
+            "depth".into(),
+            "ops/s".into(),
+            "p50".into(),
+            "p99".into(),
+            "p99.9".into(),
+            "max".into(),
+            "batch".into(),
+        ],
+        &rows,
+    );
+    println!("depth 1 pays one loopback round trip and one server epoch entry per op; the deep pipeline lets the session drain whole bursts into single-pin batches (the batch column), trading per-request latency (requests queue behind their own pipeline) for throughput");
+}

@@ -34,6 +34,11 @@ EXPERIMENTS:
              across epoch-collection modes (inline/budgeted/background)
              and mixes (mixed, pipeline), every structure, with the
              per-cell SCX-record pool hit rate
+    serve    network service tier end to end: a loopback netsvc server
+             over every selected spec, LLX_NET_CONNS client
+             connections, pipeline depth 1 vs LLX_NET_PIPELINE,
+             per-request latency + achieved server-side batching
+             (not part of `all`: it binds a socket)
     all      run every experiment in order (default)
 
     diff OLD.json NEW.json [NEW2.json ...]
@@ -107,6 +112,7 @@ fn main() {
         "compare" => experiments::compare(),
         "scanwin" => experiments::scanwin(),
         "lat" => experiments::lat(),
+        "serve" => experiments::serve(),
         "all" => {
             experiments::e1_step_complexity();
             experiments::e2_disjoint_success();

@@ -42,6 +42,18 @@ impl ScxState {
     }
 }
 
+/// `claimed` bit of [`ScxHeader::rc`]: set once by whichever thread owns
+/// responsibility for destroying the record (cleared by `drop_shim` when
+/// it observes a resurrected hold, handing ownership to that hold's
+/// release).
+pub(crate) const RC_CLAIMED: usize = 1 << (usize::BITS - 1);
+/// `deps_released` bit of [`ScxHeader::rc`]: set (after the epoch) once
+/// the record's `info_fields` holds have been released; destruction
+/// requires it.
+pub(crate) const RC_DEPS_RELEASED: usize = 1 << (usize::BITS - 2);
+/// Low bits of [`ScxHeader::rc`]: the outstanding-reference count.
+pub(crate) const RC_REFS_MASK: usize = RC_DEPS_RELEASED - 1;
+
 /// Non-generic prefix of every SCX-record; the pointee type of all `info`
 /// fields.
 #[repr(C)]
@@ -54,26 +66,29 @@ pub(crate) struct ScxHeader {
     /// True only for [`DUMMY`]. The dummy is `static`, participates in no
     /// helping (Lemma 11) and is exempt from reference counting.
     dummy: bool,
-    /// Total outstanding references: the creating SCX invocation until
-    /// it returns, plus one per Data-record whose `info` field points
-    /// here, plus one per live successor SCX-record holding this header
-    /// in its `info_fields` (see `reclaim`).
-    pub(crate) refs: AtomicUsize,
-    /// The *install* subset of [`refs`](Self::refs): creator + `info`
-    /// fields only. Its zero-crossing means no process can newly reach
-    /// this record from shared memory, which is the trigger for the
+    /// Packed reclamation state: the total outstanding-reference count
+    /// (low [`RC_REFS_MASK`] bits — the creating SCX invocation until it
+    /// returns, plus one per Data-record whose `info` field points here,
+    /// plus one per live successor SCX-record holding this header in its
+    /// `info_fields`), the [`RC_DEPS_RELEASED`] flag and the
+    /// [`RC_CLAIMED`] flag — in ONE atomic word, so the final decrement
+    /// and the destroy-claim decision are a single indivisible operation
+    /// and no releaser ever touches the header after giving up its
+    /// reference. (They used to be three separate atomics; a final
+    /// releaser's trailing `deps_released` load and `claimed` swap after
+    /// its decrement could then race `drop_shim`'s dispose-and-recycle,
+    /// landing on a *live successor record* in the reused block and
+    /// spuriously retiring it — the recycling UAF fixed in PR 9.)
+    pub(crate) rc: AtomicUsize,
+    /// The *install* subset of the [`rc`](Self::rc) count: creator +
+    /// `info` fields only. Its zero-crossing means no process can newly
+    /// reach this record from shared memory, which is the trigger for the
     /// epoch-deferred release of the record's own `info_fields` holds.
     pub(crate) cas_refs: AtomicUsize,
     /// Set once when the `cas_refs` zero-crossing schedules the
     /// dependency release; makes that scheduling idempotent against the
     /// late-helper transient re-zero (see `reclaim`).
     pub(crate) deps_scheduled: AtomicBool,
-    /// Set (after the epoch) once the record's `info_fields` holds have
-    /// been released; destruction requires it.
-    pub(crate) deps_released: AtomicBool,
-    /// Set once by whichever thread claims responsibility for destroying
-    /// the record; makes the destroy decision idempotent.
-    pub(crate) claimed: AtomicBool,
     /// Debug builds: allocation generation, unique per SCX-record
     /// incarnation. Used to assert that pooled-block reuse never
     /// produces an ABA on `info` pointers (the hazard the epoch delay
@@ -91,11 +106,9 @@ pub(crate) static DUMMY: ScxHeader = ScxHeader {
     state: AtomicU8::new(ScxState::Aborted as u8),
     all_frozen: AtomicBool::new(false),
     dummy: true,
-    refs: AtomicUsize::new(0),
+    rc: AtomicUsize::new(RC_CLAIMED | RC_DEPS_RELEASED),
     cas_refs: AtomicUsize::new(0),
     deps_scheduled: AtomicBool::new(true),
-    deps_released: AtomicBool::new(true),
-    claimed: AtomicBool::new(true),
     #[cfg(debug_assertions)]
     gen: 0,
 };
@@ -108,13 +121,17 @@ impl ScxHeader {
             state: AtomicU8::new(ScxState::InProgress as u8),
             all_frozen: AtomicBool::new(false),
             dummy: false,
-            refs: AtomicUsize::new(1),
-            cas_refs: AtomicUsize::new(1),
             // Bug gate: with `info_fields` holds disabled there is no
             // dependency stage; records are born "deps done".
+            rc: AtomicUsize::new(
+                1 | if cfg!(llx_model_bugs) {
+                    RC_DEPS_RELEASED
+                } else {
+                    0
+                },
+            ),
+            cas_refs: AtomicUsize::new(1),
             deps_scheduled: AtomicBool::new(cfg!(llx_model_bugs)),
-            deps_released: AtomicBool::new(cfg!(llx_model_bugs)),
-            claimed: AtomicBool::new(false),
             #[cfg(debug_assertions)]
             gen: NEXT_GEN.fetch_add(1, Ordering::Relaxed), // ord: debug gen stamp; uniqueness only, no sync role
         }
@@ -160,6 +177,21 @@ impl ScxHeader {
     pub(crate) fn is_dummy(&self) -> bool {
         self.dummy
     }
+
+    /// Decode one snapshot of the packed reclamation word:
+    /// `(refs, deps_released, claimed)`. Diagnostic reads only (the
+    /// debug drop assert and tests) — protocol decisions must use a
+    /// single RMW on `rc`, never a decoded snapshot.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    #[inline]
+    pub(crate) fn rc_parts(&self) -> (usize, bool, bool) {
+        let rc = self.rc.load(Ordering::SeqCst); // ord: diagnostic snapshot; exactness over speed
+        (
+            rc & RC_REFS_MASK,
+            rc & RC_DEPS_RELEASED != 0,
+            rc & RC_CLAIMED != 0,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -179,7 +211,9 @@ mod tests {
         assert_eq!(h.state(), ScxState::InProgress);
         assert!(!h.all_frozen());
         assert!(!h.is_dummy());
-        assert_eq!(h.refs.load(Ordering::SeqCst), 1); // ord: test-only assert; exactness over speed
+        let (refs, _deps, claimed) = h.rc_parts();
+        assert_eq!(refs, 1);
+        assert!(!claimed);
     }
 
     #[test]

@@ -310,30 +310,36 @@ unsafe fn dep_shim<const M: usize, I>(p: *mut u8, guard: &Guard) -> bool {
 }
 
 unsafe fn drop_shim<const M: usize, I>(p: *mut u8, _guard: &Guard) -> bool {
+    use crate::header::{RC_CLAIMED, RC_DEPS_RELEASED, RC_REFS_MASK};
     use crate::sync::Ordering::SeqCst;
     let rec = p as *mut ScxRecord<M, I>;
     let h = &(*rec).hdr;
-    if h.refs.load(SeqCst) != 0 {
-        // ord: SC refcount handshake with release()/drop_shim
-        // Between the claim (refs == 0) and this maturation, a straggler
-        // with a stale LLX handle captured this record in a new
-        // SCX-record's `info_fields` (`acquire_hold` resurrects the
-        // count). Re-arm the claim: the hold's release — which runs in
-        // the successor's dependency stage — will observe the final
-        // zero-crossing and re-stage destruction.
-        // ord: SC refcount handshake with release()/drop_shim
-        h.claimed.store(false, SeqCst);
-        // The hold's release may have raced us: it can drive refs to
-        // zero after our load above but before the re-arm store, see
-        // `claimed` still set, and skip the re-stage — orphaning the
-        // record. Re-check under the re-armed flag; whoever wins the
-        // swap owns the block (us: dispose below; the release:
-        // re-stage).
-        if h.refs.load(SeqCst) != 0 || h.claimed.swap(true, SeqCst) {
-            // ord: SC refcount handshake with release()/drop_shim
-            return false;
+    let mut cur = h.rc.load(SeqCst); // ord: SC packed-rc read; CAS below re-validates
+    while cur & RC_REFS_MASK != 0 {
+        // Between the claim (count == 0) and this maturation, a
+        // straggler with a stale LLX handle captured this record in a
+        // new SCX-record's `info_fields` (`acquire_hold` resurrects the
+        // count). Un-claim in ONE RMW and hand destruction to the
+        // hold's release: when the successor's dependency stage drives
+        // the count to zero, its decrement-and-claim re-stages
+        // destruction atomically (`release_common`). If that final
+        // decrement lands between our load and our CAS, the CAS fails
+        // — the releaser saw `claimed` still set and left disposal to
+        // us — and the retry loop observes the settled zero below.
+        debug_assert!(cur & RC_CLAIMED != 0, "staged record lost its claim");
+        match h
+            .rc
+            // ord: SC packed-rc RMW; un-claim hands ownership to the releaser
+            .compare_exchange_weak(cur, cur & !RC_CLAIMED, SeqCst, SeqCst)
+        {
+            Ok(_) => return false,
+            Err(now) => cur = now,
         }
     }
+    // Settled zero: whoever zeroed the count did so in an RMW that also
+    // decided (and lost) the claim, so no thread touches this header
+    // again — disposal cannot race a straggler's trailing access.
+    debug_assert!(cur & RC_CLAIMED != 0 && cur & RC_DEPS_RELEASED != 0);
     if !poolable::<M, I>() {
         // Non-pooled block (pooling disabled, or a layout-divergent
         // instantiation that arrived via the stage() fallback): dispose

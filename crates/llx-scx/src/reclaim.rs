@@ -59,12 +59,30 @@
 //! displacement, under its own pinned guard, so the memory is still
 //! live). Its freezing CAS then necessarily fails (`r.info` never
 //! returns to an old value — Lemma 12) and its decrement returns the
-//! count to zero a *second* time. The `deps_scheduled` and `claimed`
+//! count to zero a *second* time. The `deps_scheduled` and claimed
 //! flags make both zero-crossing decisions idempotent.
+//!
+//! **Why the stage-2 state is one packed word.** The total count, the
+//! deps-released flag and the claimed flag live together in
+//! [`ScxHeader::rc`], manipulated only by single RMW operations: a
+//! releaser's decrement *and* its destroy-claim decision commit
+//! atomically, so the moment a thread gives up its last reference it is
+//! already done touching the header. With three separate atomics the
+//! final releaser evaluated `refs.fetch_sub(..) == 1 &&
+//! deps_released.load(..) && !claimed.swap(true, ..)` — two header
+//! touches *after* the decrement. A pending `drop_shim` (racing the
+//! release of a resurrected successor hold) could observe the zero,
+//! win the claim, and dispose-and-recycle the block between those
+//! touches; the straggler's trailing `claimed` swap then landed on a
+//! *live successor record* occupying the reused block and spuriously
+//! retired it — a destruction epoch that began while the record was
+//! still reachable, surfacing as a recycled-address freezing CAS and a
+//! data-node use-after-free (the PR-9 reproducer). A single-word RMW
+//! leaves no trailing touches to race.
 
 use crossbeam_epoch::Guard;
 
-use crate::header::ScxHeader;
+use crate::header::{ScxHeader, RC_CLAIMED, RC_DEPS_RELEASED, RC_REFS_MASK};
 use crate::scx_record::ScxRecord;
 
 use crate::sync::Ordering;
@@ -77,12 +95,13 @@ pub(crate) fn acquire(hdr: *const ScxHeader) {
     if h.is_dummy() {
         return;
     }
-    h.refs.fetch_add(1, Ordering::SeqCst); // ord: SC two-stage refcount; pairs with release()
+    let old = h.rc.fetch_add(1, Ordering::SeqCst); // ord: SC two-stage refcount; pairs with release()
+    debug_assert!(old & RC_REFS_MASK < RC_REFS_MASK);
     h.cas_refs.fetch_add(1, Ordering::SeqCst); // ord: SC two-stage refcount; pairs with release()
 }
 
 /// Acquire a successor hold: `hdr` is being captured in a new
-/// SCX-record's `info_fields`. Counts into `refs` only. No-op for the
+/// SCX-record's `info_fields`. Counts into the total only. No-op for the
 /// dummy.
 #[inline]
 pub(crate) fn acquire_hold(hdr: *const ScxHeader) {
@@ -90,7 +109,8 @@ pub(crate) fn acquire_hold(hdr: *const ScxHeader) {
     if h.is_dummy() {
         return;
     }
-    h.refs.fetch_add(1, Ordering::SeqCst); // ord: SC helper refcount; pairs with release()
+    let old = h.rc.fetch_add(1, Ordering::SeqCst); // ord: SC helper refcount; pairs with release()
+    debug_assert!(old & RC_REFS_MASK < RC_REFS_MASK);
 }
 
 /// Release one install reference (creator, `info` field, or a failed
@@ -139,16 +159,34 @@ pub(crate) unsafe fn release_hold<const M: usize, I>(hdr: *const ScxHeader, guar
     release_common::<M, I>(h, hdr, guard);
 }
 
-/// Shared `refs` decrement: the last release with dependencies already
-/// released retires the record for destruction.
+/// Shared stage-2 decrement: the last release with dependencies already
+/// released claims the record — decrement and claim are ONE atomic RMW
+/// on the packed word, so after it succeeds this thread never touches
+/// the header again (except through `retire`, which it now owns).
 #[inline]
 unsafe fn release_common<const M: usize, I>(h: &ScxHeader, hdr: *const ScxHeader, guard: &Guard) {
-    if h.refs.fetch_sub(1, Ordering::SeqCst) == 1 // ord: SC stage-2 decrement; last-out frees
-        && h.deps_released.load(Ordering::SeqCst) // ord: SC deps gate read; pairs with mature_deps
-        && !h.claimed.swap(true, Ordering::SeqCst)
-    // ord: SC claim flag; at-most-once free
-    {
-        crate::pool::retire(hdr as *mut ScxRecord<M, I>, guard);
+    let mut cur = h.rc.load(Ordering::SeqCst); // ord: SC packed-rc read; CAS below re-validates
+    loop {
+        debug_assert!(cur & RC_REFS_MASK > 0, "release underflow");
+        let mut next = cur - 1;
+        let claim =
+            next & RC_REFS_MASK == 0 && next & RC_DEPS_RELEASED != 0 && next & RC_CLAIMED == 0;
+        if claim {
+            next |= RC_CLAIMED;
+        }
+        match h
+            .rc
+            // ord: SC packed-rc RMW; decrement + destroy-claim commit together
+            .compare_exchange_weak(cur, next, Ordering::SeqCst, Ordering::SeqCst)
+        {
+            Ok(_) => {
+                if claim {
+                    crate::pool::retire(hdr as *mut ScxRecord<M, I>, guard);
+                }
+                return;
+            }
+            Err(now) => cur = now,
+        }
     }
 }
 
@@ -167,10 +205,26 @@ pub(crate) unsafe fn mature_deps<const M: usize, I>(rec: *const ScxRecord<M, I>,
         release_hold::<M, I>(hdr, guard);
     }
     let h = &r.hdr;
-    h.deps_released.store(true, Ordering::SeqCst); // ord: SC deps gate publish; pairs with release_common
-    if h.refs.load(Ordering::SeqCst) == 0 && !h.claimed.swap(true, Ordering::SeqCst) {
-        // ord: SC claim flag; at-most-once free
-        crate::pool::retire(rec as *mut ScxRecord<M, I>, guard);
+    let mut cur = h.rc.load(Ordering::SeqCst); // ord: SC packed-rc read; CAS below re-validates
+    loop {
+        let mut next = cur | RC_DEPS_RELEASED;
+        let claim = next & RC_REFS_MASK == 0 && next & RC_CLAIMED == 0;
+        if claim {
+            next |= RC_CLAIMED;
+        }
+        match h
+            .rc
+            // ord: SC packed-rc RMW; deps publish + destroy-claim commit together
+            .compare_exchange_weak(cur, next, Ordering::SeqCst, Ordering::SeqCst)
+        {
+            Ok(_) => {
+                if claim {
+                    crate::pool::retire(rec as *mut ScxRecord<M, I>, guard);
+                }
+                return;
+            }
+            Err(now) => cur = now,
+        }
     }
 }
 

@@ -71,15 +71,13 @@ impl<const M: usize, I> Drop for ScxRecord<M, I> {
     fn drop(&mut self) {
         use crate::sync::Ordering::SeqCst;
         LIVE_SCX_RECORDS.fetch_sub(1, SeqCst); // ord: debug live-record count; SC so tests can assert exactly
+        let (refs, deps_released, claimed) = self.hdr.rc_parts();
         debug_assert!(
-            self.hdr.refs.load(SeqCst) == 0, // ord: drop-time sanity read; record is quiescent here
-            "SCX-record destroyed with outstanding references: refs={} cas_refs={} \
-             deps_scheduled={} deps_released={} claimed={} state={:?}",
-            self.hdr.refs.load(SeqCst), // ord: drop-time sanity read; record is quiescent here
+            refs == 0,
+            "SCX-record destroyed with outstanding references: refs={refs} cas_refs={} \
+             deps_scheduled={} deps_released={deps_released} claimed={claimed} state={:?}",
             self.hdr.cas_refs.load(SeqCst), // ord: drop-time sanity read; record is quiescent here
             self.hdr.deps_scheduled.load(SeqCst), // ord: drop-time sanity read; record is quiescent here
-            self.hdr.deps_released.load(SeqCst), // ord: drop-time sanity read; record is quiescent here
-            self.hdr.claimed.load(SeqCst), // ord: drop-time sanity read; record is quiescent here
             self.hdr.state(),
         );
     }
@@ -146,7 +144,7 @@ mod tests {
         // This record was never published; release the creator reference
         // so the debug Drop assertion (refs == 0) holds, and balance the
         // live-record ledger that normally counts `Domain::scx` allocs.
-        rec.hdr.refs.store(0, crate::sync::Ordering::SeqCst); // ord: re-arm before reuse; record is thread-local here
+        rec.hdr.rc.store(0, crate::sync::Ordering::SeqCst); // ord: re-arm before reuse; record is thread-local here
         #[cfg(debug_assertions)]
         LIVE_SCX_RECORDS.fetch_add(1, crate::sync::Ordering::SeqCst); // ord: debug live-record count; SC so tests can assert exactly
     }

@@ -1,0 +1,148 @@
+//! The blocking client: a framed TCP connection with an explicit
+//! send/recv split so callers can pipeline.
+//!
+//! [`Client::call`] is the one-shot convenience (send + flush + recv).
+//! For pipelining, issue several [`Client::send`]s, [`Client::flush`]
+//! once, then [`Client::recv`] the replies in order — the server
+//! guarantees reply order matches request order, and drains the whole
+//! pipeline into one batch at its end (see the
+//! [server docs](crate::server)). A [`Request::RangeScan`] answers
+//! with multiple frames; [`Client::recv`] returns them one at a time
+//! ([`Response::ScanWindow`]* then [`Response::ScanDone`]), or
+//! [`Client::range_scan`] collects a whole stream.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::codec::{read_frame, write_frame, NetError, Request, Response};
+
+/// A blocking connection to a [`Server`](crate::Server).
+#[derive(Debug)]
+pub struct Client {
+    writer: BufWriter<TcpStream>,
+    reader: BufReader<TcpStream>,
+    /// Reusable frame-payload scratch.
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: BufWriter::new(stream),
+            reader,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Queue one request (buffered; nothing hits the wire until
+    /// [`flush`](Client::flush) or the buffer fills).
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        self.buf.clear();
+        req.encode(&mut self.buf);
+        write_frame(&mut self.writer, &self.buf)
+    }
+
+    /// Push all queued requests to the wire.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Receive the next response frame, in request order.
+    pub fn recv(&mut self) -> Result<Response, NetError> {
+        self.buf.clear();
+        read_frame(&mut self.reader, &mut self.buf)?;
+        Response::decode(&self.buf).map_err(NetError::Malformed)
+    }
+
+    /// Send one request and wait for its (single-frame) response.
+    pub fn call(&mut self, req: &Request) -> Result<Response, NetError> {
+        self.send(req)?;
+        self.flush()?;
+        self.recv()
+    }
+
+    /// Like [`call`](Client::call) but unwraps a `Value`, turning
+    /// `Error` responses into [`NetError::Malformed`]-free errors.
+    fn call_value(&mut self, req: &Request) -> Result<u64, NetError> {
+        match self.call(req)? {
+            Response::Value(v) => Ok(v),
+            Response::Error(msg) => Err(NetError::Malformed(format!("server error: {msg}"))),
+            other => Err(NetError::Malformed(format!(
+                "expected a Value response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Occurrences of `key` in structure `structure`.
+    pub fn get(&mut self, structure: u16, key: u64) -> Result<u64, NetError> {
+        self.call_value(&Request::Get { structure, key })
+    }
+
+    /// Add `count` occurrences of `key`; returns the number added.
+    pub fn insert(&mut self, structure: u16, key: u64, count: u64) -> Result<u64, NetError> {
+        self.call_value(&Request::Insert {
+            structure,
+            key,
+            count,
+        })
+    }
+
+    /// Remove `count` occurrences of `key`; returns the number removed.
+    pub fn remove(&mut self, structure: u16, key: u64, count: u64) -> Result<u64, NetError> {
+        self.call_value(&Request::Remove {
+            structure,
+            key,
+            count,
+        })
+    }
+
+    /// Total occurrences across all keys.
+    pub fn len(&mut self, structure: u16) -> Result<u64, NetError> {
+        self.call_value(&Request::Len { structure })
+    }
+
+    /// Occurrences with keys in `[lo, hi]` (one consistent snapshot at
+    /// the server).
+    pub fn range_count(&mut self, structure: u16, lo: u64, hi: u64) -> Result<u64, NetError> {
+        self.call_value(&Request::RangeCount { structure, lo, hi })
+    }
+
+    /// Stream a windowed scan of `[lo, hi]` and collect every pair.
+    /// Each window the server emitted was internally
+    /// snapshot-consistent; the collected whole has per-window
+    /// consistency (windows may linearize at different points).
+    pub fn range_scan(
+        &mut self,
+        structure: u16,
+        lo: u64,
+        hi: u64,
+        window: u64,
+    ) -> Result<Vec<(u64, u64)>, NetError> {
+        self.send(&Request::RangeScan {
+            structure,
+            lo,
+            hi,
+            window,
+        })?;
+        self.flush()?;
+        let mut pairs = Vec::new();
+        loop {
+            match self.recv()? {
+                Response::ScanWindow(mut w) => pairs.append(&mut w),
+                Response::ScanDone => return Ok(pairs),
+                Response::Error(msg) => {
+                    return Err(NetError::Malformed(format!("server error: {msg}")))
+                }
+                other => {
+                    return Err(NetError::Malformed(format!(
+                        "expected a scan-stream frame, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,462 @@
+//! The threaded TCP server: one session thread per connection,
+//! server-side op batching, streamed range scans.
+//!
+//! # Batching
+//!
+//! A session does not serve requests one read() at a time. Each cycle
+//! it blocks for the *first* complete frame, then drains every byte
+//! the client has already pipelined (a non-blocking read loop) and
+//! cuts the re-assembled frames into one batch of up to
+//! [`ServerConfig::batch_cap`] requests. The batch's point operations
+//! all execute under a **single epoch pin**: `crossbeam_epoch::pin()`
+//! is re-entrant, so the per-operation pins inside the structures
+//! collapse into cheap re-entries and the epoch-entry cost — the fee
+//! the paper's reclamation assumption charges every operation — is
+//! paid once per batch instead of once per op. Replies are written in
+//! request order and flushed once per batch. That is why pipeline
+//! depth translates into server-side throughput: depth-N clients
+//! amortize both the syscalls and the epoch machinery N ways.
+//!
+//! # Scan streaming
+//!
+//! A [`Request::RangeScan`] maps onto the structure's windowed
+//! [`ScanCursor`](conc_set::ScanCursor): the session drives
+//! `next_window` and writes each validated window as its own
+//! [`Response::ScanWindow`] frame, then [`Response::ScanDone`]. Memory
+//! at the server is bounded by one window regardless of range size;
+//! writers are never blocked (cursor validation retries only the dirty
+//! window, with backoff); and the stream is interleaved *between* a
+//! batch's point replies at its request's position, preserving
+//! in-order replies. The batch pin is dropped before a scan starts —
+//! each window pins internally, so a long stream never holds one epoch
+//! open.
+//!
+//! # Lifecycle
+//!
+//! The accept loop polls a shutdown flag between non-blocking accepts;
+//! sessions poll it on a 50 ms read timeout while idle. A client
+//! disconnect anywhere — between frames, mid-frame, or mid-scan-stream
+//! — just ends that session: the cursor and buffers drop with the
+//! stack, the active-session count decrements, nothing wedges.
+
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use conc_set::{ConcurrentOrderedSet, ScanOpts, ScanStep, StructureSpec};
+
+use crate::codec::{write_frame, FrameAssembler, NetError, Request, Response, MAX_SCAN_WINDOW};
+
+/// Server construction knobs; [`ServerConfig::default`] reads the
+/// `LLX_NET_*` environment via [`workloads::knobs`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`LLX_NET_ADDR`, default `127.0.0.1:0` — an
+    /// OS-assigned loopback port; read the actual one back from
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Max requests per session batch (`LLX_NET_BATCH`, default 64).
+    pub batch_cap: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: workloads::knobs::net_addr(),
+            batch_cap: workloads::knobs::net_batch(),
+        }
+    }
+}
+
+/// Shared server state: the structures and the counters every session
+/// updates.
+struct Shared {
+    /// The served structures, indexed by the protocol's `structure`
+    /// id, in spec-list order.
+    sets: Vec<Arc<dyn ConcurrentOrderedSet>>,
+    /// Canonical spec strings, parallel to `sets`.
+    names: Vec<String>,
+    /// Set once by [`Server::shutdown`]; accept loop and sessions poll
+    /// it.
+    shutdown: AtomicBool,
+    /// Live session threads.
+    active_sessions: AtomicUsize,
+    /// Batches executed across all sessions.
+    batches: AtomicU64,
+    /// Requests executed across all sessions (batched_ops / batches =
+    /// achieved amortization).
+    batched_ops: AtomicU64,
+}
+
+/// A running network service over a set of structure specs. Dropping
+/// the handle shuts the server down.
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .field("structures", &self.shared.names)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Build one structure per spec and serve them all; returns once
+    /// the listener is bound and accepting.
+    pub fn spawn(specs: &[StructureSpec], config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            sets: specs.iter().map(|s| Arc::from(s.build())).collect(),
+            names: specs.iter().map(|s| s.to_string()).collect(),
+            shutdown: AtomicBool::new(false),
+            active_sessions: AtomicUsize::new(0),
+            batches: AtomicU64::new(0),
+            batched_ops: AtomicU64::new(0),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let batch_cap = config.batch_cap.max(1);
+            thread::Builder::new()
+                .name("netsvc-accept".into())
+                .spawn(move || accept_loop(listener, shared, batch_cap))?
+        };
+        Ok(Server {
+            local_addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves the `:0` ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Canonical spec strings, in `structure`-id order.
+    pub fn structure_names(&self) -> &[String] {
+        &self.shared.names
+    }
+
+    /// Direct handle to a served structure (for in-process conservation
+    /// checks at quiescence).
+    pub fn structure(&self, id: u16) -> Option<Arc<dyn ConcurrentOrderedSet>> {
+        self.shared.sets.get(id as usize).cloned()
+    }
+
+    /// Currently live session threads.
+    pub fn active_sessions(&self) -> usize {
+        // ord: control-plane gauge polled at ms granularity, not a protocol step
+        self.shared.active_sessions.load(Ordering::SeqCst)
+    }
+
+    /// `(batches, requests)` executed so far across all sessions; the
+    /// ratio is the achieved per-batch amortization.
+    pub fn batch_stats(&self) -> (u64, u64) {
+        (
+            self.shared.batches.load(Ordering::SeqCst), // ord: stats counter, off hot path
+            self.shared.batched_ops.load(Ordering::SeqCst), // ord: stats counter, off hot path
+        )
+    }
+
+    /// Stop accepting, wake idle sessions, and wait (bounded) for all
+    /// session threads to exit.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        // ord: lifecycle flag polled at ms granularity, not a protocol step
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Sessions notice the flag within one 50 ms read timeout; give
+        // stragglers (e.g. one mid-scan-stream) a grace period rather
+        // than blocking shutdown on a hostile client.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        // ord: control-plane gauge (see active_sessions)
+        while self.shared.active_sessions.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Accept connections until shutdown, one session thread each.
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, batch_cap: usize) {
+    // ord: lifecycle flag, polled between accepts
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let session_shared = Arc::clone(&shared);
+                // ord: session gauge, once per connection
+                shared.active_sessions.fetch_add(1, Ordering::SeqCst);
+                let spawned =
+                    thread::Builder::new()
+                        .name("netsvc-session".into())
+                        .spawn(move || {
+                            let _ = session(stream, &session_shared, batch_cap);
+                            session_shared
+                                .active_sessions
+                                // ord: session gauge, once per connection
+                                .fetch_sub(1, Ordering::SeqCst);
+                        });
+                if spawned.is_err() {
+                    // Spawn failure drops the connection; the count
+                    // must not leak a phantom session.
+                    // ord: session gauge, once per connection
+                    shared.active_sessions.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// One connection's lifetime: batch-read, batch-execute, reply
+/// in order, repeat until disconnect, protocol violation, or shutdown.
+fn session(stream: TcpStream, shared: &Shared, batch_cap: usize) -> Result<(), NetError> {
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .ok();
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut reader = stream;
+    let mut asm = FrameAssembler::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let mut batch: Vec<Vec<u8>> = Vec::with_capacity(batch_cap);
+    loop {
+        batch.clear();
+        // Phase 1: block (on a shutdown-polling timeout) until at
+        // least one complete frame is buffered.
+        loop {
+            match asm.next_frame() {
+                Ok(Some(payload)) => {
+                    batch.push(payload);
+                    break;
+                }
+                Ok(None) => {}
+                Err(violation) => {
+                    // A framing lie leaves no recoverable boundary:
+                    // report once and drop the connection.
+                    reply(&mut writer, &Response::Error(violation.to_string()))?;
+                    writer.flush()?;
+                    return Err(violation);
+                }
+            }
+            // ord: lifecycle flag, polled once per read timeout
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            match reader.read(&mut chunk) {
+                Ok(0) => return Ok(()), // client went away
+                Ok(n) => asm.extend(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut
+                        || e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+        // Phase 2: drain everything the client already pipelined,
+        // without blocking, and cut it into this batch.
+        reader.set_nonblocking(true).ok();
+        loop {
+            match reader.read(&mut chunk) {
+                Ok(0) => break, // half-closed; serve what we have
+                Ok(n) => asm.extend(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+        reader.set_nonblocking(false).ok();
+        let mut framing_violation = None;
+        while batch.len() < batch_cap {
+            match asm.next_frame() {
+                Ok(Some(payload)) => batch.push(payload),
+                Ok(None) => break,
+                Err(e) => {
+                    // Serve the complete frames first, then report and
+                    // drop the connection: past a framing lie there is
+                    // no next frame boundary.
+                    framing_violation = Some(e);
+                    break;
+                }
+            }
+        }
+        // Execute the batch: point ops share one epoch pin; a scan
+        // releases it (each window re-pins internally) and streams its
+        // windows in place, keeping replies in request order.
+        shared.batches.fetch_add(1, Ordering::SeqCst); // ord: stats counter, once per batch
+        shared
+            .batched_ops
+            // ord: stats counter, once per batch
+            .fetch_add(batch.len() as u64, Ordering::SeqCst);
+        {
+            let mut pin = Some(crossbeam_epoch::pin());
+            for payload in batch.drain(..) {
+                match Request::decode(&payload) {
+                    Ok(Request::RangeScan {
+                        structure,
+                        lo,
+                        hi,
+                        window,
+                    }) => {
+                        drop(pin.take());
+                        match shared.sets.get(structure as usize) {
+                            Some(set) => stream_scan(&**set, lo, hi, window, &mut writer)?,
+                            None => reply(
+                                &mut writer,
+                                &Response::Error(unknown_structure(shared, structure)),
+                            )?,
+                        }
+                    }
+                    Ok(req) => {
+                        if pin.is_none() {
+                            pin = Some(crossbeam_epoch::pin());
+                        }
+                        let resp = point_op(shared, &req);
+                        reply(&mut writer, &resp)?;
+                    }
+                    Err(msg) => {
+                        drop(pin.take());
+                        reply(&mut writer, &Response::Error(format!("bad request: {msg}")))?;
+                        writer.flush()?;
+                        return Err(NetError::Malformed(msg));
+                    }
+                }
+            }
+        }
+        writer.flush()?;
+        if let Some(violation) = framing_violation {
+            reply(&mut writer, &Response::Error(violation.to_string()))?;
+            writer.flush()?;
+            return Err(violation);
+        }
+    }
+}
+
+/// Encode and frame one response.
+fn reply(w: &mut impl Write, resp: &Response) -> Result<(), NetError> {
+    let mut payload = Vec::new();
+    resp.encode(&mut payload);
+    write_frame(w, &payload)?;
+    Ok(())
+}
+
+fn unknown_structure(shared: &Shared, id: u16) -> String {
+    format!(
+        "unknown structure id {id} (serving {} structures: {})",
+        shared.names.len(),
+        shared.names.join(", ")
+    )
+}
+
+/// Execute one point request. Out-of-domain arguments answer `Error`
+/// instead of tripping the trait's panic inside a session thread.
+fn point_op(shared: &Shared, req: &Request) -> Response {
+    let Some(set) = shared.sets.get(req.structure() as usize) else {
+        return Response::Error(unknown_structure(shared, req.structure()));
+    };
+    let domain_err = |what: &str, v: u64, cap: u64| {
+        Response::Error(format!("{what} {v} outside the served domain (max {cap})"))
+    };
+    match *req {
+        Request::Get { key, .. } => {
+            if key > conc_set::MAX_KEY {
+                return domain_err("key", key, conc_set::MAX_KEY);
+            }
+            Response::Value(set.get(key))
+        }
+        Request::Insert { key, count, .. } => {
+            if key > conc_set::MAX_KEY {
+                return domain_err("key", key, conc_set::MAX_KEY);
+            }
+            if count == 0 || count > conc_set::MAX_COUNT {
+                return domain_err("count", count, conc_set::MAX_COUNT);
+            }
+            Response::Value(set.insert(key, count))
+        }
+        Request::Remove { key, count, .. } => {
+            if key > conc_set::MAX_KEY {
+                return domain_err("key", key, conc_set::MAX_KEY);
+            }
+            if count == 0 || count > conc_set::MAX_COUNT {
+                return domain_err("count", count, conc_set::MAX_COUNT);
+            }
+            Response::Value(set.remove(key, count))
+        }
+        Request::Len { .. } => Response::Value(set.len()),
+        Request::RangeCount { lo, hi, .. } => Response::Value(set.range_count(lo, hi)),
+        Request::RangeScan { .. } => unreachable!("scans stream; handled by the session loop"),
+    }
+}
+
+/// Drive a windowed cursor over `[lo, hi]`, writing one `ScanWindow`
+/// frame per validated window and a final `ScanDone`. Bounded memory
+/// (one window), bounded retry work per window (cursor contract), and
+/// a flush per window so the client sees the stream progress while the
+/// scan is still running.
+fn stream_scan(
+    set: &dyn ConcurrentOrderedSet,
+    lo: u64,
+    hi: u64,
+    window: u64,
+    writer: &mut BufWriter<TcpStream>,
+) -> Result<(), NetError> {
+    let window = window.clamp(1, MAX_SCAN_WINDOW);
+    let mut cursor = set.scan(lo, hi, ScanOpts::windowed(window));
+    let mut pairs: Vec<(u64, u64)> = Vec::with_capacity(window as usize);
+    let mut attempts = 0u32;
+    loop {
+        pairs.clear();
+        match cursor.next_window(&mut |k, c| pairs.push((k, c))) {
+            ScanStep::Emitted { .. } => {
+                attempts = 0;
+                let resp = Response::ScanWindow(std::mem::take(&mut pairs));
+                reply(writer, &resp)?;
+                writer.flush()?;
+                // Reclaim the window buffer for the next attempt.
+                let Response::ScanWindow(mut v) = resp else {
+                    unreachable!()
+                };
+                v.clear();
+                pairs = v;
+            }
+            ScanStep::Retry => {
+                // Writers are never blocked; the scanner pays for the
+                // conflict. Spin a little, then yield.
+                attempts += 1;
+                if attempts > 8 {
+                    thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            ScanStep::Done => {
+                reply(writer, &Response::ScanDone)?;
+                writer.flush()?;
+                return Ok(());
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Wire-level protocol tests against a live server: raw sockets, no
+//! `Client` convenience — framing resilience is exactly what the
+//! helper would paper over.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use conc_set::StructureSpec;
+use netsvc::codec::{read_frame, write_frame, NetError, Request, Response};
+use netsvc::{Server, ServerConfig};
+
+fn spawn_server(specs: &str) -> Server {
+    let specs = StructureSpec::parse_list(specs).unwrap();
+    Server::spawn(
+        &specs,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            batch_cap: 64,
+        },
+    )
+    .unwrap()
+}
+
+fn encode(req: &Request) -> Vec<u8> {
+    let mut payload = Vec::new();
+    req.encode(&mut payload);
+    let mut frame = Vec::new();
+    write_frame(&mut frame, &payload).unwrap();
+    frame
+}
+
+fn recv(stream: &mut TcpStream) -> Result<Response, NetError> {
+    let mut payload = Vec::new();
+    read_frame(stream, &mut payload)?;
+    Response::decode(&payload).map_err(NetError::Malformed)
+}
+
+#[test]
+fn requests_split_across_segment_boundaries_still_parse() {
+    let server = spawn_server("scx-multiset");
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    // One insert and one get, the whole two-frame byte stream dribbled
+    // out a byte at a time with pauses long enough that the server's
+    // reads observe arbitrary fragment boundaries (headers split from
+    // payloads, payloads split mid-u64).
+    let mut wire = encode(&Request::Insert {
+        structure: 0,
+        key: 42,
+        count: 3,
+    });
+    wire.extend(encode(&Request::Get {
+        structure: 0,
+        key: 42,
+    }));
+    for chunk in wire.chunks(1) {
+        stream.write_all(chunk).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(recv(&mut stream).unwrap(), Response::Value(3));
+    assert_eq!(recv(&mut stream).unwrap(), Response::Value(3));
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let server = spawn_server("scx-multiset");
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // A depth-20 pipeline in one write: inserts of distinct keys, then
+    // gets of the same keys. Replies must arrive in request order.
+    let mut wire = Vec::new();
+    for k in 0..10u64 {
+        wire.extend(encode(&Request::Insert {
+            structure: 0,
+            key: k,
+            count: k + 1,
+        }));
+    }
+    for k in 0..10u64 {
+        wire.extend(encode(&Request::Get {
+            structure: 0,
+            key: k,
+        }));
+    }
+    stream.write_all(&wire).unwrap();
+    for k in 0..10u64 {
+        assert_eq!(
+            recv(&mut stream).unwrap(),
+            Response::Value(k + 1),
+            "insert {k}"
+        );
+    }
+    for k in 0..10u64 {
+        assert_eq!(
+            recv(&mut stream).unwrap(),
+            Response::Value(k + 1),
+            "get {k}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn oversized_frame_length_is_rejected_and_connection_dropped() {
+    let server = spawn_server("scx-multiset");
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // A hostile length field (4 GiB). The server must answer with an
+    // Error frame and close — never allocate or wait for the payload.
+    stream.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    stream.write_all(&[0u8; 32]).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    match recv(&mut stream) {
+        Ok(Response::Error(msg)) => {
+            assert!(msg.contains("frame length"), "unexpected error: {msg}");
+            // And then EOF.
+            assert!(matches!(recv(&mut stream), Err(NetError::Closed)));
+        }
+        other => panic!("expected an Error frame then close, got {other:?}"),
+    }
+    // The server survives and serves fresh connections.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .write_all(&encode(&Request::Len { structure: 0 }))
+        .unwrap();
+    assert_eq!(recv(&mut stream).unwrap(), Response::Value(0));
+    server.shutdown();
+}
+
+#[test]
+fn malformed_payload_is_rejected_and_connection_dropped() {
+    let server = spawn_server("scx-multiset");
+    for bad_payload in [
+        vec![99u8, 0, 0],         // unknown opcode
+        vec![0u8, 0],             // Get truncated mid structure-id
+        vec![1u8, 0, 0, 5, 0, 0], // Insert truncated mid key
+        {
+            let mut p = Vec::new();
+            Request::Len { structure: 0 }.encode(&mut p);
+            p.push(0xFF); // trailing byte
+            p
+        },
+    ] {
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &bad_payload).unwrap();
+        stream.write_all(&frame).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        match recv(&mut stream) {
+            Ok(Response::Error(msg)) => {
+                assert!(msg.contains("bad request"), "unexpected error: {msg}");
+                assert!(matches!(recv(&mut stream), Err(NetError::Closed)));
+            }
+            other => panic!("payload {bad_payload:?}: expected Error then close, got {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn truncated_frame_then_disconnect_leaves_server_healthy() {
+    let server = spawn_server("scx-multiset");
+    // Write half a frame and hang up: the server must just drop the
+    // session (nothing to reply to) and keep serving others.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let frame = encode(&Request::Insert {
+        structure: 0,
+        key: 9,
+        count: 1,
+    });
+    stream.write_all(&frame[..frame.len() / 2]).unwrap();
+    drop(stream);
+    // The half-written insert must not have executed.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .write_all(&encode(&Request::Get {
+            structure: 0,
+            key: 9,
+        }))
+        .unwrap();
+    assert_eq!(recv(&mut stream).unwrap(), Response::Value(0));
+    server.shutdown();
+}
+
+#[test]
+fn unknown_structure_id_errors_but_keeps_the_connection() {
+    let server = spawn_server("scx-multiset,patricia");
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .write_all(&encode(&Request::Len { structure: 7 }))
+        .unwrap();
+    match recv(&mut stream).unwrap() {
+        Response::Error(msg) => {
+            assert!(msg.contains("unknown structure id 7"), "{msg}");
+            assert!(msg.contains("scx-multiset"), "{msg}");
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+    // Well-framed garbage ids are not a protocol violation: the same
+    // connection keeps working.
+    stream
+        .write_all(&encode(&Request::Len { structure: 1 }))
+        .unwrap();
+    assert_eq!(recv(&mut stream).unwrap(), Response::Value(0));
+    server.shutdown();
+}
+
+#[test]
+fn out_of_domain_arguments_answer_error_not_a_dead_session() {
+    let server = spawn_server("scx-multiset");
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    for req in [
+        Request::Get {
+            structure: 0,
+            key: u64::MAX,
+        },
+        Request::Insert {
+            structure: 0,
+            key: 1,
+            count: u64::MAX,
+        },
+        Request::Insert {
+            structure: 0,
+            key: 1,
+            count: 0,
+        },
+        Request::Remove {
+            structure: 0,
+            key: conc_set::MAX_KEY + 1,
+            count: 1,
+        },
+    ] {
+        stream.write_all(&encode(&req)).unwrap();
+        match recv(&mut stream).unwrap() {
+            Response::Error(msg) => assert!(msg.contains("domain"), "{req:?}: {msg}"),
+            other => panic!("{req:?}: expected Error, got {other:?}"),
+        }
+    }
+    // Session still alive.
+    stream
+        .write_all(&encode(&Request::Len { structure: 0 }))
+        .unwrap();
+    assert_eq!(recv(&mut stream).unwrap(), Response::Value(0));
+    server.shutdown();
+}

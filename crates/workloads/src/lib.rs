@@ -279,6 +279,10 @@ pub fn prefill_keys(n: u64) -> impl Iterator<Item = u64> {
 /// | `LLX_STRUCT` | `conc-set` registry (`selected_specs`), so `bench-harness` `compare`/`lat`/`scanwin` and the root linearizability/stress/scan tests | comma-separated `StructureSpec` list selecting which structures the generic harnesses run — e.g. `patricia,sharded(patricia,4)`. Unset = every registered bare structure. Bad specs fail fast with a line/column parse error |
 /// | `LLX_SHARDS` | `conc-set` `StructureSpec` parsing | shard count a `sharded(X)` spec without an explicit count resolves to (default 4, clamped to at least 1) |
 /// | `LLX_SHARD_DOMAIN` | `conc-set` `ShardedSet` partition map | the key prefix `[0, domain)` that is split evenly across shards; the last shard also owns the tail up to `MAX_KEY` (default 1024, clamped to at least 1). Keep it near the workload's key-range so small-key benches actually spread across shards |
+/// | `LLX_NET_ADDR` | `netsvc` server (`ServerConfig::default`), ci.sh `serve` stage | bind address of the network service tier (default `127.0.0.1:0`, an OS-assigned loopback port; `Server::local_addr` reports the real one) |
+/// | `LLX_NET_BATCH` | `netsvc` sessions | max pipelined requests drained into one server-side batch; the batch's point ops share a single epoch pin (default 64, clamped to 1..=4096) |
+/// | `LLX_NET_CONNS` | `bench-harness serve` | concurrent client connections per cell of the loopback client-mix experiment (default 4, clamped to 1..=256) |
+/// | `LLX_NET_PIPELINE` | `bench-harness serve` | the deep pipeline depth each cell compares against depth 1 (default 16, clamped to 2..=1024) |
 /// | `PROPTEST_CASES` | every property test (proptest shim) | overrides the case count |
 /// | `PROPTEST_SEED` | every property test (proptest shim) | perturbs the otherwise deterministic streams |
 ///
@@ -378,6 +382,37 @@ pub mod knobs {
     /// least 1).
     pub fn shard_domain() -> u64 {
         env_u64("LLX_SHARD_DOMAIN", 1024).max(1)
+    }
+
+    /// `LLX_NET_ADDR`: the address the `netsvc` server binds (default
+    /// `127.0.0.1:0` — an OS-assigned loopback port; read the real one
+    /// back from `Server::local_addr`).
+    pub fn net_addr() -> String {
+        std::env::var("LLX_NET_ADDR")
+            .ok()
+            .filter(|s| !s.trim().is_empty())
+            .unwrap_or_else(|| "127.0.0.1:0".to_string())
+    }
+
+    /// `LLX_NET_BATCH`: max pipelined requests a `netsvc` session
+    /// drains into one batch (one epoch pin per batch of point ops;
+    /// default 64, clamped to 1..=4096).
+    pub fn net_batch() -> usize {
+        env_u64("LLX_NET_BATCH", 64).clamp(1, 4096) as usize
+    }
+
+    /// `LLX_NET_CONNS`: concurrent client connections the
+    /// `bench-harness serve` experiment opens per cell (default 4,
+    /// clamped to 1..=256).
+    pub fn net_conns() -> usize {
+        env_u64("LLX_NET_CONNS", 4).clamp(1, 256) as usize
+    }
+
+    /// `LLX_NET_PIPELINE`: the deep pipeline depth of the
+    /// `bench-harness serve` sweep — each cell runs depth 1 and this
+    /// depth (default 16, clamped to 2..=1024).
+    pub fn net_pipeline() -> usize {
+        env_u64("LLX_NET_PIPELINE", 16).clamp(2, 1024) as usize
     }
 
     #[cfg(test)]

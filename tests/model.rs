@@ -312,6 +312,212 @@ fn pin_collect() -> Execution {
 }
 
 // ---------------------------------------------------------------------------
+// Kernel 6: stage-2 destroy-claim handshake vs a pending drop_shim
+// (the PR-9 recycling UAF shape)
+// ---------------------------------------------------------------------------
+
+/// Bit layout of the packed stage-2 word, mirroring
+/// `llx_scx::header::{RC_CLAIMED, RC_DEPS_RELEASED, RC_REFS_MASK}`.
+const K6_CLAIMED: usize = 1 << (usize::BITS - 1);
+const K6_DEPS: usize = 1 << (usize::BITS - 2);
+const K6_REFS: usize = K6_DEPS - 1;
+
+/// Shared state for the stage-2 handshake kernels: the header of a dead
+/// SCX-record `u` that was claimed and staged for destruction, then had
+/// its count resurrected to 1 by a successor's `info_fields` hold.
+/// T0 models the successor's dependency stage releasing that final hold
+/// (`release_common`); T1 models `drop_shim` running at the end of `u`'s
+/// destruction epoch. Disposal is modeled as an immediate recycle of the
+/// block into a live successor record (`LLX_SCX_POOL_CAP=0
+/// LLX_SCX_SHARD=1` handoff: freed blocks round-trip to a peer's `alloc`
+/// within the same epoch), with the fresh-header stores standing in for
+/// the allocator's unordered `ptr::write`. The invariant under test:
+/// once the block is recycled, no straggler of dead `u` may ever claim
+/// (= retire) the live record occupying it, and exactly one party must
+/// end up owning destruction.
+struct K6 {
+    /// Packed word (fixed shape) — refs | deps_released | claimed.
+    rc: modelcheck::sync::AtomicUsize,
+    /// Split fields (pre-fix shape; exercised only by the regression
+    /// kernel under `llx_model_bugs`).
+    #[cfg_attr(not(llx_model_bugs), allow(dead_code))]
+    refs: modelcheck::sync::AtomicUsize,
+    #[cfg_attr(not(llx_model_bugs), allow(dead_code))]
+    deps_released: modelcheck::sync::AtomicBool,
+    #[cfg_attr(not(llx_model_bugs), allow(dead_code))]
+    claimed: modelcheck::sync::AtomicBool,
+    /// Bookkeeping (uninstrumented): block recycled into live successor.
+    live2: StdAtomicBool,
+    /// Bookkeeping: a straggler of `u` retired the live successor.
+    spurious: StdAtomicBool,
+    /// Bookkeeping: destruction was legitimately re-staged for `u`.
+    restaged: StdAtomicBool,
+}
+
+use std::sync::atomic::AtomicBool as StdAtomicBool;
+
+impl K6 {
+    fn new() -> &'static K6 {
+        use modelcheck::sync as ms;
+        Box::leak(Box::new(K6 {
+            rc: ms::AtomicUsize::new(1 | K6_DEPS | K6_CLAIMED),
+            refs: ms::AtomicUsize::new(1),
+            deps_released: ms::AtomicBool::new(true),
+            claimed: ms::AtomicBool::new(true),
+            live2: StdAtomicBool::new(false),
+            spurious: StdAtomicBool::new(false),
+            restaged: StdAtomicBool::new(false),
+        }))
+    }
+
+    /// A claim decision on this address after the block was recycled
+    /// retires the *live successor*, not `u`.
+    fn claim_won(&self) {
+        if self.live2.load(O::SeqCst) {
+            self.spurious.store(true, O::SeqCst);
+        } else {
+            self.restaged.store(true, O::SeqCst);
+        }
+    }
+}
+
+/// Fixed shape: the packed single-word protocol of `reclaim.rs` /
+/// `pool.rs` — a releaser's decrement and destroy-claim commit in one
+/// RMW, and `drop_shim` either observes a settled zero (dispose) or
+/// un-claims in one RMW (hand ownership to the pending release). Every
+/// schedule must keep the recycled block unmolested.
+fn stage2_handshake() -> Execution {
+    use modelcheck::sync::Ordering as MO;
+    reset_world();
+    let k = K6::new();
+    let threads: Vec<Box<dyn FnOnce() + Send>> = vec![
+        // T0: release_common — the final hold's release.
+        Box::new(move || {
+            let mut cur = k.rc.load(MO::SeqCst);
+            loop {
+                let mut next = cur - 1;
+                let claim = next & K6_REFS == 0 && next & K6_DEPS != 0 && next & K6_CLAIMED == 0;
+                if claim {
+                    next |= K6_CLAIMED;
+                }
+                match k
+                    .rc
+                    .compare_exchange_weak(cur, next, MO::SeqCst, MO::SeqCst)
+                {
+                    Ok(_) => {
+                        if claim {
+                            k.claim_won();
+                        }
+                        return;
+                    }
+                    Err(now) => cur = now,
+                }
+            }
+        }),
+        // T1: drop_shim at the end of u's destruction epoch.
+        Box::new(move || {
+            let mut cur = k.rc.load(MO::SeqCst);
+            loop {
+                if cur & K6_REFS == 0 {
+                    // Settled zero: dispose, block recycles into a live
+                    // successor (fresh header = one word store).
+                    k.live2.store(true, O::SeqCst);
+                    k.rc.store(1, MO::SeqCst);
+                    return;
+                }
+                match k
+                    .rc
+                    .compare_exchange_weak(cur, cur & !K6_CLAIMED, MO::SeqCst, MO::SeqCst)
+                {
+                    Ok(_) => return,
+                    Err(now) => cur = now,
+                }
+            }
+        }),
+    ];
+    Execution::new(threads).with_check(move || {
+        assert!(
+            !k.spurious.load(O::SeqCst),
+            "a straggler of the dead record retired the live successor in its recycled block"
+        );
+        use modelcheck::sync::Ordering as MO;
+        if k.live2.load(O::SeqCst) {
+            assert!(
+                !k.restaged.load(O::SeqCst),
+                "double ownership: disposed AND re-staged"
+            );
+            assert_eq!(
+                k.rc.load(MO::SeqCst),
+                1,
+                "straggler corrupted the recycled successor's header"
+            );
+        } else {
+            assert!(
+                k.restaged.load(O::SeqCst),
+                "nobody ended up owning destruction (record orphaned)"
+            );
+        }
+    })
+}
+
+/// Pre-fix shape (regression target): `refs`, `deps_released` and
+/// `claimed` as three separate atomics. The final releaser evaluates
+/// `fetch_sub == 1 && deps_released.load() && !claimed.swap(true)` —
+/// two header touches *after* the decrement — while `drop_shim`
+/// disposes the moment it owns the claim. Some schedule recycles the
+/// block between the straggler's decrement and its trailing touches,
+/// and the stale `claimed` swap retires the live successor.
+#[cfg(llx_model_bugs)]
+fn stage2_handshake_prefix() -> Execution {
+    use modelcheck::sync::Ordering as MO;
+    reset_world();
+    let k = K6::new();
+    // Models the block being reused by a peer's alloc immediately after
+    // dispose: an unordered ptr::write of a fresh header.
+    let recycle = move || {
+        k.live2.store(true, O::SeqCst);
+        k.claimed.store(false, MO::SeqCst);
+        k.refs.store(1, MO::SeqCst);
+        k.deps_released.store(false, MO::SeqCst);
+    };
+    let threads: Vec<Box<dyn FnOnce() + Send>> = vec![
+        // T0: pre-fix release_common.
+        Box::new(move || {
+            if k.refs.fetch_sub(1, MO::SeqCst) == 1
+                && k.deps_released.load(MO::SeqCst)
+                && !k.claimed.swap(true, MO::SeqCst)
+            {
+                k.claim_won();
+            }
+        }),
+        // T1: pre-fix drop_shim (re-arm, then dispose inline on winning
+        // the claim back).
+        Box::new(move || {
+            if k.refs.load(MO::SeqCst) != 0 {
+                k.claimed.store(false, MO::SeqCst);
+                if k.refs.load(MO::SeqCst) != 0 || k.claimed.swap(true, MO::SeqCst) {
+                    return;
+                }
+            }
+            recycle();
+        }),
+    ];
+    Execution::new(threads).with_check(move || {
+        assert!(
+            !k.spurious.load(O::SeqCst),
+            "a straggler of the dead record retired the live successor in its recycled block"
+        );
+        use modelcheck::sync::Ordering as MO;
+        if k.live2.load(O::SeqCst) {
+            assert!(
+                !k.claimed.load(MO::SeqCst),
+                "straggler corrupted the recycled successor's claimed flag"
+            );
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Kernel 5: 2-thread kCAS conflict (descriptor helping)
 // ---------------------------------------------------------------------------
 
@@ -399,6 +605,15 @@ mod fixed {
             r.schedules, r.abandoned
         );
     }
+
+    #[test]
+    fn stage2_handshake_exhaustive() {
+        let r = Explorer::from_env().check("stage2_handshake", stage2_handshake);
+        println!(
+            "stage2_handshake: {} schedules, {} abandoned",
+            r.schedules, r.abandoned
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -465,6 +680,34 @@ mod regression {
         );
         println!(
             "collect TOCTOU found after {} schedules: {}",
+            first.schedules, first.failures[0].message
+        );
+    }
+
+    /// The stage-2 recycling race (PR 9, pre-existing since the PR-5
+    /// pool): with `refs`/`deps_released`/`claimed` as three separate
+    /// atomics, a final releaser's trailing touches after its decrement
+    /// race `drop_shim`'s dispose-and-recycle, and the stale `claimed`
+    /// swap retires the live successor occupying the reused block. The
+    /// explorer must find it deterministically; the packed-word protocol
+    /// (`stage2_handshake`, fixed suite) must survive every schedule.
+    #[test]
+    fn finds_stage2_recycling_race() {
+        let run = || detector().explore("stage2_handshake[prefix]", stage2_handshake_prefix);
+        let first = run();
+        assert!(
+            !first.failures.is_empty(),
+            "bound {} explored {} schedules without finding the stage-2 recycling race",
+            detector().bound,
+            first.schedules
+        );
+        let again = run();
+        assert_eq!(
+            first.failures[0].schedule, again.failures[0].schedule,
+            "detection must be deterministic, not probabilistic"
+        );
+        println!(
+            "stage-2 recycling race found after {} schedules: {}",
             first.schedules, first.failures[0].message
         );
     }
