@@ -51,6 +51,18 @@
 #                  specs (one sharded), runs the pipelined client mix
 #                  under `timeout`, and asserts well-formed latency
 #                  rows (both depths, 9 fields) plus the --json sidecar
+#   chaos          resilience soak under deterministic fault injection:
+#                  bench-harness `chaos` (resilient clients vs a
+#                  loopback server while the injector kills connections
+#                  mid-batch, tears frames, starves the SCX pool and
+#                  skips epoch ticks) across five seeds in release
+#                  under `timeout`, asserting op-ledger conservation,
+#                  at-most-once mutations, zero SCX-record leaks and
+#                  bounded completion; plus a debug leg with the
+#                  background reclaimer on, so the generation-stamp
+#                  ABA detectors soak under injected reclamation
+#                  stalls. A failing seed replays bit-for-bit with
+#                  tools/fault-replay.sh
 #   lin-long       long-history linearizability: every structure
 #                  records >= 2048-event rounds (LLX_LIN_EVENTS) and
 #                  the per-key-compositional JIT checker must accept
@@ -85,7 +97,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(fmt build test pool-off debug-stress scanwin shard bg-reclaim doctest examples benches compare-smoke latency serve lin-long bench-diff model audit clippy)
+ALL_STAGES=(fmt build test pool-off debug-stress scanwin shard bg-reclaim doctest examples benches compare-smoke latency serve chaos lin-long bench-diff model audit clippy)
 QUICK_STAGES=(fmt build test)
 
 QUICK=0
@@ -391,6 +403,27 @@ stage_serve() {
     echo "    serve table: both specs at both depths, rows well-formed, JSON sidecar ok"
 }
 
+stage_chaos() {
+    # Resilience soak under deterministic fault injection. Release
+    # leg: five consecutive seeds of `bench-harness chaos` — resilient
+    # clients vs a loopback server while the injector kills
+    # connections mid-batch, tears reply frames, drops scan streams,
+    # starves the SCX-record pool and skips epoch ticks — asserting
+    # op-ledger conservation, at-most-once mutations, zero SCX-record
+    # leaks and bounded completion, under `timeout` so a wedged retry
+    # loop or session thread fails the stage instead of hanging CI.
+    # Debug leg: background-reclaimer mode, where `epoch.bg.stall`
+    # has a reclaimer thread to stall and the generation-stamp ABA
+    # detectors (debug_assertions only) watch the reclamation races.
+    cargo build -q --release -p bench-harness
+    LLX_CHAOS_RUNS=5 LLX_CHAOS_OPS=1500 \
+        timeout 300 target/release/bench-harness chaos
+    cargo build -q -p bench-harness
+    LLX_EPOCH_BG=1 LLX_CHAOS_RUNS=2 LLX_CHAOS_OPS=400 \
+        timeout 300 target/debug/bench-harness chaos
+    echo "    chaos: 5 release seeds + 2 debug bg-reclaim seeds survived"
+}
+
 stage_lin_long() {
     # Long recorded rounds (>= 2048 events per round, every structure)
     # under the per-key JIT checker — the regime the 64-event WGL
@@ -512,6 +545,7 @@ run_stage benches stage_benches
 run_stage compare-smoke stage_compare_smoke
 run_stage latency stage_latency
 run_stage serve stage_serve
+run_stage chaos stage_chaos
 run_stage lin-long stage_lin_long
 run_stage bench-diff stage_bench_diff
 run_stage model stage_model

@@ -1115,3 +1115,323 @@ pub fn serve() {
     );
     println!("depth 1 pays one loopback round trip and one server epoch entry per op; the deep pipeline lets the session drain whole bursts into single-pin batches (the batch column), trading per-request latency (requests queue behind their own pipeline) for throughput");
 }
+
+/// The fault mix `chaos` arms when `LLX_FAULT_SPEC` does not override
+/// it: rare hard wire faults (connection kills, torn frames), frequent
+/// soft ones (refused scans, starved pool, skipped collection ticks,
+/// stalled background reclaimer).
+const CHAOS_SPEC: &str = "scx.pool.alloc_miss=prob:0.05,\
+                          scx.pool.steal_fail=prob:0.2,\
+                          epoch.tick.skip=prob:0.25,\
+                          epoch.bg.stall=prob:0.05,\
+                          net.conn.drop=prob:0.002,\
+                          net.frame.torn=prob:0.002,\
+                          net.scan.drop=prob:0.05";
+
+/// Panic with the failing seed and the replay recipe — the whole point
+/// of deterministic injection is that this line is all a bug report
+/// needs.
+fn chaos_check(ok: bool, seed: u64, msg: &str) {
+    assert!(
+        ok,
+        "chaos run violated an invariant (seed {seed:#x}): {msg}\n  \
+         replay: tools/fault-replay.sh {seed:#x}"
+    );
+}
+
+/// Drive the epoch collector until deferred destructions have run, so
+/// leak checks sample a quiescent ledger.
+fn drain_epochs() {
+    llx_scx::flush_reclamation();
+    for _ in 0..256 {
+        crossbeam_epoch::pin().flush();
+    }
+}
+
+/// `chaos` — the resilience soak: a loopback [`netsvc::Server`] over a
+/// sharded multiset, hammered by `LLX_NET_CONNS` resilient clients
+/// while the fault injector kills connections mid-batch, tears reply
+/// frames, drops scan streams, starves the SCX-record pool, and skips
+/// epoch collection ticks. `LLX_CHAOS_RUNS` consecutive runs use seeds
+/// `LLX_FAULT_SEED + 0..runs`; every fault decision is a pure function
+/// of `(spec, seed, hit index)`, so a failing seed replays bit-for-bit
+/// with `tools/fault-replay.sh SEED`.
+///
+/// Each client owns a disjoint key partition and keeps an op ledger:
+/// `Applied` mutations count exactly (the server's answer), `Unknown`
+/// ones widen the key's feasible window by one in the direction of the
+/// op, `Retry` outcomes count nothing (definitely not applied). After
+/// the run the injector is cleared and ground truth reconciled:
+///
+/// * **conservation / at-most-once** — every key's final count lies in
+///   its ledger window (partitioned keys make the window exact; a
+///   double-applied mutation lands outside it), and the served
+///   structure's `len()` equals the summed final counts and passes
+///   `validate()`;
+/// * **zero leaks** — after shutdown plus `flush_reclamation`, the
+///   live SCX-record count returns to its pre-run baseline;
+/// * **bounded completion** — every client finishes its script within
+///   the run deadline: no retry loop spins and no session wedges.
+pub fn chaos() {
+    use netsvc::{
+        Client, ClientConfig, MutationOutcome, ResilientClient, RetryPolicy, Server, ServerConfig,
+    };
+    use std::collections::BTreeMap;
+
+    let runs = workloads::knobs::chaos_runs();
+    let ops = workloads::knobs::chaos_ops();
+    let conns = workloads::knobs::net_conns();
+    let spec = std::env::var("LLX_FAULT_SPEC").unwrap_or_else(|_| CHAOS_SPEC.replace(' ', ""));
+    let base_seed = std::env::var("LLX_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(faultpoint::DEFAULT_SEED);
+    const PART: u64 = 512; // keys per client partition
+    const PART_STRIDE: u64 = 1024; // partition spacing (disjointness)
+    const PREFILL: u64 = 128; // prefilled keys per partition
+
+    println!("\nchaos: {runs} seeded runs, {conns} resilient clients x {ops} ops, spec {spec}");
+    // The harness owns the injection schedule: disarm whatever the
+    // lazy env pull installed (with LLX_FAULT_SPEC exported, the first
+    // epoch pin above already armed it), or the un-resilient prefill
+    // below runs under fire. Each run re-arms at its own configure().
+    faultpoint::clear();
+    let mut rows = Vec::new();
+    let mut fault_totals: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for run in 0..runs {
+        let seed = base_seed.wrapping_add(run);
+        drain_epochs();
+        let baseline = llx_scx::live_scx_records();
+        let specs = vec![StructureSpec::parse("sharded(scx-multiset,4)").unwrap()];
+        let server = Server::spawn(&specs, ServerConfig::default()).expect("bind loopback");
+        let addr = server.local_addr();
+        // Prefill before arming faults: removes need stock, and the
+        // prefill ledger must be definite.
+        {
+            let mut c = Client::connect(addr).expect("prefill connect");
+            for t in 0..conns as u64 {
+                for off in 0..PREFILL {
+                    c.insert(0, t * PART_STRIDE + off, 1)
+                        .expect("prefill insert");
+                }
+            }
+        }
+        faultpoint::configure(&spec, seed).expect("valid fault spec");
+        let start = Instant::now();
+        let handles: Vec<_> = (0..conns as u64)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let cfg = ClientConfig {
+                        connect_timeout: Duration::from_millis(500),
+                        read_timeout: Duration::from_millis(2000),
+                        retry: RetryPolicy {
+                            max_attempts: 5,
+                            base: Duration::from_millis(2),
+                            cap: Duration::from_millis(50),
+                        },
+                        seed: seed ^ (t + 1),
+                    };
+                    let mut rc = ResilientClient::new(addr, cfg);
+                    let base = t * PART_STRIDE;
+                    // Per-key ledger: [definite_adds, definite_removes,
+                    // unknown_adds, unknown_removes].
+                    let mut ledger = vec![[0u64; 4]; PART as usize];
+                    for off in 0..PREFILL {
+                        ledger[off as usize][0] = 1;
+                    }
+                    let (mut applied, mut unknown, mut gaveup) = (0u64, 0u64, 0u64);
+                    let (mut read_errs, mut scan_errs) = (0u64, 0u64);
+                    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (t + 1);
+                    for i in 0..ops {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let off = (x >> 8) % PART;
+                        let key = base + off;
+                        match x % 10 {
+                            0..=4 => match rc.insert(0, key, 1) {
+                                MutationOutcome::Applied(v) => {
+                                    assert_eq!(v, 1, "multiset insert adds exactly its count");
+                                    applied += 1;
+                                    ledger[off as usize][0] += 1;
+                                }
+                                MutationOutcome::Unknown => {
+                                    unknown += 1;
+                                    ledger[off as usize][2] += 1;
+                                }
+                                MutationOutcome::Retry => gaveup += 1,
+                            },
+                            5..=7 => match rc.remove(0, key, 1) {
+                                MutationOutcome::Applied(v) => {
+                                    assert!(v <= 1, "removed more than requested");
+                                    applied += 1;
+                                    ledger[off as usize][1] += v;
+                                }
+                                MutationOutcome::Unknown => {
+                                    unknown += 1;
+                                    ledger[off as usize][3] += 1;
+                                }
+                                MutationOutcome::Retry => gaveup += 1,
+                            },
+                            8 => {
+                                if rc.get(0, key).is_err() {
+                                    read_errs += 1;
+                                }
+                            }
+                            _ => {
+                                if i % 128 == 0 {
+                                    match rc.range_scan(0, base, base + PART - 1, 64) {
+                                        Ok(pairs) => {
+                                            for &(k, _) in &pairs {
+                                                assert!(
+                                                    (base..base + PART).contains(&k),
+                                                    "scan leaked key {k} into partition {t}"
+                                                );
+                                            }
+                                        }
+                                        Err(_) => scan_errs += 1,
+                                    }
+                                } else if rc.len(0).is_err() {
+                                    read_errs += 1;
+                                }
+                            }
+                        }
+                    }
+                    (
+                        ledger,
+                        applied,
+                        unknown,
+                        gaveup,
+                        read_errs,
+                        scan_errs,
+                        rc.counters(),
+                    )
+                })
+            })
+            .collect();
+        let joined: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("chaos client panicked"))
+            .collect();
+        let elapsed = start.elapsed();
+        // Verification is fault-free: clear first, reconcile after.
+        for p in faultpoint::stats() {
+            let e = fault_totals.entry(p.name.clone()).or_insert((0, 0));
+            e.0 += p.hits;
+            e.1 += p.fires;
+        }
+        faultpoint::clear();
+        chaos_check(
+            elapsed < Duration::from_secs(120),
+            seed,
+            &format!("bounded completion: run took {elapsed:?}"),
+        );
+        let mut check = Client::connect(addr).expect("verify connect");
+        let mut total_lo = 0i128;
+        let mut total_hi = 0i128;
+        let mut sum_final = 0u64;
+        for (t, (ledger, ..)) in joined.iter().enumerate() {
+            let base = t as u64 * PART_STRIDE;
+            for (off, l) in ledger.iter().enumerate() {
+                let [da, dr, ua, ur] = *l;
+                let lo = (da as i128 - dr as i128 - ur as i128).max(0);
+                let hi = da as i128 - dr as i128 + ua as i128;
+                if lo == 0 && hi == 0 {
+                    continue; // untouched key
+                }
+                let key = base + off as u64;
+                let got = check.get(0, key).expect("verify get") as i128;
+                chaos_check(
+                    (lo..=hi).contains(&got),
+                    seed,
+                    &format!(
+                        "op-ledger conservation: key {key} holds {got}, \
+                         ledger {l:?} allows [{lo}, {hi}]"
+                    ),
+                );
+                total_lo += lo;
+                total_hi += hi;
+                sum_final += got as u64;
+            }
+        }
+        let len = check.len(0).expect("verify len");
+        chaos_check(
+            len == sum_final,
+            seed,
+            &format!("len() {len} != summed per-key counts {sum_final}"),
+        );
+        chaos_check(
+            (total_lo..=total_hi).contains(&(len as i128)),
+            seed,
+            &format!("global conservation: len {len} outside [{total_lo}, {total_hi}]"),
+        );
+        let set = server.structure(0).expect("served structure");
+        if let Err(e) = set.validate() {
+            chaos_check(false, seed, &format!("structure validation failed: {e}"));
+        }
+        let stats = server.stats();
+        drop(check);
+        drop(set);
+        server.shutdown();
+        drain_epochs();
+        if let (Some(b), Some(a)) = (baseline, llx_scx::live_scx_records()) {
+            chaos_check(
+                a == b,
+                seed,
+                &format!("SCX-record leak: {} live records above baseline", a - b),
+            );
+        }
+        let (applied, unknown, gaveup, read_errs, scan_errs) = joined.iter().fold(
+            (0u64, 0u64, 0u64, 0u64, 0u64),
+            |acc, (_, a, u, g, r, s, _)| (acc.0 + a, acc.1 + u, acc.2 + g, acc.3 + r, acc.4 + s),
+        );
+        let (reconnects, retries, busy) = joined.iter().fold((0u64, 0u64, 0u64), |acc, j| {
+            (acc.0 + j.6.connects, acc.1 + j.6.retries, acc.2 + j.6.busy)
+        });
+        rows.push(vec![
+            run.to_string(),
+            format!("{seed:#x}"),
+            applied.to_string(),
+            unknown.to_string(),
+            gaveup.to_string(),
+            (read_errs + scan_errs).to_string(),
+            reconnects.to_string(),
+            retries.to_string(),
+            busy.to_string(),
+            stats.session_errors.to_string(),
+            len.to_string(),
+            format!("{}ms", elapsed.as_millis()),
+        ]);
+    }
+    print_table(
+        &format!(
+            "chaos: {runs} seeded runs survived — conservation, at-most-once, \
+             zero leaks, bounded completion all held"
+        ),
+        &[
+            "run".into(),
+            "seed".into(),
+            "applied".into(),
+            "unknown".into(),
+            "retry".into(),
+            "rd/sc errs".into(),
+            "conns".into(),
+            "retries".into(),
+            "busy".into(),
+            "sess errs".into(),
+            "final len".into(),
+            "elapsed".into(),
+        ],
+        &rows,
+    );
+    let fault_rows: Vec<Vec<String>> = fault_totals
+        .iter()
+        .map(|(name, &(hits, fires))| vec![name.clone(), hits.to_string(), fires.to_string()])
+        .collect();
+    print_table(
+        "chaos: injection-point totals across all runs",
+        &["point".into(), "hits".into(), "fires".into()],
+        &fault_rows,
+    );
+    println!("every mutation ended Applied (exact), Retry (definitely not applied), or Unknown (ledger window widened by one); the reconciliation above is the proof no mutation double-applied and no SCX record leaked while connections were being killed mid-batch");
+}

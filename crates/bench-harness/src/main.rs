@@ -39,6 +39,15 @@ EXPERIMENTS:
              connections, pipeline depth 1 vs LLX_NET_PIPELINE,
              per-request latency + achieved server-side batching
              (not part of `all`: it binds a socket)
+    chaos    resilience soak: LLX_CHAOS_RUNS seeded runs of a loopback
+             netsvc server + resilient clients under deterministic
+             fault injection (connection kills, torn frames, pool and
+             epoch starvation — LLX_FAULT_SPEC/LLX_FAULT_SEED);
+             asserts op-ledger conservation, at-most-once mutations,
+             zero SCX-record leaks, bounded completion; a failing
+             seed replays with tools/fault-replay.sh
+             (not part of `all`: it binds a socket and arms the
+             process-global fault injector)
     all      run every experiment in order (default)
 
     diff OLD.json NEW.json [NEW2.json ...]
@@ -113,6 +122,7 @@ fn main() {
         "scanwin" => experiments::scanwin(),
         "lat" => experiments::lat(),
         "serve" => experiments::serve(),
+        "chaos" => experiments::chaos(),
         "all" => {
             experiments::e1_step_complexity();
             experiments::e2_disjoint_success();

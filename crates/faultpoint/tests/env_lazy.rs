@@ -1,0 +1,43 @@
+//! The lazy environment pull: the FIRST `fire()` of the process arms
+//! from `LLX_FAULT_SPEC` with no prior `configure` call. Lives in its
+//! own integration-test binary (= its own process) because the pull
+//! happens exactly once per process — any unit test calling
+//! `configure` first would consume it.
+//!
+//! Regression: the pull used to route through `configure_from_env` →
+//! `configure`, whose `ENV_INIT` pre-emption re-entered the very
+//! `Once::call_once` the pull was running inside — a guaranteed
+//! first-fire futex deadlock whenever `LLX_FAULT_SPEC` was set and
+//! nothing had called `configure` yet (i.e. every real injection run
+//! that arms via the environment).
+
+#[test]
+fn first_fire_arms_from_env_without_deadlocking() {
+    // Single-threaded process, no other test in this binary: safe on
+    // edition 2021, and ordered before any faultpoint call.
+    std::env::set_var("LLX_FAULT_SPEC", "lazy.env.point=every:2");
+    std::env::set_var("LLX_FAULT_SEED", "99");
+
+    // Run the first fire() on a watchdog-guarded thread so a
+    // reintroduced deadlock fails the test instead of wedging CI.
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let first = faultpoint::fire("lazy.env.point");
+        let second = faultpoint::fire("lazy.env.point");
+        tx.send((first, second)).ok();
+    });
+    let (first, second) = rx
+        .recv_timeout(std::time::Duration::from_secs(10))
+        .expect("first fire() deadlocked while pulling LLX_FAULT_SPEC");
+
+    assert!(faultpoint::armed(), "env spec must arm the registry");
+    assert!(!first, "every:2 must not fire on hit 1");
+    assert!(second, "every:2 must fire on hit 2");
+    assert_eq!(faultpoint::counters("lazy.env.point"), Some((2, 1)));
+
+    // An explicit configure still overrides the env arming afterwards.
+    faultpoint::configure("lazy.env.point=every:1", 0).unwrap();
+    assert!(faultpoint::fire("lazy.env.point"));
+    faultpoint::clear();
+    assert!(!faultpoint::armed());
+}

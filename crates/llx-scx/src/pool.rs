@@ -253,6 +253,13 @@ fn pop_parked() -> Option<Shard> {
 /// serve the triggering allocation and caches the rest on the local
 /// free list. Bumps `POOL_HANDOFFS` by the blocks adopted.
 fn steal_shard() -> Option<*mut u8> {
+    // Injected handoff failure: behave as if every affinity bucket were
+    // empty, forcing the caller onto the allocator path. Parked shards
+    // stay parked, so nothing leaks — a later (un-injected) steal or
+    // the orphan drain still adopts them.
+    if faultpoint::fire("scx.pool.steal_fail") {
+        return None;
+    }
     let Shard(mut blocks) = pop_parked()?;
     debug_assert!(!blocks.is_empty(), "parked shards are never empty");
     let total = blocks.len();
@@ -498,14 +505,22 @@ pub(crate) fn alloc<const M: usize, I>(record: ScxRecord<M, I>) -> *mut ScxRecor
         "ScxRecord layout must be instantiation-independent for pooling"
     );
     if poolable::<M, I>() {
-        let reused = POOL
-            .try_with(|pool| pool.borrow_mut().free.pop())
-            .ok()
-            .flatten()
-            // Local miss: adopt a whole parked shard (one lock, a
-            // shard's worth of future hits) before paying the
-            // allocator.
-            .or_else(|| handoff_enabled().then(steal_shard).flatten());
+        // Injected allocation miss: skip reuse entirely and pay the
+        // global allocator, exactly the path a cold/contended pool
+        // takes. Free-list blocks are untouched — only this
+        // allocation's routing changes, so no conservation law moves.
+        let injected_miss = faultpoint::fire("scx.pool.alloc_miss");
+        let reused = if injected_miss {
+            None
+        } else {
+            POOL.try_with(|pool| pool.borrow_mut().free.pop())
+                .ok()
+                .flatten()
+                // Local miss: adopt a whole parked shard (one lock, a
+                // shard's worth of future hits) before paying the
+                // allocator.
+                .or_else(|| handoff_enabled().then(steal_shard).flatten())
+        };
         if let Some(block) = reused {
             POOL_HITS.fetch_add(1, Ordering::Relaxed); // ord: pool stats counter; no sync role
             bump_domain(|c| &c.hits);

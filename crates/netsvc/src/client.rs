@@ -1,20 +1,41 @@
-//! The blocking client: a framed TCP connection with an explicit
-//! send/recv split so callers can pipeline.
+//! The blocking client — and the resilient wrapper that survives a
+//! faulty wire.
 //!
-//! [`Client::call`] is the one-shot convenience (send + flush + recv).
-//! For pipelining, issue several [`Client::send`]s, [`Client::flush`]
-//! once, then [`Client::recv`] the replies in order — the server
-//! guarantees reply order matches request order, and drains the whole
-//! pipeline into one batch at its end (see the
+//! [`Client`] is the raw framed connection with an explicit send/recv
+//! split so callers can pipeline: issue several [`Client::send`]s,
+//! [`Client::flush`] once, then [`Client::recv`] the replies in order —
+//! the server guarantees reply order matches request order, and drains
+//! the whole pipeline into one batch at its end (see the
 //! [server docs](crate::server)). A [`Request::RangeScan`] answers
 //! with multiple frames; [`Client::recv`] returns them one at a time
 //! ([`Response::ScanWindow`]* then [`Response::ScanDone`]), or
-//! [`Client::range_scan`] collects a whole stream.
+//! [`Client::range_scan`] collects a whole stream. Dropping a `Client`
+//! shuts the write half down first, so the server sees a clean EOF at
+//! a frame boundary (a *drain*, not an error) on normal disconnect.
+//!
+//! [`ResilientClient`] wraps a `Client` with connect/read timeouts,
+//! capped exponential backoff with jittered reconnect, and the
+//! at-most-once mutation protocol:
+//!
+//! * **Idempotent reads** (`get`, `len`, `range_count`, `range_scan`,
+//!   `stats`) retry transparently across reconnects — any failure just
+//!   costs latency.
+//! * **Mutations** (`insert`, `remove`) return a [`MutationOutcome`]:
+//!   [`Applied`](MutationOutcome::Applied) with the server's answer,
+//!   [`Retry`](MutationOutcome::Retry) when every attempt failed
+//!   *before* the request could have reached the server (definitely
+//!   not applied — safe to retry), or
+//!   [`Unknown`](MutationOutcome::Unknown) the moment a failure is
+//!   ambiguous (the request may or may not have executed). The client
+//!   never re-sends a mutation whose first attempt got far enough to
+//!   be ambiguous — that is what keeps "exactly once or say Unknown"
+//!   true, and callers never double-apply.
 
 use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
-use crate::codec::{read_frame, write_frame, NetError, Request, Response};
+use crate::codec::{read_frame, write_frame, NetError, NetStats, Request, Response};
 
 /// A blocking connection to a [`Server`](crate::Server).
 #[derive(Debug)]
@@ -29,6 +50,23 @@ impl Client {
     /// Connect to a server.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        Client::from_stream(stream)
+    }
+
+    /// Connect with a connect timeout, then apply `read_timeout` to
+    /// every future `recv`. A `recv` hitting the deadline surfaces
+    /// `WouldBlock`/`TimedOut` as [`NetError::Io`].
+    pub fn connect_timeout(
+        addr: &SocketAddr,
+        connect: Duration,
+        read_timeout: Duration,
+    ) -> io::Result<Client> {
+        let stream = TcpStream::connect_timeout(addr, connect)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        Client::from_stream(stream)
+    }
+
+    fn from_stream(stream: TcpStream) -> io::Result<Client> {
         stream.set_nodelay(true).ok();
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
@@ -111,10 +149,23 @@ impl Client {
         self.call_value(&Request::RangeCount { structure, lo, hi })
     }
 
+    /// The server's global session/robustness counters.
+    pub fn stats(&mut self) -> Result<NetStats, NetError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(NetError::Malformed(format!(
+                "expected a Stats response, got {other:?}"
+            ))),
+        }
+    }
+
     /// Stream a windowed scan of `[lo, hi]` and collect every pair.
     /// Each window the server emitted was internally
     /// snapshot-consistent; the collected whole has per-window
-    /// consistency (windows may linearize at different points).
+    /// consistency (windows may linearize at different points). A
+    /// `Busy` rejection (overloaded or draining server) surfaces as an
+    /// error whose message starts with `server busy`; the connection
+    /// itself stays usable.
     pub fn range_scan(
         &mut self,
         structure: u16,
@@ -134,6 +185,9 @@ impl Client {
             match self.recv()? {
                 Response::ScanWindow(mut w) => pairs.append(&mut w),
                 Response::ScanDone => return Ok(pairs),
+                Response::Busy if pairs.is_empty() => {
+                    return Err(NetError::Malformed("server busy: scan rejected".into()))
+                }
                 Response::Error(msg) => {
                     return Err(NetError::Malformed(format!("server error: {msg}")))
                 }
@@ -144,5 +198,353 @@ impl Client {
                 }
             }
         }
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        // Push out anything buffered, then half-close: the server's
+        // next read sees a FIN at a frame boundary — a clean drain —
+        // instead of the RST a raw close can produce.
+        let _ = self.writer.flush();
+        let _ = self.writer.get_ref().shutdown(Shutdown::Write);
+    }
+}
+
+/// Backoff/retry schedule of a [`ResilientClient`]: attempt `k`
+/// (0-based) sleeps a jittered `min(cap, base << k)` before retrying.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Attempts per operation before giving up (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: workloads::knobs::net_retry_max(),
+            base: workloads::knobs::net_retry_base(),
+            cap: workloads::knobs::net_retry_cap(),
+        }
+    }
+}
+
+/// Construction knobs of a [`ResilientClient`];
+/// [`ClientConfig::default`] reads the `LLX_NET_*` environment.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Connect timeout per attempt (`LLX_NET_TIMEOUT_MS`).
+    pub connect_timeout: Duration,
+    /// Read timeout per `recv` (`LLX_NET_TIMEOUT_MS`).
+    pub read_timeout: Duration,
+    /// Reconnect/retry schedule (`LLX_NET_RETRY_*`).
+    pub retry: RetryPolicy,
+    /// Seed of the private jitter RNG (deterministic backoff in
+    /// replays).
+    pub seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        let t = workloads::knobs::net_timeout();
+        ClientConfig {
+            connect_timeout: t,
+            read_timeout: t,
+            retry: RetryPolicy::default(),
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// The fate of a mutation sent through a [`ResilientClient`].
+///
+/// The wire gives three distinguishable situations, and collapsing any
+/// two of them is how double-applies happen:
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "ignoring a mutation outcome loses whether it applied"]
+pub enum MutationOutcome {
+    /// The server executed the mutation exactly once and answered this
+    /// value (occurrences added/removed).
+    Applied(u64),
+    /// The mutation was definitely **not** applied: every attempt
+    /// failed before the request could have reached the server
+    /// (connect failure, `Busy` shed), or the server answered an
+    /// `Error` (semantic rejection). The caller may retry freely.
+    Retry,
+    /// A failure happened after the request may have reached the
+    /// server (send/flush/recv error mid-exchange). It may or may not
+    /// have executed; retrying could double-apply. The caller must
+    /// reconcile (e.g. read the key back) before re-issuing.
+    Unknown,
+}
+
+/// Counters a [`ResilientClient`] keeps about its own struggle, for
+/// harness reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientCounters {
+    /// Successful (re)connects.
+    pub connects: u64,
+    /// Operation attempts that failed and were retried.
+    pub retries: u64,
+    /// `Busy` answers observed (accept shed or scan rejection).
+    pub busy: u64,
+    /// Mutations that ended [`MutationOutcome::Unknown`].
+    pub unknown: u64,
+}
+
+/// A [`Client`] wrapped in timeouts, reconnect, and backoff — the
+/// thing you point at a server that is being actively sabotaged.
+#[derive(Debug)]
+pub struct ResilientClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    conn: Option<Client>,
+    /// xorshift64* state for backoff jitter.
+    rng: u64,
+    counters: ClientCounters,
+}
+
+impl ResilientClient {
+    /// Build a client for `addr`; the first connection is made lazily
+    /// by the first operation, so construction never blocks.
+    pub fn new(addr: SocketAddr, config: ClientConfig) -> ResilientClient {
+        let seed = config.seed | 1;
+        ResilientClient {
+            addr,
+            config,
+            conn: None,
+            rng: seed,
+            counters: ClientCounters::default(),
+        }
+    }
+
+    /// What this client went through so far.
+    pub fn counters(&self) -> ClientCounters {
+        self.counters
+    }
+
+    fn jitter(&mut self) -> f64 {
+        // xorshift64*: cheap, seedable, good enough for jitter.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        let bits = x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11;
+        bits as f64 / (1u64 << 53) as f64
+    }
+
+    /// Sleep the capped exponential backoff for 0-based `attempt`,
+    /// jittered to `[1/2, 1]` of the nominal delay so a reconnect
+    /// stampede decorrelates.
+    fn backoff(&mut self, attempt: u32) {
+        let nominal = self
+            .config
+            .retry
+            .base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.config.retry.cap);
+        let j = 0.5 + 0.5 * self.jitter();
+        std::thread::sleep(nominal.mul_f64(j));
+    }
+
+    /// The live connection, dialing (once) if there is none. A `Busy`
+    /// shed at accept shows up as the subsequent call failing, not
+    /// here.
+    fn ensure_conn(&mut self) -> io::Result<&mut Client> {
+        if self.conn.is_none() {
+            let c = Client::connect_timeout(
+                &self.addr,
+                self.config.connect_timeout,
+                self.config.read_timeout,
+            )?;
+            self.counters.connects += 1;
+            self.conn = Some(c);
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// Run one idempotent request to a `Value`, retrying transparently
+    /// across timeouts, dead connections, and `Busy` sheds.
+    fn retry_value(&mut self, req: &Request) -> Result<u64, NetError> {
+        let mut last = NetError::Closed;
+        for attempt in 0..self.config.retry.max_attempts {
+            if attempt > 0 {
+                self.counters.retries += 1;
+                self.backoff(attempt - 1);
+            }
+            let client = match self.ensure_conn() {
+                Ok(c) => c,
+                Err(e) => {
+                    last = NetError::Io(e);
+                    continue;
+                }
+            };
+            match client.call(req) {
+                Ok(Response::Value(v)) => return Ok(v),
+                Ok(Response::Busy) => {
+                    // Definite refusal; the server also closed us if
+                    // this was an accept-time shed.
+                    self.counters.busy += 1;
+                    self.conn = None;
+                    last = NetError::Malformed("server busy".into());
+                }
+                Ok(Response::Error(msg)) => {
+                    // Answered and rejected — a semantic error retries
+                    // will not fix.
+                    return Err(NetError::Malformed(format!("server error: {msg}")));
+                }
+                Ok(other) => {
+                    self.conn = None;
+                    last = NetError::Malformed(format!("expected a Value, got {other:?}"));
+                }
+                Err(e) => {
+                    self.conn = None;
+                    last = e;
+                }
+            }
+        }
+        Err(last)
+    }
+
+    /// Occurrences of `key` (idempotent: retries transparently).
+    pub fn get(&mut self, structure: u16, key: u64) -> Result<u64, NetError> {
+        self.retry_value(&Request::Get { structure, key })
+    }
+
+    /// Total occurrences (idempotent: retries transparently).
+    pub fn len(&mut self, structure: u16) -> Result<u64, NetError> {
+        self.retry_value(&Request::Len { structure })
+    }
+
+    /// Range total (idempotent: retries transparently).
+    pub fn range_count(&mut self, structure: u16, lo: u64, hi: u64) -> Result<u64, NetError> {
+        self.retry_value(&Request::RangeCount { structure, lo, hi })
+    }
+
+    /// Server counters (idempotent: retries transparently).
+    pub fn stats(&mut self) -> Result<NetStats, NetError> {
+        let mut last = NetError::Closed;
+        for attempt in 0..self.config.retry.max_attempts {
+            if attempt > 0 {
+                self.counters.retries += 1;
+                self.backoff(attempt - 1);
+            }
+            match self.ensure_conn() {
+                Ok(c) => match c.stats() {
+                    Ok(s) => return Ok(s),
+                    Err(e) => {
+                        self.conn = None;
+                        last = e;
+                    }
+                },
+                Err(e) => last = NetError::Io(e),
+            }
+        }
+        Err(last)
+    }
+
+    /// Collect a windowed scan, restarting the whole stream on failure
+    /// (idempotent) and backing off on `Busy` rejections.
+    pub fn range_scan(
+        &mut self,
+        structure: u16,
+        lo: u64,
+        hi: u64,
+        window: u64,
+    ) -> Result<Vec<(u64, u64)>, NetError> {
+        let mut last = NetError::Closed;
+        for attempt in 0..self.config.retry.max_attempts {
+            if attempt > 0 {
+                self.counters.retries += 1;
+                self.backoff(attempt - 1);
+            }
+            let client = match self.ensure_conn() {
+                Ok(c) => c,
+                Err(e) => {
+                    last = NetError::Io(e);
+                    continue;
+                }
+            };
+            match client.range_scan(structure, lo, hi, window) {
+                Ok(pairs) => return Ok(pairs),
+                Err(NetError::Malformed(m)) if m.starts_with("server busy") => {
+                    // The connection survives a scan rejection; only
+                    // the stream was refused.
+                    self.counters.busy += 1;
+                    last = NetError::Malformed(m);
+                }
+                Err(e) => {
+                    self.conn = None;
+                    last = e;
+                }
+            }
+        }
+        Err(last)
+    }
+
+    /// Add `count` occurrences of `key`, at most once.
+    pub fn insert(&mut self, structure: u16, key: u64, count: u64) -> MutationOutcome {
+        self.mutate(&Request::Insert {
+            structure,
+            key,
+            count,
+        })
+    }
+
+    /// Remove `count` occurrences of `key`, at most once.
+    pub fn remove(&mut self, structure: u16, key: u64, count: u64) -> MutationOutcome {
+        self.mutate(&Request::Remove {
+            structure,
+            key,
+            count,
+        })
+    }
+
+    /// The at-most-once mutation protocol: retry only failures that
+    /// are provably pre-delivery (connect errors, `Busy` sheds); the
+    /// first ambiguous failure ends the operation as `Unknown`.
+    fn mutate(&mut self, req: &Request) -> MutationOutcome {
+        for attempt in 0..self.config.retry.max_attempts {
+            if attempt > 0 {
+                self.counters.retries += 1;
+                self.backoff(attempt - 1);
+            }
+            let client = match self.ensure_conn() {
+                Ok(c) => c,
+                // Never connected: the request cannot have left this
+                // process. Definite — keep trying.
+                Err(_) => continue,
+            };
+            match client.call(req) {
+                Ok(Response::Value(v)) => return MutationOutcome::Applied(v),
+                Ok(Response::Busy) => {
+                    // The server refused without executing. Definite —
+                    // reconnect and retry.
+                    self.counters.busy += 1;
+                    self.conn = None;
+                }
+                Ok(Response::Error(_)) => {
+                    // Answered and rejected: executed-zero-times is
+                    // certain, and retrying the same request would be
+                    // rejected again.
+                    return MutationOutcome::Retry;
+                }
+                Ok(_) | Err(_) => {
+                    // An Error/garbled reply or any I/O failure after
+                    // the send began: the server may have executed the
+                    // op and the loss may be confined to the reply.
+                    // Retrying could double-apply — stop here.
+                    self.conn = None;
+                    self.counters.unknown += 1;
+                    return MutationOutcome::Unknown;
+                }
+            }
+        }
+        MutationOutcome::Retry
     }
 }

@@ -27,6 +27,7 @@
 //! | 3  | Len        | `structure: u16`                              |
 //! | 4  | RangeCount | `structure: u16`, `lo: u64`, `hi: u64`        |
 //! | 5  | RangeScan  | `structure: u16`, `lo: u64`, `hi: u64`, `window: u64` |
+//! | 6  | Stats      | (empty — server-global, no structure id)      |
 //!
 //! `structure` indexes the server's spec list (the order given to
 //! [`Server::spawn`](crate::Server::spawn)).
@@ -39,12 +40,18 @@
 //! | 1  | Error      | `len: u16`, `len` bytes of UTF-8              |
 //! | 2  | ScanWindow | `n: u32`, then `n` × (`key: u64`, `count: u64`) |
 //! | 3  | ScanDone   | (empty)                                       |
+//! | 4  | Busy       | (empty)                                       |
+//! | 5  | Stats      | 9 × `u64` ([`NetStats`] fields in declaration order) |
 //!
 //! Point requests answer with exactly one `Value` or `Error` frame. A
 //! `RangeScan` answers with a *stream*: zero or more `ScanWindow`
 //! frames (one per validated cursor window, ≤ `window` pairs each)
 //! terminated by one `ScanDone` — so a scan over an arbitrarily large
 //! range needs only one window of memory at either end of the wire.
+//! An overloaded server may answer a `RangeScan` with a single `Busy`
+//! frame instead of a stream (and sheds whole connections with `Busy`
+//! at accept time); `Busy` is a definite "not executed" — safe to
+//! retry after backoff. `Stats` answers one `Stats` frame.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -114,6 +121,38 @@ pub enum Request {
         /// Keys per validated window (clamped to `1..=`[`MAX_SCAN_WINDOW`]).
         window: u64,
     },
+    /// Server-global session/robustness counters ([`NetStats`]). The
+    /// only request without a structure id.
+    Stats,
+}
+
+/// Server-global counters answered to a [`Request::Stats`]; every field
+/// is monotonic over the server's lifetime except `active_sessions`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStats {
+    /// Currently live session threads.
+    pub active_sessions: u64,
+    /// Sessions ever accepted (shed connections not included).
+    pub total_sessions: u64,
+    /// Connections refused at accept time because the session cap
+    /// (`LLX_NET_MAX_SESSIONS`) was reached; each was answered `Busy`.
+    pub shed_sessions: u64,
+    /// Sessions evicted by the idle-deadline reaper (no complete frame
+    /// within `LLX_NET_IDLE_MS` — slow-loris clients land here).
+    pub idle_evictions: u64,
+    /// Sessions that ended in an error: I/O failure, protocol
+    /// violation, EOF mid-frame, or an injected wire fault.
+    pub session_errors: u64,
+    /// Sessions that ended with a clean EOF at a frame boundary (the
+    /// client's `Drop` shutdown lands here).
+    pub clean_drains: u64,
+    /// `RangeScan` requests rejected with `Busy` (scan-stream cap
+    /// reached, or the server was draining for shutdown).
+    pub scans_rejected: u64,
+    /// Batches executed across all sessions.
+    pub batches: u64,
+    /// Requests executed across all sessions.
+    pub batched_ops: u64,
 }
 
 /// One server response frame. See the [module docs](self) for the wire
@@ -132,6 +171,12 @@ pub enum Response {
     ScanWindow(Vec<(u64, u64)>),
     /// The scan's range is exhausted; the stream is complete.
     ScanDone,
+    /// The server is over capacity (session cap at accept, scan cap, or
+    /// shutdown drain). The request was definitely **not** executed;
+    /// retry after backoff.
+    Busy,
+    /// Server-global counters, answering [`Request::Stats`].
+    Stats(NetStats),
 }
 
 /// A protocol-level failure: an I/O error, a malformed frame, or a
@@ -258,6 +303,7 @@ impl Request {
                 buf.extend_from_slice(&hi.to_le_bytes());
                 buf.extend_from_slice(&window.to_le_bytes());
             }
+            Request::Stats => buf.push(6),
         }
     }
 
@@ -297,13 +343,16 @@ impl Request {
                 hi: f.u64()?,
                 window: f.u64()?,
             },
+            6 => Request::Stats,
             other => return Err(format!("unknown request opcode {other}")),
         };
         f.finish()?;
         Ok(req)
     }
 
-    /// The structure id every request variant carries.
+    /// The structure id the request addresses. [`Request::Stats`] is
+    /// server-global and answers `0` here; the session loop intercepts
+    /// it before any structure lookup, so the value is never consulted.
     pub fn structure(&self) -> u16 {
         match *self {
             Request::Get { structure, .. }
@@ -312,6 +361,7 @@ impl Request {
             | Request::Len { structure }
             | Request::RangeCount { structure, .. }
             | Request::RangeScan { structure, .. } => structure,
+            Request::Stats => 0,
         }
     }
 }
@@ -345,6 +395,23 @@ impl Response {
                 }
             }
             Response::ScanDone => buf.push(3),
+            Response::Busy => buf.push(4),
+            Response::Stats(s) => {
+                buf.push(5);
+                for v in [
+                    s.active_sessions,
+                    s.total_sessions,
+                    s.shed_sessions,
+                    s.idle_evictions,
+                    s.session_errors,
+                    s.clean_drains,
+                    s.scans_rejected,
+                    s.batches,
+                    s.batched_ops,
+                ] {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+            }
         }
     }
 
@@ -384,6 +451,18 @@ impl Response {
                 Response::ScanWindow(pairs)
             }
             3 => Response::ScanDone,
+            4 => Response::Busy,
+            5 => Response::Stats(NetStats {
+                active_sessions: f.u64()?,
+                total_sessions: f.u64()?,
+                shed_sessions: f.u64()?,
+                idle_evictions: f.u64()?,
+                session_errors: f.u64()?,
+                clean_drains: f.u64()?,
+                scans_rejected: f.u64()?,
+                batches: f.u64()?,
+                batched_ops: f.u64()?,
+            }),
             other => return Err(format!("unknown response opcode {other}")),
         };
         f.finish()?;
@@ -551,6 +630,7 @@ mod tests {
                 hi: u64::MAX,
                 window: 128,
             },
+            Request::Stats,
         ]
     }
 
@@ -573,6 +653,19 @@ mod tests {
             Response::ScanWindow(vec![]),
             Response::ScanWindow(vec![(1, 2), (3, 4), (u64::MAX - 2, 1)]),
             Response::ScanDone,
+            Response::Busy,
+            Response::Stats(NetStats::default()),
+            Response::Stats(NetStats {
+                active_sessions: 3,
+                total_sessions: 100,
+                shed_sessions: 7,
+                idle_evictions: 2,
+                session_errors: 5,
+                clean_drains: 90,
+                scans_rejected: 11,
+                batches: u64::MAX,
+                batched_ops: 12345,
+            }),
         ];
         for resp in cases {
             let mut buf = Vec::new();

@@ -26,8 +26,20 @@
 //!   `std` only — one session thread per connection, no async runtime,
 //!   nothing to install.
 //!
+//! * **Failure is a first-class input.** The server bounds what a
+//!   hostile client population can take from it (session cap with
+//!   accept-time `Busy` shedding, an idle-deadline reaper that evicts
+//!   slow-loris connections, a concurrent-scan cap) and counts every
+//!   exit path in a wire-queryable [`NetStats`]; the
+//!   [`ResilientClient`] adds timeouts, jittered capped-exponential
+//!   reconnect, and an at-most-once mutation protocol
+//!   ([`MutationOutcome`]) that never double-applies. The `faultpoint`
+//!   crate's injection points (`net.conn.drop`, `net.frame.torn`,
+//!   `net.scan.drop`) drive exactly these paths deterministically.
+//!
 //! See [`codec`] for the wire protocol, [`server`] for batching and
-//! lifecycle, [`client`] for the pipelining-friendly blocking client.
+//! lifecycle, [`client`] for the pipelining-friendly blocking client
+//! and the resilient wrapper.
 //!
 //! # Example
 //!
@@ -51,6 +63,10 @@ pub mod client;
 pub mod codec;
 pub mod server;
 
-pub use client::Client;
-pub use codec::{FrameAssembler, NetError, Request, Response, MAX_PAYLOAD, MAX_SCAN_WINDOW};
+pub use client::{
+    Client, ClientConfig, ClientCounters, MutationOutcome, ResilientClient, RetryPolicy,
+};
+pub use codec::{
+    FrameAssembler, NetError, NetStats, Request, Response, MAX_PAYLOAD, MAX_SCAN_WINDOW,
+};
 pub use server::{Server, ServerConfig};

@@ -1,5 +1,6 @@
 //! The threaded TCP server: one session thread per connection,
-//! server-side op batching, streamed range scans.
+//! server-side op batching, streamed range scans, and the robustness
+//! envelope (session cap, idle reaper, overload shedding).
 //!
 //! # Batching
 //!
@@ -31,13 +32,38 @@
 //! each window pins internally, so a long stream never holds one epoch
 //! open.
 //!
+//! # Robustness
+//!
+//! Three bounds keep a hostile or unlucky client population from
+//! exhausting the server ([`NetStats`] counts each):
+//!
+//! * **Session cap** ([`ServerConfig::max_sessions`]): past the cap,
+//!   new connections are *shed at accept time* — answered one
+//!   [`Response::Busy`] frame, drained briefly so the refusal arrives
+//!   as a clean FIN rather than an RST, and closed. No session thread
+//!   is spawned; the drain helpers are themselves capped.
+//! * **Idle reaper** ([`ServerConfig::idle_deadline`]): a session that
+//!   completes no frame within the deadline is evicted. The clock only
+//!   resets on *complete frames*, so a slow-loris client dribbling a
+//!   byte per read-timeout poll cannot hold its thread.
+//! * **Scan cap** ([`ServerConfig::max_scans`]): at most this many
+//!   `RangeScan` streams run concurrently; excess scans (and any scan
+//!   arriving while the server drains for shutdown) answer a single
+//!   `Busy` frame while point ops keep flowing.
+//!
+//! Injected wire faults (`net.conn.drop`, `net.frame.torn`,
+//! `net.scan.drop` — see the `faultpoint` crate) exercise exactly the
+//! session exit paths the counters classify.
+//!
 //! # Lifecycle
 //!
 //! The accept loop polls a shutdown flag between non-blocking accepts;
-//! sessions poll it on a 50 ms read timeout while idle. A client
-//! disconnect anywhere — between frames, mid-frame, or mid-scan-stream
-//! — just ends that session: the cursor and buffers drop with the
-//! stack, the active-session count decrements, nothing wedges.
+//! sessions poll it on a 50 ms read timeout while idle, finish the
+//! batch they are executing (in-flight batches drain, new scans answer
+//! `Busy`), and exit. A client disconnect anywhere — between frames,
+//! mid-frame, or mid-scan-stream — just ends that session: the cursor
+//! and buffers drop with the stack, the active-session count
+//! decrements, nothing wedges.
 
 use std::io::{self, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -48,7 +74,9 @@ use std::time::{Duration, Instant};
 
 use conc_set::{ConcurrentOrderedSet, ScanOpts, ScanStep, StructureSpec};
 
-use crate::codec::{write_frame, FrameAssembler, NetError, Request, Response, MAX_SCAN_WINDOW};
+use crate::codec::{
+    write_frame, FrameAssembler, NetError, NetStats, Request, Response, MAX_SCAN_WINDOW,
+};
 
 /// Server construction knobs; [`ServerConfig::default`] reads the
 /// `LLX_NET_*` environment via [`workloads::knobs`].
@@ -60,6 +88,16 @@ pub struct ServerConfig {
     pub addr: String,
     /// Max requests per session batch (`LLX_NET_BATCH`, default 64).
     pub batch_cap: usize,
+    /// Max live sessions before accept-time shedding
+    /// (`LLX_NET_MAX_SESSIONS`, default 256).
+    pub max_sessions: usize,
+    /// Evict a session that completes no frame for this long
+    /// (`LLX_NET_IDLE_MS`, default 10s; zero disables the reaper).
+    pub idle_deadline: Duration,
+    /// Max concurrent `RangeScan` streams before scans answer `Busy`
+    /// (`LLX_NET_MAX_SCANS`, default 32). Zero refuses every stream —
+    /// a fully degraded point-ops-only server.
+    pub max_scans: usize,
 }
 
 impl Default for ServerConfig {
@@ -67,8 +105,20 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: workloads::knobs::net_addr(),
             batch_cap: workloads::knobs::net_batch(),
+            max_sessions: workloads::knobs::net_max_sessions(),
+            idle_deadline: workloads::knobs::net_idle_deadline(),
+            max_scans: workloads::knobs::net_max_scans(),
         }
     }
+}
+
+/// The per-session slice of the config, shared by the accept loop.
+#[derive(Clone)]
+struct SessionCfg {
+    batch_cap: usize,
+    idle_deadline: Duration,
+    max_scans: usize,
+    max_sessions: usize,
 }
 
 /// Shared server state: the structures and the counters every session
@@ -84,11 +134,56 @@ struct Shared {
     shutdown: AtomicBool,
     /// Live session threads.
     active_sessions: AtomicUsize,
+    /// Live `RangeScan` streams (bounded by `max_scans`).
+    active_scans: AtomicUsize,
+    /// Live shed-drain helper threads (bounded by [`SHED_DRAIN_CAP`]).
+    shed_drains: AtomicUsize,
     /// Batches executed across all sessions.
     batches: AtomicU64,
     /// Requests executed across all sessions (batched_ops / batches =
     /// achieved amortization).
     batched_ops: AtomicU64,
+    /// Sessions ever accepted (spawned, not shed).
+    total_sessions: AtomicU64,
+    /// Connections answered `Busy` and closed at accept time.
+    shed_sessions: AtomicU64,
+    /// Sessions evicted by the idle-deadline reaper.
+    idle_evictions: AtomicU64,
+    /// Sessions that ended in an error (I/O, protocol, injected).
+    session_errors: AtomicU64,
+    /// Sessions that ended with a clean EOF at a frame boundary.
+    clean_drains: AtomicU64,
+    /// `RangeScan` requests answered `Busy`.
+    scans_rejected: AtomicU64,
+}
+
+impl Shared {
+    fn stats(&self) -> NetStats {
+        NetStats {
+            // ord: control-plane gauge/counter reads for reporting, not protocol steps
+            active_sessions: self.active_sessions.load(Ordering::SeqCst) as u64,
+            total_sessions: self.total_sessions.load(Ordering::SeqCst), // ord: stats counter
+            shed_sessions: self.shed_sessions.load(Ordering::SeqCst),   // ord: stats counter
+            idle_evictions: self.idle_evictions.load(Ordering::SeqCst), // ord: stats counter
+            session_errors: self.session_errors.load(Ordering::SeqCst), // ord: stats counter
+            clean_drains: self.clean_drains.load(Ordering::SeqCst),     // ord: stats counter
+            scans_rejected: self.scans_rejected.load(Ordering::SeqCst), // ord: stats counter
+            batches: self.batches.load(Ordering::SeqCst),               // ord: stats counter
+            batched_ops: self.batched_ops.load(Ordering::SeqCst),       // ord: stats counter
+        }
+    }
+}
+
+/// How a session ended, for the exit-path counters.
+enum SessionEnd {
+    /// Clean EOF at a frame boundary (normal client disconnect).
+    Clean,
+    /// The server is shutting down; the session drained and left.
+    Shutdown,
+    /// Evicted by the idle-deadline reaper.
+    IdleEvicted,
+    /// EOF mid-frame: the client died with a partial frame buffered.
+    TornEof,
 }
 
 /// A running network service over a set of structure specs. Dropping
@@ -120,15 +215,28 @@ impl Server {
             names: specs.iter().map(|s| s.to_string()).collect(),
             shutdown: AtomicBool::new(false),
             active_sessions: AtomicUsize::new(0),
+            active_scans: AtomicUsize::new(0),
+            shed_drains: AtomicUsize::new(0),
             batches: AtomicU64::new(0),
             batched_ops: AtomicU64::new(0),
+            total_sessions: AtomicU64::new(0),
+            shed_sessions: AtomicU64::new(0),
+            idle_evictions: AtomicU64::new(0),
+            session_errors: AtomicU64::new(0),
+            clean_drains: AtomicU64::new(0),
+            scans_rejected: AtomicU64::new(0),
         });
+        let cfg = SessionCfg {
+            batch_cap: config.batch_cap.max(1),
+            idle_deadline: config.idle_deadline,
+            max_scans: config.max_scans,
+            max_sessions: config.max_sessions.max(1),
+        };
         let accept = {
             let shared = Arc::clone(&shared);
-            let batch_cap = config.batch_cap.max(1);
             thread::Builder::new()
                 .name("netsvc-accept".into())
-                .spawn(move || accept_loop(listener, shared, batch_cap))?
+                .spawn(move || accept_loop(listener, shared, cfg))?
         };
         Ok(Server {
             local_addr,
@@ -168,8 +276,15 @@ impl Server {
         )
     }
 
+    /// The server-global counter snapshot (the in-process view of what
+    /// a [`Request::Stats`] answers over the wire).
+    pub fn stats(&self) -> NetStats {
+        self.shared.stats()
+    }
+
     /// Stop accepting, wake idle sessions, and wait (bounded) for all
-    /// session threads to exit.
+    /// session threads to exit. In-flight batches drain; new scans
+    /// answer `Busy` while the flag is up.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
@@ -197,20 +312,43 @@ impl Drop for Server {
     }
 }
 
-/// Accept connections until shutdown, one session thread each.
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>, batch_cap: usize) {
+/// Accept connections until shutdown, one session thread each; over
+/// the session cap, shed with one `Busy` frame instead of spawning.
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, cfg: SessionCfg) {
     // ord: lifecycle flag, polled between accepts
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                // ord: session gauge read; the cap is advisory backpressure, not mutual exclusion
+                if shared.active_sessions.load(Ordering::SeqCst) >= cfg.max_sessions {
+                    shared.shed_sessions.fetch_add(1, Ordering::SeqCst); // ord: stats counter
+                    shed(stream, &shared);
+                    continue;
+                }
                 let session_shared = Arc::clone(&shared);
+                let session_cfg = cfg.clone();
                 // ord: session gauge, once per connection
                 shared.active_sessions.fetch_add(1, Ordering::SeqCst);
+                shared.total_sessions.fetch_add(1, Ordering::SeqCst); // ord: stats counter
                 let spawned =
                     thread::Builder::new()
                         .name("netsvc-session".into())
                         .spawn(move || {
-                            let _ = session(stream, &session_shared, batch_cap);
+                            match session(stream, &session_shared, &session_cfg) {
+                                Ok(SessionEnd::Clean) => {
+                                    // ord: stats counter, once per session
+                                    session_shared.clean_drains.fetch_add(1, Ordering::SeqCst);
+                                }
+                                Ok(SessionEnd::Shutdown) => {}
+                                Ok(SessionEnd::IdleEvicted) => {
+                                    // ord: stats counter, once per session
+                                    session_shared.idle_evictions.fetch_add(1, Ordering::SeqCst);
+                                }
+                                Ok(SessionEnd::TornEof) | Err(_) => {
+                                    // ord: stats counter, once per session
+                                    session_shared.session_errors.fetch_add(1, Ordering::SeqCst);
+                                }
+                            }
                             session_shared
                                 .active_sessions
                                 // ord: session gauge, once per connection
@@ -231,9 +369,96 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, batch_cap: usize) {
     }
 }
 
+/// Shed-drain helpers alive at once; past this, shed connections get a
+/// best-effort `Busy` and an abrupt close.
+const SHED_DRAIN_CAP: usize = 32;
+
+/// How long a shed drain waits for the client's FIN before giving up.
+const SHED_DRAIN_DEADLINE: Duration = Duration::from_millis(250);
+
+/// Shed one over-cap connection: answer `Busy`, half-close, then read
+/// the socket dry until the client hangs up (bounded by
+/// [`SHED_DRAIN_DEADLINE`]). The drain matters: the client has usually
+/// already pipelined a request, and closing with those bytes unread
+/// makes the kernel send an RST that can destroy the in-flight `Busy`
+/// frame — turning a definite "not executed" refusal into an ambiguous
+/// connection error the client must treat as `Unknown`. Draining on a
+/// short-lived helper thread keeps the accept loop unblocked; the
+/// [`SHED_DRAIN_CAP`] bound keeps a connection flood from turning the
+/// helpers back into thread-per-connection.
+fn shed(stream: TcpStream, shared: &Arc<Shared>) {
+    let mut payload = Vec::new();
+    Response::Busy.encode(&mut payload);
+    let took_slot = shared
+        .shed_drains
+        // ord: bounded-budget gauge; fetch_update supplies the claim atomicity
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+            (n < SHED_DRAIN_CAP).then_some(n + 1)
+        })
+        .is_ok();
+    if !took_slot {
+        // Flooded past the drain budget: best effort only.
+        let _ = write_frame(&mut (&stream), &payload);
+        return;
+    }
+    let drain_shared = Arc::clone(shared);
+    let spawned = thread::Builder::new()
+        .name("netsvc-shed".into())
+        .spawn(move || {
+            let _ = write_frame(&mut (&stream), &payload);
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            stream
+                .set_read_timeout(Some(Duration::from_millis(50)))
+                .ok();
+            let deadline = Instant::now() + SHED_DRAIN_DEADLINE;
+            let mut sink = [0u8; 256];
+            while Instant::now() < deadline {
+                match (&stream).read(&mut sink) {
+                    Ok(0) => break, // client's FIN: handshake complete
+                    Ok(_) => {}     // discard whatever it pipelined
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut => {}
+                    Err(_) => break,
+                }
+            }
+            // ord: bounded-budget gauge, release on drain end
+            drain_shared.shed_drains.fetch_sub(1, Ordering::SeqCst);
+        });
+    if spawned.is_err() {
+        // ord: bounded-budget gauge, release on spawn failure
+        shared.shed_drains.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// RAII slot in the bounded concurrent-scan budget.
+struct ScanSlot<'a>(&'a Shared);
+
+impl<'a> ScanSlot<'a> {
+    /// Claim a slot unless the budget is exhausted.
+    fn acquire(shared: &'a Shared, max_scans: usize) -> Option<ScanSlot<'a>> {
+        shared
+            .active_scans
+            // ord: bounded-budget gauge; fetch_update is the atomicity, SC matches the file's discipline
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < max_scans).then_some(n + 1)
+            })
+            .ok()
+            .map(|_| ScanSlot(shared))
+    }
+}
+
+impl Drop for ScanSlot<'_> {
+    fn drop(&mut self) {
+        // ord: bounded-budget gauge, release on scan end
+        self.0.active_scans.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// One connection's lifetime: batch-read, batch-execute, reply
-/// in order, repeat until disconnect, protocol violation, or shutdown.
-fn session(stream: TcpStream, shared: &Shared, batch_cap: usize) -> Result<(), NetError> {
+/// in order, repeat until disconnect, protocol violation, idle
+/// eviction, or shutdown.
+fn session(stream: TcpStream, shared: &Shared, cfg: &SessionCfg) -> Result<SessionEnd, NetError> {
     stream.set_nodelay(true).ok();
     stream
         .set_read_timeout(Some(Duration::from_millis(50)))
@@ -242,7 +467,10 @@ fn session(stream: TcpStream, shared: &Shared, batch_cap: usize) -> Result<(), N
     let mut reader = stream;
     let mut asm = FrameAssembler::new();
     let mut chunk = [0u8; 16 * 1024];
-    let mut batch: Vec<Vec<u8>> = Vec::with_capacity(batch_cap);
+    let mut batch: Vec<Vec<u8>> = Vec::with_capacity(cfg.batch_cap);
+    // The reaper clock: arms at accept, re-arms only on a *complete*
+    // frame. Byte dribble does not touch it.
+    let mut last_frame = Instant::now();
     loop {
         batch.clear();
         // Phase 1: block (on a shutdown-polling timeout) until at
@@ -251,6 +479,7 @@ fn session(stream: TcpStream, shared: &Shared, batch_cap: usize) -> Result<(), N
             match asm.next_frame() {
                 Ok(Some(payload)) => {
                     batch.push(payload);
+                    last_frame = Instant::now();
                     break;
                 }
                 Ok(None) => {}
@@ -264,10 +493,32 @@ fn session(stream: TcpStream, shared: &Shared, batch_cap: usize) -> Result<(), N
             }
             // ord: lifecycle flag, polled once per read timeout
             if shared.shutdown.load(Ordering::SeqCst) {
-                return Ok(());
+                return Ok(SessionEnd::Shutdown);
+            }
+            if !cfg.idle_deadline.is_zero() && last_frame.elapsed() >= cfg.idle_deadline {
+                // The reaper: no complete frame within the deadline.
+                // One parting Error frame (best effort), then evict.
+                let _ = reply(
+                    &mut writer,
+                    &Response::Error(format!(
+                        "idle deadline exceeded: no complete frame in {:?}",
+                        cfg.idle_deadline
+                    )),
+                )
+                .and_then(|()| writer.flush().map_err(NetError::Io));
+                return Ok(SessionEnd::IdleEvicted);
             }
             match reader.read(&mut chunk) {
-                Ok(0) => return Ok(()), // client went away
+                Ok(0) => {
+                    // EOF: clean only at a frame boundary — a partial
+                    // frame left buffered means the peer tore the
+                    // stream mid-frame.
+                    return Ok(if asm.pending_bytes() == 0 {
+                        SessionEnd::Clean
+                    } else {
+                        SessionEnd::TornEof
+                    });
+                }
                 Ok(n) => asm.extend(&chunk[..n]),
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
@@ -290,9 +541,12 @@ fn session(stream: TcpStream, shared: &Shared, batch_cap: usize) -> Result<(), N
         }
         reader.set_nonblocking(false).ok();
         let mut framing_violation = None;
-        while batch.len() < batch_cap {
+        while batch.len() < cfg.batch_cap {
             match asm.next_frame() {
-                Ok(Some(payload)) => batch.push(payload),
+                Ok(Some(payload)) => {
+                    batch.push(payload);
+                    last_frame = Instant::now();
+                }
                 Ok(None) => break,
                 Err(e) => {
                     // Serve the complete frames first, then report and
@@ -314,6 +568,16 @@ fn session(stream: TcpStream, shared: &Shared, batch_cap: usize) -> Result<(), N
         {
             let mut pin = Some(crossbeam_epoch::pin());
             for payload in batch.drain(..) {
+                // Injected mid-batch connection kill: the remaining
+                // requests of the batch get no reply and the socket
+                // drops abruptly — the client-side ambiguity the
+                // Retry/Unknown protocol exists for.
+                if faultpoint::fire("net.conn.drop") {
+                    return Err(NetError::Io(io::Error::new(
+                        io::ErrorKind::ConnectionAborted,
+                        "injected connection drop mid-batch",
+                    )));
+                }
                 match Request::decode(&payload) {
                     Ok(Request::RangeScan {
                         structure,
@@ -323,12 +587,49 @@ fn session(stream: TcpStream, shared: &Shared, batch_cap: usize) -> Result<(), N
                     }) => {
                         drop(pin.take());
                         match shared.sets.get(structure as usize) {
-                            Some(set) => stream_scan(&**set, lo, hi, window, &mut writer)?,
+                            Some(set) => {
+                                // ord: lifecycle flag; draining servers reject new streams
+                                let draining = shared.shutdown.load(Ordering::SeqCst);
+                                let slot = if draining {
+                                    None
+                                } else {
+                                    ScanSlot::acquire(shared, cfg.max_scans)
+                                };
+                                match slot {
+                                    Some(_slot) => {
+                                        if !stream_scan(
+                                            &**set,
+                                            lo,
+                                            hi,
+                                            window,
+                                            shared,
+                                            &mut writer,
+                                        )? {
+                                            // Aborted for shutdown:
+                                            // drop the connection, the
+                                            // process is going away.
+                                            return Ok(SessionEnd::Shutdown);
+                                        }
+                                    }
+                                    None => {
+                                        // Graceful degradation: this
+                                        // stream is refused, the
+                                        // connection and its point ops
+                                        // keep working.
+                                        shared.scans_rejected.fetch_add(1, Ordering::SeqCst); // ord: stats counter
+                                        reply(&mut writer, &Response::Busy)?;
+                                    }
+                                }
+                            }
                             None => reply(
                                 &mut writer,
                                 &Response::Error(unknown_structure(shared, structure)),
                             )?,
                         }
+                    }
+                    Ok(Request::Stats) => {
+                        let resp = Response::Stats(shared.stats());
+                        reply(&mut writer, &resp)?;
                     }
                     Ok(req) => {
                         if pin.is_none() {
@@ -355,10 +656,22 @@ fn session(stream: TcpStream, shared: &Shared, batch_cap: usize) -> Result<(), N
     }
 }
 
-/// Encode and frame one response.
+/// Encode and frame one response. The `net.frame.torn` fault point
+/// cuts the frame mid-payload (header + a prefix reach the wire) and
+/// fails, which drops the connection — the torn-write failure mode a
+/// crashing server produces.
 fn reply(w: &mut impl Write, resp: &Response) -> Result<(), NetError> {
     let mut payload = Vec::new();
     resp.encode(&mut payload);
+    if faultpoint::fire("net.frame.torn") {
+        w.write_all(&(payload.len() as u32).to_le_bytes())?;
+        w.write_all(&payload[..payload.len() / 2])?;
+        w.flush()?;
+        return Err(NetError::Io(io::Error::new(
+            io::ErrorKind::ConnectionAborted,
+            "injected torn frame",
+        )));
+    }
     write_frame(w, &payload)?;
     Ok(())
 }
@@ -407,7 +720,9 @@ fn point_op(shared: &Shared, req: &Request) -> Response {
         }
         Request::Len { .. } => Response::Value(set.len()),
         Request::RangeCount { lo, hi, .. } => Response::Value(set.range_count(lo, hi)),
-        Request::RangeScan { .. } => unreachable!("scans stream; handled by the session loop"),
+        Request::RangeScan { .. } | Request::Stats => {
+            unreachable!("scans and stats are handled by the session loop")
+        }
     }
 }
 
@@ -415,19 +730,34 @@ fn point_op(shared: &Shared, req: &Request) -> Response {
 /// frame per validated window and a final `ScanDone`. Bounded memory
 /// (one window), bounded retry work per window (cursor contract), and
 /// a flush per window so the client sees the stream progress while the
-/// scan is still running.
+/// scan is still running. Returns `false` if the stream was abandoned
+/// because the server began shutting down (the caller drops the
+/// connection).
 fn stream_scan(
     set: &dyn ConcurrentOrderedSet,
     lo: u64,
     hi: u64,
     window: u64,
+    shared: &Shared,
     writer: &mut BufWriter<TcpStream>,
-) -> Result<(), NetError> {
+) -> Result<bool, NetError> {
     let window = window.clamp(1, MAX_SCAN_WINDOW);
     let mut cursor = set.scan(lo, hi, ScanOpts::windowed(window));
     let mut pairs: Vec<(u64, u64)> = Vec::with_capacity(window as usize);
     let mut attempts = 0u32;
     loop {
+        // ord: lifecycle flag, polled once per window
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(false);
+        }
+        // Injected mid-stream kill: the client got some windows, then
+        // the connection vanished without a ScanDone.
+        if faultpoint::fire("net.scan.drop") {
+            return Err(NetError::Io(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "injected connection drop mid-scan-stream",
+            )));
+        }
         pairs.clear();
         match cursor.next_window(&mut |k, c| pairs.push((k, c))) {
             ScanStep::Emitted { .. } => {
@@ -455,7 +785,7 @@ fn stream_scan(
             ScanStep::Done => {
                 reply(writer, &Response::ScanDone)?;
                 writer.flush()?;
-                return Ok(());
+                return Ok(true);
             }
         }
     }

@@ -1,0 +1,412 @@
+//! Robustness tests: the idle-deadline reaper, clean-drain accounting,
+//! accept-time shedding, scan rejection, and the resilient client's
+//! retry/at-most-once semantics under injected wire faults.
+//!
+//! `faultpoint` configuration is process-global, and cargo runs the
+//! tests *within* this binary in parallel — every test here serializes
+//! on [`lock`] so one test's `net.*` faults never leak into another's
+//! connections. (Other netsvc test binaries run as separate processes
+//! and are unaffected.)
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use conc_set::StructureSpec;
+use netsvc::codec::{read_frame, write_frame, NetError, Request, Response};
+use netsvc::{
+    Client, ClientConfig, MutationOutcome, ResilientClient, RetryPolicy, Server, ServerConfig,
+};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    match SERIAL.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn spawn_server(specs: &str, config: ServerConfig) -> Server {
+    let specs = StructureSpec::parse_list(specs).unwrap();
+    Server::spawn(&specs, config).unwrap()
+}
+
+fn default_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        batch_cap: 64,
+        ..ServerConfig::default()
+    }
+}
+
+/// A fast retry schedule so failure-path tests stay quick.
+fn fast_client_config(max_attempts: u32) -> ClientConfig {
+    ClientConfig {
+        connect_timeout: Duration::from_millis(500),
+        read_timeout: Duration::from_millis(2000),
+        retry: RetryPolicy {
+            max_attempts,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(10),
+        },
+        seed: 0x5EED,
+    }
+}
+
+/// Wait (bounded) for a server stat to reach `expect` — accepts and
+/// session exits land asynchronously to the client's view.
+fn await_stat(server: &Server, what: &str, pick: impl Fn(&netsvc::NetStats) -> u64, expect: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = server.stats();
+        if pick(&stats) == expect {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{what} never reached {expect}: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn await_sessions_drained(server: &Server) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.active_sessions() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "sessions failed to drain: {} still active",
+            server.active_sessions()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn encode(req: &Request) -> Vec<u8> {
+    let mut payload = Vec::new();
+    req.encode(&mut payload);
+    let mut frame = Vec::new();
+    write_frame(&mut frame, &payload).unwrap();
+    frame
+}
+
+fn recv_raw(stream: &mut TcpStream) -> Result<Response, NetError> {
+    let mut payload = Vec::new();
+    read_frame(stream, &mut payload)?;
+    Response::decode(&payload).map_err(NetError::Malformed)
+}
+
+/// Regression for the slow-loris hole: before the reaper, the 50 ms
+/// shutdown-poll timeout meant a client dribbling one byte per poll
+/// held its session thread forever. The idle clock only resets on
+/// *complete* frames, so dribbling bytes buys no extra time.
+#[test]
+fn idle_reaper_evicts_slow_loris_clients() {
+    let _g = lock();
+    faultpoint::clear();
+    let server = spawn_server(
+        "scx-multiset",
+        ServerConfig {
+            idle_deadline: Duration::from_millis(300),
+            ..default_config()
+        },
+    );
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Dribble a valid Insert frame one byte at a time, slower than any
+    // frame could reasonably need but faster than the poll interval —
+    // each poll sees fresh bytes yet never a complete frame.
+    let frame = encode(&Request::Insert {
+        structure: 0,
+        key: 1,
+        count: 1,
+    });
+    let start = Instant::now();
+    let mut write_failed = false;
+    for chunk in frame.chunks(1).cycle().take(80) {
+        if stream
+            .write_all(chunk)
+            .and_then(|_| stream.flush())
+            .is_err()
+        {
+            write_failed = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    // 80 × 25 ms = 2 s of dribble against a 300 ms deadline: the server
+    // must have evicted us long before the loop could finish.
+    assert!(
+        write_failed || start.elapsed() >= Duration::from_millis(300),
+        "dribble loop ended implausibly early"
+    );
+    match recv_raw(&mut stream) {
+        Ok(Response::Error(msg)) => {
+            assert!(msg.contains("idle deadline"), "unexpected error: {msg}");
+            assert!(matches!(recv_raw(&mut stream), Err(NetError::Closed)));
+        }
+        // The eviction may race the dribble closely enough that the
+        // kernel reports the reset before we read the Error frame.
+        Err(_) => {}
+        other => panic!("expected idle-deadline Error then close, got {other:?}"),
+    }
+    drop(stream);
+    await_sessions_drained(&server);
+    let stats = server.stats();
+    assert_eq!(stats.idle_evictions, 1, "{stats:?}");
+    // The reaper freed the slot; fresh clients are unaffected.
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(client.len(0).unwrap(), 0, "dribbled insert never executed");
+    server.shutdown();
+}
+
+/// `Client`'s `Drop` half-closes the socket, so a normal disconnect is
+/// a *drain* in the server's ledger; an abrupt mid-frame hangup is a
+/// session error. The two must not be confused.
+#[test]
+fn client_drop_is_a_clean_drain_not_an_error() {
+    let _g = lock();
+    faultpoint::clear();
+    let server = spawn_server("scx-multiset", default_config());
+    {
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(client.insert(0, 1, 1).unwrap(), 1);
+    } // Drop: flush + shutdown(Write) → FIN at a frame boundary.
+    await_stat(&server, "clean_drains", |s| s.clean_drains, 1);
+    assert_eq!(server.stats().session_errors, 0, "{:?}", server.stats());
+    // Contrast: hang up halfway through a frame — that is torn, not
+    // clean.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let frame = encode(&Request::Len { structure: 0 });
+    stream.write_all(&frame[..frame.len() / 2]).unwrap();
+    drop(stream);
+    await_stat(&server, "session_errors", |s| s.session_errors, 1);
+    assert_eq!(server.stats().clean_drains, 1, "{:?}", server.stats());
+    server.shutdown();
+}
+
+/// At the session cap the server sheds new connections at accept time
+/// with a `Busy` frame — no thread is spawned for them — and recovers
+/// the moment an existing session drains.
+#[test]
+fn session_cap_sheds_excess_connections_with_busy() {
+    let _g = lock();
+    faultpoint::clear();
+    let server = spawn_server(
+        "scx-multiset",
+        ServerConfig {
+            max_sessions: 2,
+            ..default_config()
+        },
+    );
+    let addr = server.local_addr();
+    let mut a = Client::connect(addr).unwrap();
+    let mut b = Client::connect(addr).unwrap();
+    // Round-trips prove both session threads are live before the third
+    // connect races the accept loop.
+    assert_eq!(a.len(0).unwrap(), 0);
+    assert_eq!(b.len(0).unwrap(), 0);
+    assert_eq!(server.active_sessions(), 2);
+    let mut shed = TcpStream::connect(addr).unwrap();
+    shed.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    assert_eq!(recv_raw(&mut shed).unwrap(), Response::Busy);
+    assert!(matches!(recv_raw(&mut shed), Err(NetError::Closed)));
+    let stats = server.stats();
+    assert_eq!(stats.shed_sessions, 1, "{stats:?}");
+    assert_eq!(stats.total_sessions, 2, "shed connections spawn no session");
+    // The capped sessions kept working throughout.
+    assert_eq!(a.insert(0, 9, 1).unwrap(), 1);
+    // Draining one session reopens the door.
+    drop(b);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if server.active_sessions() < 2 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "drained session never released");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let mut c = Client::connect(addr).unwrap();
+    assert_eq!(c.get(0, 9).unwrap(), 1);
+    server.shutdown();
+}
+
+/// A `Busy` shed is a definite "not executed": the resilient client
+/// retries it, and when the cap never lifts, reports `Retry` — never
+/// `Unknown`, because nothing ambiguous happened.
+#[test]
+fn busy_shed_surfaces_as_definite_retry() {
+    let _g = lock();
+    faultpoint::clear();
+    let server = spawn_server(
+        "scx-multiset",
+        ServerConfig {
+            max_sessions: 1,
+            ..default_config()
+        },
+    );
+    let addr = server.local_addr();
+    let mut parked = Client::connect(addr).unwrap();
+    assert_eq!(parked.len(0).unwrap(), 0); // session thread live
+    let mut rc = ResilientClient::new(addr, fast_client_config(3));
+    assert_eq!(rc.insert(0, 5, 1), MutationOutcome::Retry);
+    let counters = rc.counters();
+    assert_eq!(counters.busy, 3, "every attempt was shed: {counters:?}");
+    assert_eq!(counters.unknown, 0, "{counters:?}");
+    // Nothing was applied.
+    assert_eq!(parked.get(0, 5).unwrap(), 0);
+    assert_eq!(server.stats().shed_sessions, 3);
+    server.shutdown();
+}
+
+/// With the scan budget exhausted, `RangeScan` streams answer `Busy`
+/// while point ops on the same connection keep flowing.
+#[test]
+fn scan_rejection_answers_busy_while_point_ops_flow() {
+    let _g = lock();
+    faultpoint::clear();
+    let server = spawn_server(
+        "scx-multiset",
+        ServerConfig {
+            max_scans: 0,
+            ..default_config()
+        },
+    );
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(client.insert(0, 3, 2).unwrap(), 2);
+    match client.range_scan(0, 0, 100, 8) {
+        Err(NetError::Malformed(msg)) => {
+            assert!(msg.starts_with("server busy"), "unexpected error: {msg}")
+        }
+        other => panic!("expected a busy rejection, got {other:?}"),
+    }
+    // The rejection is per-stream, not per-connection: the same socket
+    // still serves point ops and stats.
+    assert_eq!(client.get(0, 3).unwrap(), 2);
+    assert_eq!(client.len(0).unwrap(), 2);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.scans_rejected, 1, "{stats:?}");
+    server.shutdown();
+}
+
+/// `Stats` round-trips over the wire and the batching ledger it
+/// carries matches the server's in-process view.
+#[test]
+fn stats_round_trip_over_the_wire() {
+    let _g = lock();
+    faultpoint::clear();
+    let server = spawn_server("scx-multiset", default_config());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for k in 0..10u64 {
+        client.insert(0, k, 1).unwrap();
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.active_sessions, 1, "{stats:?}");
+    assert_eq!(stats.total_sessions, 1, "{stats:?}");
+    assert!(stats.batched_ops >= 10, "{stats:?}");
+    assert!(stats.batches >= 1, "{stats:?}");
+    let (batches, ops) = server.batch_stats();
+    assert_eq!((stats.batches, stats.batched_ops), (batches, ops));
+    server.shutdown();
+}
+
+/// Injected torn frames cost idempotent reads nothing but a retry: the
+/// resilient client reconnects and re-asks transparently.
+#[test]
+fn reads_retry_transparently_across_injected_torn_frames() {
+    let _g = lock();
+    faultpoint::clear();
+    let server = spawn_server("scx-multiset", default_config());
+    let addr = server.local_addr();
+    {
+        let mut seeder = Client::connect(addr).unwrap();
+        assert_eq!(seeder.insert(0, 7, 3).unwrap(), 3);
+    }
+    await_sessions_drained(&server);
+    // The second reply frame the server writes is torn mid-payload and
+    // the session killed.
+    faultpoint::configure("net.frame.torn=once:2", faultpoint::DEFAULT_SEED).unwrap();
+    let mut rc = ResilientClient::new(addr, fast_client_config(5));
+    assert_eq!(rc.get(0, 7).unwrap(), 3); // reply hit 1: intact
+    assert_eq!(rc.get(0, 7).unwrap(), 3); // hit 2 torn → reconnect, hit 3 ok
+    let counters = rc.counters();
+    assert_eq!(counters.connects, 2, "{counters:?}");
+    assert!(counters.retries >= 1, "{counters:?}");
+    assert_eq!(counters.unknown, 0, "reads are never ambiguous");
+    let (hits, fires) = faultpoint::counters("net.frame.torn").unwrap();
+    assert_eq!(fires, 1, "{hits} hits");
+    faultpoint::clear();
+    assert!(server.stats().session_errors >= 1, "torn session counted");
+    server.shutdown();
+}
+
+/// The at-most-once ledger under injected connection drops: every
+/// mutation ends `Applied` or `Unknown`, nothing is ever applied
+/// twice, and `Applied` answers are exact.
+#[test]
+fn mutations_never_double_apply_under_injected_conn_drops() {
+    let _g = lock();
+    faultpoint::clear();
+    let server = spawn_server("scx-multiset", default_config());
+    let addr = server.local_addr();
+    // Every 4th request the batch executor sees has its connection
+    // killed *before* the op runs — the client cannot know that and
+    // must report Unknown.
+    faultpoint::configure("net.conn.drop=every:4", faultpoint::DEFAULT_SEED).unwrap();
+    let mut rc = ResilientClient::new(addr, fast_client_config(5));
+    let keys: u64 = 20;
+    let mut applied = Vec::new();
+    let mut unknown = Vec::new();
+    for k in 0..keys {
+        match rc.insert(0, k, 1) {
+            MutationOutcome::Applied(v) => {
+                assert_eq!(v, 1, "key {k}");
+                applied.push(k);
+            }
+            MutationOutcome::Unknown => unknown.push(k),
+            MutationOutcome::Retry => panic!("key {k}: nothing definite failed here"),
+        }
+    }
+    faultpoint::clear();
+    assert_eq!(applied.len(), 15, "every 4th of 20 requests dropped");
+    assert_eq!(unknown.len(), 5);
+    assert_eq!(rc.counters().unknown, 5);
+    // Reconcile the ledger against the structure: at-most-once means
+    // no key ever exceeds its single attempted insert, Applied keys
+    // are present exactly once, and (because this fault fires before
+    // execution) Unknown keys were in fact never applied.
+    let mut check = Client::connect(addr).unwrap();
+    for &k in &applied {
+        assert_eq!(check.get(0, k).unwrap(), 1, "key {k}");
+    }
+    for &k in &unknown {
+        assert_eq!(check.get(0, k).unwrap(), 0, "key {k} fired pre-execution");
+    }
+    assert_eq!(check.len(0).unwrap(), applied.len() as u64);
+    server.shutdown();
+}
+
+/// When the server is simply unreachable, mutations are a definite
+/// `Retry` — no connection ever carried the request.
+#[test]
+fn unreachable_server_yields_definite_retry() {
+    let _g = lock();
+    faultpoint::clear();
+    // Bind-then-drop guarantees a port with no listener.
+    let addr: SocketAddr = {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    };
+    let mut rc = ResilientClient::new(addr, fast_client_config(3));
+    assert_eq!(rc.insert(0, 1, 1), MutationOutcome::Retry);
+    assert!(rc.get(0, 1).is_err(), "reads exhaust retries and report");
+    let counters = rc.counters();
+    assert_eq!(counters.connects, 0, "{counters:?}");
+    assert_eq!(counters.unknown, 0, "{counters:?}");
+}

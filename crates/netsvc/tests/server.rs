@@ -14,6 +14,7 @@ fn spawn_server(specs: &str) -> Server {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             batch_cap: 64,
+            ..ServerConfig::default()
         },
     )
     .unwrap()

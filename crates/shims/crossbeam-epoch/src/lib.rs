@@ -277,6 +277,13 @@ fn bg_loop() {
         // reclaimer_quiesce would hang every flush_reclamation caller.
         // The InFlightGuard already restores the counters on unwind;
         // report and keep the loop alive.
+        // Injected reclaimer stall: sleep before the drain pass so
+        // garbage visibly ages while mutators keep pinning. Bounded (2
+        // ms per fire) and outside the cycle accounting, so
+        // `reclaimer_quiesce` still terminates — just later.
+        if faultpoint::fire("epoch.bg.stall") {
+            std::thread::sleep(Duration::from_millis(2));
+        }
         let cycle = std::panic::catch_unwind(|| {
             // Drain in budgeted passes: each pass advances the epoch,
             // so closures deferred during the drain become ready
@@ -392,7 +399,12 @@ pub fn pin() -> Guard {
         if pins == 0 {
             let total = local.total_pins.get().wrapping_add(1);
             local.total_pins.set(total);
-            if total % COLLECT_EVERY == 0 {
+            // Injected collect delay: skip this amortized tick — the
+            // bag stays buffered and garbage ages, exactly a stalled
+            // reclaimer. `Guard::flush`/`collect_now` are deliberately
+            // not injectable: deterministic drains (leak checks,
+            // `flush_reclamation`) must stay deterministic.
+            if total % COLLECT_EVERY == 0 && !faultpoint::fire("epoch.tick.skip") {
                 // Not yet pinned: our own slot does not hold back the
                 // collection, and re-entrant pins from closures nest
                 // above pins == 0 correctly.

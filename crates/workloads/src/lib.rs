@@ -281,8 +281,19 @@ pub fn prefill_keys(n: u64) -> impl Iterator<Item = u64> {
 /// | `LLX_SHARD_DOMAIN` | `conc-set` `ShardedSet` partition map | the key prefix `[0, domain)` that is split evenly across shards; the last shard also owns the tail up to `MAX_KEY` (default 1024, clamped to at least 1). Keep it near the workload's key-range so small-key benches actually spread across shards |
 /// | `LLX_NET_ADDR` | `netsvc` server (`ServerConfig::default`), ci.sh `serve` stage | bind address of the network service tier (default `127.0.0.1:0`, an OS-assigned loopback port; `Server::local_addr` reports the real one) |
 /// | `LLX_NET_BATCH` | `netsvc` sessions | max pipelined requests drained into one server-side batch; the batch's point ops share a single epoch pin (default 64, clamped to 1..=4096) |
-/// | `LLX_NET_CONNS` | `bench-harness serve` | concurrent client connections per cell of the loopback client-mix experiment (default 4, clamped to 1..=256) |
+/// | `LLX_NET_CONNS` | `bench-harness serve`/`chaos` | concurrent client connections per cell of the loopback client-mix experiments (default 4, clamped to 1..=256) |
 /// | `LLX_NET_PIPELINE` | `bench-harness serve` | the deep pipeline depth each cell compares against depth 1 (default 16, clamped to 2..=1024) |
+/// | `LLX_NET_MAX_SESSIONS` | `netsvc` accept loop | live-session cap; connections past it are shed at accept time with one `Busy` frame, no thread spawned (default 256, clamped to 1..=16384) |
+/// | `LLX_NET_IDLE_MS` | `netsvc` sessions | idle-deadline reaper: a session that completes no *frame* in this window is evicted — the clock never resets on byte dribble, so slow-loris clients cannot hold a session thread (default 10000; `0` disables) |
+/// | `LLX_NET_MAX_SCANS` | `netsvc` sessions | concurrent `RangeScan`-stream cap; excess scans (and scans during shutdown drain) answer `Busy` while point ops keep flowing (default 32, clamped to 1..=4096) |
+/// | `LLX_NET_TIMEOUT_MS` | `netsvc` `ResilientClient` | connect/read timeout per attempt (default 1000, floored at 10) |
+/// | `LLX_NET_RETRY_MAX` | `netsvc` `ResilientClient` | attempts per idempotent op / definite-failure mutation before giving up (default 5, clamped to 1..=100) |
+/// | `LLX_NET_RETRY_BASE_MS` | `netsvc` `ResilientClient` | first-retry backoff of the capped exponential schedule; attempt k waits jittered `min(cap, base·2^k)` (default 10) |
+/// | `LLX_NET_RETRY_CAP_MS` | `netsvc` `ResilientClient` | backoff ceiling (default 500) |
+/// | `LLX_FAULT_SPEC` | `faultpoint` (armed lazily on first `fire`) | the fault-injection spec, `name=trigger` comma list with triggers `prob:P`, `every:N`, `once:N` — e.g. `net.conn.drop=prob:0.01,epoch.tick.skip=every:64`; see the `faultpoint` crate docs for the point table. Unset = every point inert |
+/// | `LLX_FAULT_SEED` | `faultpoint` | seed of the deterministic per-point RNG streams behind `prob:` triggers (default `0xFA17`); replaying a failing seed replays its faults |
+/// | `LLX_CHAOS_RUNS` | `bench-harness chaos` | consecutive seeded chaos runs (seeds `LLX_FAULT_SEED + 0..runs`; default 5) |
+/// | `LLX_CHAOS_OPS` | `bench-harness chaos` | mutations each chaos client attempts per run (default 2000) |
 /// | `PROPTEST_CASES` | every property test (proptest shim) | overrides the case count |
 /// | `PROPTEST_SEED` | every property test (proptest shim) | perturbs the otherwise deterministic streams |
 ///
@@ -413,6 +424,66 @@ pub mod knobs {
     /// depth (default 16, clamped to 2..=1024).
     pub fn net_pipeline() -> usize {
         env_u64("LLX_NET_PIPELINE", 16).clamp(2, 1024) as usize
+    }
+
+    /// `LLX_NET_MAX_SESSIONS`: live-session cap of a `netsvc` server;
+    /// connections past it are shed at accept time with one `Busy`
+    /// frame (default 256, clamped to 1..=16384).
+    pub fn net_max_sessions() -> usize {
+        env_u64("LLX_NET_MAX_SESSIONS", 256).clamp(1, 16384) as usize
+    }
+
+    /// `LLX_NET_IDLE_MS`: the idle-deadline reaper — a session that
+    /// completes no *frame* within this window is evicted (default
+    /// 10000 ms; `0` disables the reaper).
+    pub fn net_idle_deadline() -> Duration {
+        env_millis("LLX_NET_IDLE_MS", 10_000)
+    }
+
+    /// `LLX_NET_MAX_SCANS`: concurrent `RangeScan` streams a `netsvc`
+    /// server allows before answering `Busy` (default 32, clamped to
+    /// 1..=4096).
+    pub fn net_max_scans() -> usize {
+        env_u64("LLX_NET_MAX_SCANS", 32).clamp(1, 4096) as usize
+    }
+
+    /// `LLX_NET_TIMEOUT_MS`: connect/read timeout of the resilient
+    /// `netsvc` client (default 1000 ms, floored at 10 so a typo'd `0`
+    /// cannot spin a connect loop).
+    pub fn net_timeout() -> Duration {
+        env_millis("LLX_NET_TIMEOUT_MS", 1000).max(Duration::from_millis(10))
+    }
+
+    /// `LLX_NET_RETRY_MAX`: attempts the resilient client makes per
+    /// idempotent operation / definite-failure mutation before giving
+    /// up (default 5, clamped to 1..=100).
+    pub fn net_retry_max() -> u32 {
+        env_u64("LLX_NET_RETRY_MAX", 5).clamp(1, 100) as u32
+    }
+
+    /// `LLX_NET_RETRY_BASE_MS`: first-retry backoff of the resilient
+    /// client's capped exponential schedule (default 10 ms).
+    pub fn net_retry_base() -> Duration {
+        env_millis("LLX_NET_RETRY_BASE_MS", 10)
+    }
+
+    /// `LLX_NET_RETRY_CAP_MS`: ceiling of the resilient client's
+    /// exponential backoff (default 500 ms).
+    pub fn net_retry_cap() -> Duration {
+        env_millis("LLX_NET_RETRY_CAP_MS", 500)
+    }
+
+    /// `LLX_CHAOS_RUNS`: consecutive seeded runs of `bench-harness
+    /// chaos`, seeds `LLX_FAULT_SEED + 0..runs` (default 5, clamped to
+    /// 1..=1000).
+    pub fn chaos_runs() -> u64 {
+        env_u64("LLX_CHAOS_RUNS", 5).clamp(1, 1000)
+    }
+
+    /// `LLX_CHAOS_OPS`: mutations each chaos client attempts per run
+    /// (default 2000, clamped to 1..=10_000_000).
+    pub fn chaos_ops() -> u64 {
+        env_u64("LLX_CHAOS_OPS", 2000).clamp(1, 10_000_000)
     }
 
     #[cfg(test)]
